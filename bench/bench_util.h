@@ -1,0 +1,59 @@
+// Shared helpers for the per-figure/table bench harnesses.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/hybrid_dp.h"
+#include "src/baselines/llama_cp.h"
+#include "src/baselines/te_cp.h"
+#include "src/core/trainer.h"
+#include "src/core/zeppelin.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+
+namespace zeppelin::bench {
+
+// The paper's four end-to-end systems, in Fig. 8 legend order.
+inline std::vector<std::unique_ptr<Strategy>> MakeFig8Strategies() {
+  std::vector<std::unique_ptr<Strategy>> out;
+  out.push_back(std::make_unique<TeCpStrategy>());
+  out.push_back(std::make_unique<LlamaCpStrategy>());
+  out.push_back(std::make_unique<HybridDpStrategy>());
+  out.push_back(std::make_unique<ZeppelinStrategy>());
+  return out;
+}
+
+// Mean tokens/second over `batches` sampled batches (the paper averages over
+// training steps 50-150; batches are i.i.d. here so fewer suffice).
+inline double MeanThroughput(const Trainer& trainer, Strategy& strategy,
+                             const LengthDistribution& dist, int64_t total_tokens, int batches,
+                             uint64_t seed = 4242) {
+  BatchSampler sampler(dist, total_tokens, seed);
+  double sum = 0;
+  for (int i = 0; i < batches; ++i) {
+    sum += trainer.Run(strategy, sampler.NextBatch()).tokens_per_second;
+  }
+  return sum / batches;
+}
+
+// "--quick" trims batch counts for smoke runs; the default is the full sweep.
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace zeppelin::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Extension experiment (beyond the paper): hardware sensitivity sweep.
+//
+// The paper evaluates three fixed clusters. This bench sweeps the two
+// parameters its analysis says everything depends on — NIC bandwidth and GPU
+// throughput — and maps where each system's advantage lives:
+//   - as NICs get faster, TE CP's ring bottleneck fades and Zeppelin's edge
+//     narrows toward the compute-bound limit;
+//   - as GPUs get faster at fixed NICs, everything becomes more
+//     communication-bound and Zeppelin's edge widens.
+// Useful for deciding whether Zeppelin-style scheduling is worth deploying
+// on a given fabric.
+#include "bench/bench_util.h"
+#include "src/baselines/double_ring.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/model/transformer.h"
+
+int main(int argc, char** argv) {
+  using namespace zeppelin;
+  const bool quick = bench::QuickMode(argc, argv);
+  const int batches = quick ? 1 : 3;
+  const auto dist = MakeGithubDistribution();
+  const int64_t context = 131072;
+
+  bench::PrintHeader("Extension — NIC bandwidth sweep (3B, 32 GPUs, A800-class compute)");
+  Table nic_table({"NIC Gb/s", "TE CP", "Zeppelin", "speedup"});
+  for (const double gbps : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    ClusterSpec cluster = MakeClusterA(4);
+    cluster.nic_bandwidth = GbpsToBytesPerUs(gbps) * 0.96;
+    const Trainer trainer(MakeLlama3B(), cluster);
+    TeCpStrategy te;
+    ZeppelinStrategy zep;
+    const double t_te = bench::MeanThroughput(trainer, te, dist, context, batches);
+    const double t_zep = bench::MeanThroughput(trainer, zep, dist, context, batches);
+    nic_table.AddRow({Table::Cell(gbps, 0), Table::Cell(t_te, 0), Table::Cell(t_zep, 0),
+                      Table::Cell(t_zep / t_te, 2) + "x"});
+  }
+  nic_table.Print();
+
+  bench::PrintHeader("Extension — GPU throughput sweep (3B, 32 GPUs, 4x200Gb/s NICs)");
+  Table gpu_table({"eff TFLOP/s", "TE CP", "Zeppelin", "speedup"});
+  for (const double tflops : {70.0, 140.0, 280.0, 560.0}) {
+    ClusterSpec cluster = MakeClusterA(4);
+    cluster.gpu_effective_tflops = tflops;
+    const Trainer trainer(MakeLlama3B(), cluster);
+    TeCpStrategy te;
+    ZeppelinStrategy zep;
+    const double t_te = bench::MeanThroughput(trainer, te, dist, context, batches);
+    const double t_zep = bench::MeanThroughput(trainer, zep, dist, context, batches);
+    gpu_table.AddRow({Table::Cell(tflops, 0), Table::Cell(t_te, 0), Table::Cell(t_zep, 0),
+                      Table::Cell(t_zep / t_te, 2) + "x"});
+  }
+  gpu_table.Print();
+
+  bench::PrintHeader("Extension — GQA vs MHA at matched scale (2 nodes, 64k, github)");
+  Table gqa_table({"model", "KV B/token", "TE CP", "Zeppelin", "speedup"});
+  for (const char* name : {"7B", "8B-GQA"}) {
+    const TransformerConfig model = ModelByName(name);
+    const ClusterSpec cluster = MakeClusterA(2);
+    const CostModel cm(model, cluster);
+    const Trainer trainer(model, cluster);
+    TeCpStrategy te;
+    ZeppelinStrategy zep;
+    const double t_te = bench::MeanThroughput(trainer, te, dist, 65536, batches);
+    const double t_zep = bench::MeanThroughput(trainer, zep, dist, 65536, batches);
+    gqa_table.AddRow({name, Table::Cell(cm.KvBytesPerToken()), Table::Cell(t_te, 0),
+                      Table::Cell(t_zep, 0), Table::Cell(t_zep / t_te, 2) + "x"});
+  }
+  gqa_table.Print();
+  std::printf(
+      "\nGQA shrinks the KV ring traffic 4x, so the communication problem the\n"
+      "paper attacks is smaller to begin with — and Zeppelin's relative edge\n"
+      "narrows accordingly. The scheduling hierarchy still wins on skewed\n"
+      "batches, where compute imbalance (not bandwidth) dominates.\n");
+
+  bench::PrintHeader("Extension — double-ring CP (LoongTrain-style) vs the field");
+  Table dr_table({"dataset", "TE CP", "DoubleRing", "Zeppelin"});
+  const ClusterSpec cluster = MakeClusterA(2);
+  const Trainer trainer(MakeLlama3B(), cluster);
+  for (const auto& d : EvaluationDatasets()) {
+    TeCpStrategy te;
+    DoubleRingStrategy dr;
+    ZeppelinStrategy zep;
+    dr_table.AddRow({d.name(),
+                     Table::Cell(bench::MeanThroughput(trainer, te, d, 65536, batches), 0),
+                     Table::Cell(bench::MeanThroughput(trainer, dr, d, 65536, batches), 0),
+                     Table::Cell(bench::MeanThroughput(trainer, zep, d, 65536, batches), 0)});
+  }
+  dr_table.Print();
+  std::printf(
+      "\nThe hierarchical ring fixes TE CP's NIC bottleneck (parallel outer\n"
+      "hops) but still ships KV for every sequence; Zeppelin's per-sequence\n"
+      "zones avoid that traffic entirely for the short tail.\n");
+  return 0;
+}

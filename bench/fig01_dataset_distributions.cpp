@@ -1,0 +1,38 @@
+// Reproduces Fig. 1: sequence-length distribution of the seven corpora the
+// paper motivates with (share of sequences per length bin).
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/data/datasets.h"
+
+int main() {
+  using namespace zeppelin;
+  bench::PrintHeader("Fig. 1 — sequence length distribution per dataset");
+
+  const auto edges = StandardBinEdges();
+  std::vector<std::string> header = {"dataset"};
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    header.push_back(BinLabel(edges[i], edges[i + 1]));
+  }
+  Table table(header);
+  for (const auto& dist : AllDatasets()) {
+    std::vector<std::string> row = {dist.name()};
+    for (size_t i = 0; i + 1 < edges.size(); ++i) {
+      row.push_back(Table::Cell(100.0 * dist.MassInRange(edges[i], edges[i + 1]), 1) + "%");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("\nToken-mass share (how much of the *token* volume each bin carries):\n");
+  Table tokens(header);
+  for (const auto& dist : AllDatasets()) {
+    std::vector<std::string> row = {dist.name()};
+    for (size_t i = 0; i + 1 < edges.size(); ++i) {
+      row.push_back(Table::Cell(100.0 * dist.TokenShareInRange(edges[i], edges[i + 1]), 1) +
+                    "%");
+    }
+    tokens.AddRow(std::move(row));
+  }
+  tokens.Print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Fig. 3: where attention cost goes per sequence-length bin under
+// (a) input packing + Ulysses SP and (b) even split + ring CP, on the 2-node
+// A800 setting (16 GPUs, 64k total context, 4x200 Gb/s NICs per node).
+#include "bench/bench_util.h"
+#include "src/baselines/packing.h"
+#include "src/common/table.h"
+#include "src/model/transformer.h"
+
+int main(int argc, char** argv) {
+  using namespace zeppelin;
+  const bool quick = bench::QuickMode(argc, argv);
+  const int batches = quick ? 10 : 200;
+
+  const ClusterSpec cluster = MakeClusterA(2);
+  const CostModel cost_model(MakeLlama7B(), cluster);
+  const int world = cluster.world_size();
+  const int64_t total = 65536;
+
+  auto print_breakdown = [&](const char* title, bool packing) {
+    bench::PrintHeader(title);
+    Table table({"dataset", "bin", "compute%", "comm%", "redundant%"});
+    for (const auto& dist : AllDatasets()) {
+      const auto bins = packing
+                            ? AnalyzePackingCosts(dist, cost_model, world, total, batches, 7)
+                            : AnalyzeEvenSplitCosts(dist, cost_model, world, total, batches, 7);
+      for (const auto& b : bins) {
+        if (b.computation + b.communication + b.redundant < 1e-6) {
+          continue;
+        }
+        table.AddRow({dist.name(), BinLabel(b.lo, b.hi), Table::Cell(100 * b.computation, 1),
+                      Table::Cell(100 * b.communication, 1), Table::Cell(100 * b.redundant, 1)});
+      }
+    }
+    table.Print();
+  };
+
+  print_breakdown("Fig. 3a — packing + Ulysses SP attention cost breakdown", true);
+  print_breakdown("Fig. 3b — even split + ring CP attention cost breakdown", false);
+
+  std::printf(
+      "\nExpected shape: short bins are dominated by communication (3b) or by\n"
+      "redundant cross-sequence compute + all-to-all traffic (3a); long bins\n"
+      "are dominated by useful quadratic compute. The paper highlights up to\n"
+      "~60%% overhead for <1k sequences in StackExchange.\n");
+  return 0;
+}

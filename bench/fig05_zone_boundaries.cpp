@@ -1,0 +1,44 @@
+// Reproduces Fig. 5: attention/linear compute cost and intra-/inter-node
+// send-receive cost as functions of sequence length on an A800 node, the
+// crossovers that define the local / intra-node / inter-node zones, and how
+// the datasets' mass distributes over those zones.
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/core/zones.h"
+#include "src/model/transformer.h"
+
+int main() {
+  using namespace zeppelin;
+  const ClusterSpec cluster = MakeClusterA(2);
+  const CostModel cost_model(MakeLlama3B(), cluster);
+  const ZoneClassifier classifier(cost_model);
+
+  bench::PrintHeader("Fig. 5 — operation cost vs sequence length (3B layer, Cluster A)");
+  Table costs({"seq len", "attn comp (ms)", "linear comp (ms)", "intra sendrecv (ms)",
+               "inter sendrecv (ms)"});
+  for (int64_t s = 1024; s <= 262144; s *= 2) {
+    costs.AddRow({std::to_string(s / 1024) + "k",
+                  Table::Cell(classifier.AttentionComputeUs(s) / 1000.0, 3),
+                  Table::Cell(classifier.LinearComputeUs(s) / 1000.0, 3),
+                  Table::Cell(classifier.IntraSendRecvUs(s) / 1000.0, 3),
+                  Table::Cell(classifier.InterSendRecvUs(s) / 1000.0, 3)});
+  }
+  costs.Print();
+
+  const ZoneBoundaries b = classifier.Compute();
+  std::printf("\nZone boundaries (cost-curve crossovers):\n");
+  std::printf("  local zone:      length <= %ld\n", static_cast<long>(b.local_max));
+  std::printf("  intra-node zone: %ld < length <= %ld\n", static_cast<long>(b.local_max),
+              static_cast<long>(b.intra_max));
+  std::printf("  inter-node zone: length > %ld\n", static_cast<long>(b.intra_max));
+
+  bench::PrintHeader("Dataset mass per zone (sequence-count share)");
+  Table zones({"dataset", "local", "intra-node", "inter-node"});
+  for (const auto& dist : AllDatasets()) {
+    zones.AddRow({dist.name(), Table::Cell(100 * dist.MassInRange(0, b.local_max + 1), 1) + "%",
+                  Table::Cell(100 * dist.MassInRange(b.local_max + 1, b.intra_max + 1), 1) + "%",
+                  Table::Cell(100 * dist.MassInRange(b.intra_max + 1, 1 << 30), 1) + "%"});
+  }
+  zones.Print();
+  return 0;
+}

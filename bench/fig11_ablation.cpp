@@ -1,0 +1,98 @@
+// Reproduces Fig. 11: component ablation on the 3B model, 32 GPUs,
+// Cluster A, across the three datasets:
+//   TE CP  ->  w/ Routing  ->  w/ Attn Engine  ->  w/ Routing & Attn Engine
+//          ->  w/ All (adds the Remapping Layer).
+// Also runs the extra design ablations DESIGN.md calls out: queue order (D2)
+// and causal-balanced chunking (D3).
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/model/transformer.h"
+
+int main(int argc, char** argv) {
+  using namespace zeppelin;
+  const bool quick = bench::QuickMode(argc, argv);
+  const int batches = quick ? 1 : 4;
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(4));
+  const int64_t context = 131072;
+
+  bench::PrintHeader("Fig. 11 — ablation (3B, 32 GPUs, Cluster A); speedup vs TE CP");
+  Table table({"dataset", "TE CP", "w/Routing", "w/AttnEng", "w/Routing+AttnEng", "w/All"});
+  for (const auto& dist : EvaluationDatasets()) {
+    TeCpStrategy te;
+    TeCpStrategy te_routed({.routing = {.enabled = true}});
+    ZeppelinOptions attn_only;        // Partitioner + engine, no routing/remap.
+    attn_only.routing.enabled = false;
+    attn_only.remapping.enabled = false;
+    ZeppelinOptions attn_routing;     // + routing.
+    attn_routing.remapping.enabled = false;
+    ZeppelinOptions all;              // Everything.
+    ZeppelinStrategy zep_attn(attn_only);
+    ZeppelinStrategy zep_attn_routing(attn_routing);
+    ZeppelinStrategy zep_all(all);
+
+    const double base = bench::MeanThroughput(trainer, te, dist, context, batches);
+    auto ratio = [&](Strategy& s) {
+      return Table::Cell(bench::MeanThroughput(trainer, s, dist, context, batches) / base, 2) +
+             "x";
+    };
+    table.AddRow({dist.name(), "1.00x", ratio(te_routed), ratio(zep_attn),
+                  ratio(zep_attn_routing), ratio(zep_all)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): routing alone ~1.6x on every dataset; the\n"
+      "attention engine adds the most on short/balanced datasets (ArXiv);\n"
+      "remapping adds a final few percent on skewed distributions and ~nothing\n"
+      "on long-sequence-dominated ones (GitHub).\n");
+
+  bench::PrintHeader("Extra ablation D2 — queue order (forward pass)");
+  Table order_table({"dataset", "inter->intra->local", "local->intra->inter"});
+  for (const auto& dist : EvaluationDatasets()) {
+    ZeppelinOptions paper_order;
+    ZeppelinOptions reversed;
+    reversed.engine.forward_order = QueueOrder::kLocalIntraInter;
+    ZeppelinStrategy a(paper_order);
+    ZeppelinStrategy b(reversed);
+    order_table.AddRow({dist.name(),
+                        Table::Cell(bench::MeanThroughput(trainer, a, dist, context, batches), 0),
+                        Table::Cell(bench::MeanThroughput(trainer, b, dist, context, batches), 0)});
+  }
+  order_table.Print();
+
+  bench::PrintHeader("Extra ablation D3 — chunking scheme (tokens/s)");
+  Table chunk_table({"dataset", "balanced 2G chunks", "contiguous chunks", "striped"});
+  for (const auto& dist : EvaluationDatasets()) {
+    ZeppelinOptions balanced;
+    ZeppelinOptions contiguous;
+    contiguous.engine.chunk_scheme = ChunkScheme::kContiguous;
+    ZeppelinOptions striped;
+    striped.engine.chunk_scheme = ChunkScheme::kStriped;
+    ZeppelinStrategy a(balanced);
+    ZeppelinStrategy b(contiguous);
+    ZeppelinStrategy c(striped);
+    chunk_table.AddRow(
+        {dist.name(),
+         Table::Cell(bench::MeanThroughput(trainer, a, dist, context, batches), 0),
+         Table::Cell(bench::MeanThroughput(trainer, b, dist, context, batches), 0),
+         Table::Cell(bench::MeanThroughput(trainer, c, dist, context, batches), 0)});
+  }
+  chunk_table.Print();
+
+  bench::PrintHeader("Extra ablation D4 — routing proxy count (tokens/s, prolong64k)");
+  Table proxy_table({"max proxies", "tokens/s"});
+  const auto dist = MakeProlong64kDistribution();
+  for (const int proxies : {1, 2, 3, 4}) {
+    ZeppelinOptions opts;
+    opts.routing.max_proxies = proxies;
+    ZeppelinStrategy zep(opts);
+    proxy_table.AddRow({Table::Cell(static_cast<int64_t>(proxies)),
+                        Table::Cell(bench::MeanThroughput(trainer, zep, dist, context, batches),
+                                    0)});
+  }
+  proxy_table.Print();
+  std::printf(
+      "\nEq. 1 predicts diminishing returns: going 1 -> 2 proxies halves the\n"
+      "NIC-bound term; 3 -> 4 only shaves a twelfth. The curve flattens once\n"
+      "dispatch/combine intra-node traffic stops being free.\n");
+  return 0;
+}

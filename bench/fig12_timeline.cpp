@@ -1,0 +1,104 @@
+// Reproduces Fig. 12: forward/backward timeline analysis of the attention
+// component, 3B model on 16 GPUs (Cluster A) with a 64k total context:
+//   a) TE CP on one 64k sequence — the boundary NIC hop dominates each round;
+//   b) Zeppelin on the same sequence — the hop is split across all NICs by
+//      the 3-step routing (per-transfer time drops ~NIC-count-fold);
+//   c) Zeppelin on a multi-sequence 64k batch — no inter-node communication
+//      at all; intra-node rings and local kernels overlap.
+// Chrome traces are written next to the binary for chrome://tracing.
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/model/transformer.h"
+#include "src/sim/trace.h"
+
+namespace {
+
+using namespace zeppelin;
+
+struct Scenario {
+  std::string name;
+  Batch batch;
+  std::unique_ptr<Strategy> strategy;
+  std::string trace_file;
+};
+
+void RunScenario(const Trainer& trainer, Scenario& scenario) {
+  bench::PrintHeader("Fig. 12 — " + scenario.name);
+  ChromeTraceWriter fwd_trace;
+  ChromeTraceWriter bwd_trace;
+  const IterationResult r =
+      trainer.Run(*scenario.strategy, scenario.batch, &fwd_trace, &bwd_trace);
+
+  std::printf("forward layer: %.1f us   backward layer: %.1f us\n", r.layer_forward_us,
+              r.layer_backward_us);
+  std::printf("NIC utilization (fwd): %.3f   tokens/s: %.0f\n", r.nic_utilization,
+              r.tokens_per_second);
+
+  Table comm({"category", "busy resource-ms (fwd)"});
+  comm.AddRow({"attention compute", Table::Cell(r.attention_compute_us / 1000.0, 3)});
+  comm.AddRow({"linear compute", Table::Cell(r.linear_compute_us / 1000.0, 3)});
+  comm.AddRow(
+      {"intra-node comm (incl dispatch/combine)", Table::Cell(r.intra_comm_us / 1000.0, 3)});
+  comm.AddRow({"inter-node comm", Table::Cell(r.inter_comm_us / 1000.0, 3)});
+  comm.AddRow({"remap comm", Table::Cell(r.remap_comm_us / 1000.0, 3)});
+  comm.Print();
+
+  // The paper annotates the largest per-round transfer (2.18 ms in TE CP,
+  // ~411 us once routing splits it over the NICs). Re-emit the forward layer
+  // and report the per-category task maxima.
+  TaskGraph graph;
+  scenario.strategy->EmitLayer(graph, Direction::kForward);
+  const Engine engine(trainer.fabric());
+  const SimResult sim = engine.Run(graph);
+  const auto cats = SummarizeByCategory(graph, sim);
+  Table maxima({"category", "tasks", "max task (us)", "mean task (us)"});
+  for (int c = 0; c < kNumTaskCategories; ++c) {
+    if (cats[c].task_count == 0 || static_cast<TaskCategory>(c) == TaskCategory::kBarrier) {
+      continue;
+    }
+    maxima.AddRow({TaskCategoryName(static_cast<TaskCategory>(c)),
+                   Table::Cell(static_cast<int64_t>(cats[c].task_count)),
+                   Table::Cell(cats[c].max_us, 1), Table::Cell(cats[c].mean_us, 1)});
+  }
+  maxima.Print();
+
+  if (!scenario.trace_file.empty() && fwd_trace.WriteFile(scenario.trace_file)) {
+    std::printf("chrome trace written to %s (%zu events)\n", scenario.trace_file.c_str(),
+                fwd_trace.event_count());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+
+  Batch single;
+  single.seq_lens = {65536};
+  Batch multi;
+  multi.seq_lens = {16384, 12288, 8192, 8192, 6144, 4096, 4096, 2048, 2048, 1024, 1024};
+  int64_t rest = 65536 - multi.total_tokens();
+  while (rest > 0) {
+    multi.seq_lens.push_back(std::min<int64_t>(512, rest));
+    rest -= multi.seq_lens.back();
+  }
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"a) TE CP, single 64k sequence (global ring of 16)", single,
+                       std::make_unique<TeCpStrategy>(), "fig12a_te_cp_trace.json"});
+  scenarios.push_back({"b) Zeppelin, single 64k sequence (inter-node ring + routing)", single,
+                       std::make_unique<ZeppelinStrategy>(), "fig12b_zeppelin_single.json"});
+  scenarios.push_back({"c) Zeppelin, multi-sequence 64k batch (intra rings + local)", multi,
+                       std::make_unique<ZeppelinStrategy>(), "fig12c_zeppelin_multi.json"});
+  for (auto& s : scenarios) {
+    RunScenario(trainer, s);
+  }
+
+  std::printf(
+      "\nExpected shape: (a) each ring round is gated by one ~ms-scale NIC\n"
+      "transfer; (b) the same transfer drops roughly by the NIC count and\n"
+      "overlaps dispatch/combine with compute; (c) inter-node communication\n"
+      "disappears entirely and the per-round cost collapses (paper: 105 ms ->\n"
+      "21.5 ms for the full attention component).\n");
+  return 0;
+}

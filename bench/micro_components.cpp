@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) for the planning-path components whose
+// cost the paper claims is negligible (Table 3's "Sequence Partition" row and
+// the Eq. 2 solver), plus the simulator engine itself.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/core/chunking.h"
+#include "src/core/partitioner.h"
+#include "src/core/zeppelin.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+#include "src/sim/engine.h"
+#include "src/solver/minimax_remap.h"
+#include "src/solver/transport.h"
+
+namespace zeppelin {
+namespace {
+
+void BM_SequencePartitioner(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const ClusterSpec cluster = MakeClusterA(nodes);
+  const int64_t context = cluster.world_size() * 4096;
+  BatchSampler sampler(MakeGithubDistribution(), context, 99);
+  const Batch batch = sampler.NextBatch();
+  SequencePartitioner partitioner(cluster, {.token_capacity = 5120});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner.Partition(batch));
+  }
+  state.SetLabel(std::to_string(cluster.world_size()) + " GPUs, " +
+                 std::to_string(batch.size()) + " seqs");
+}
+BENCHMARK(BM_SequencePartitioner)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_MinimaxRemapSolver(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  Rng rng(7);
+  RemapProblem problem;
+  problem.b_intra = 1.0;
+  problem.b_inter = 8.0;
+  for (int r = 0; r < ranks; ++r) {
+    problem.tokens.push_back(rng.NextInt(0, 8192));
+    problem.node_of.push_back(r / 8);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMinimaxRemap(problem));
+  }
+}
+BENCHMARK(BM_MinimaxRemapSolver)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MinTotalRemapSolverMcmf(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  Rng rng(7);
+  RemapProblem problem;
+  problem.b_intra = 1.0;
+  problem.b_inter = 8.0;
+  for (int r = 0; r < ranks; ++r) {
+    problem.tokens.push_back(rng.NextInt(0, 8192));
+    problem.node_of.push_back(r / 8);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMinTotalRemap(problem));
+  }
+}
+BENCHMARK(BM_MinTotalRemapSolverMcmf)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_RingRoundFlops(benchmark::State& state) {
+  const CostModel cm(MakeLlama7B(), MakeClusterA(2));
+  const int g = static_cast<int>(state.range(0));
+  const auto assignment = BalancedChunkAssignment(262144, g);
+  for (auto _ : state) {
+    double total = 0;
+    for (int k = 0; k < g; ++k) {
+      for (int r = 0; r < g; ++r) {
+        total += RingRoundFlops(cm, assignment, 262144, k, r);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_RingRoundFlops)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_SimEngineRingAttention(benchmark::State& state) {
+  // Full Zeppelin forward-layer simulation, the inner loop of every bench.
+  const int nodes = static_cast<int>(state.range(0));
+  const ClusterSpec cluster = MakeClusterA(nodes);
+  const FabricResources fabric(cluster);
+  const CostModel cm(MakeLlama7B(), cluster);
+  BatchSampler sampler(MakeArxivDistribution(), cluster.world_size() * 4096, 3);
+  const Batch batch = sampler.NextBatch();
+  ZeppelinStrategy zep;
+  zep.Plan(batch, cm, fabric);
+  const Engine engine(fabric);
+  for (auto _ : state) {
+    TaskGraph graph;
+    zep.EmitLayer(graph, Direction::kForward);
+    benchmark::DoNotOptimize(engine.Run(graph));
+  }
+}
+BENCHMARK(BM_SimEngineRingAttention)->Arg(2)->Arg(8);
+
+void BM_TransportSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  TransportProblem tp;
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    tp.supply.push_back(rng.NextInt(0, 1000));
+    total += tp.supply.back();
+  }
+  for (int i = 0; i < n; ++i) {
+    tp.demand.push_back(total / n + (i < total % n ? 1 : 0));
+  }
+  tp.cost.assign(n, std::vector<double>(n));
+  for (auto& row : tp.cost) {
+    for (auto& c : row) {
+      c = 1.0 + rng.NextDouble() * 9.0;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveTransportMinTotalCost(tp));
+  }
+}
+BENCHMARK(BM_TransportSolver)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace zeppelin

@@ -1,0 +1,66 @@
+// Autotuning demo: pick the best parallelization system *per workload* by
+// simulation, instead of committing to one globally.
+//
+// Sweeps three very different workload shapes on the same cluster and lets
+// the autotuner rank every registered system (including the ablated Zeppelin
+// variants). The point the paper's §2.3 makes — each balance metric has a
+// regime where it wins — becomes an actionable decision procedure when the
+// simulator is this cheap.
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/core/autotuner.h"
+#include "src/core/registry.h"
+#include "src/core/trainer.h"
+#include "src/data/datasets.h"
+#include "src/data/mixture.h"
+#include "src/model/transformer.h"
+
+int main() {
+  using namespace zeppelin;
+
+  const ClusterSpec cluster = MakeClusterA(2);
+  const Trainer trainer(MakeLlama7B(), cluster);
+  std::printf("%s, model 7B\n\n", DescribeCluster(cluster).c_str());
+
+  struct Workload {
+    const char* label;
+    LengthDistribution dist;
+  };
+  const std::vector<Workload> workloads = {
+      {"web-heavy (stackexchange)", MakeStackExchangeDistribution()},
+      {"long-context (prolong64k)", MakeProlong64kDistribution()},
+      {"pretrain mixture", MakePretrainMixture()},
+  };
+
+  const std::vector<std::string> candidates = {
+      "te-cp",    "te-cp+routing", "llama-cp",       "double-ring",
+      "hybrid-dp", "zeppelin",      "zeppelin+zones",
+  };
+
+  for (const auto& workload : workloads) {
+    BatchSampler sampler(workload.dist, 65536, /*seed=*/31337);
+    const AutotuneResult result = Autotune(trainer, candidates, sampler, /*num_batches=*/6);
+
+    std::printf("== %s ==\n", workload.label);
+    Table table({"rank", "system", "mean tok/s", "worst batch", "NIC util"});
+    int rank = 1;
+    for (const auto& entry : result.ranking) {
+      table.AddRow({std::to_string(rank++), entry.spec,
+                    Table::Cell(entry.mean_tokens_per_second, 0),
+                    Table::Cell(entry.min_tokens_per_second, 0),
+                    Table::Cell(entry.nic_utilization, 3)});
+    }
+    table.Print();
+    std::printf("winner: %s (margin %.2fx over runner-up)\n\n", result.best().spec.c_str(),
+                result.WinningMargin());
+  }
+
+  std::printf(
+      "Reading the results: on web-heavy batches most systems collapse to\n"
+      "local compute and the field compresses; on long-context batches the\n"
+      "communication structure dominates and the ranking spreads out. The\n"
+      "tuner costs milliseconds per candidate — cheap enough to re-run per\n"
+      "training job.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Capacity planner for a custom cluster: answers "what would Zeppelin do on
+// MY hardware?" — the first question a downstream adopter asks.
+//
+// Define a custom topology (here: 4 nodes x 4 GPUs, one 100 Gb/s NIC shared
+// by all four GPUs — a common cost-optimized inference-cluster layout), then:
+//   1. compute the Fig. 5 zone boundaries for that hardware,
+//   2. show where a workload's sequences fall,
+//   3. inspect the partition plan and the remapping solution for one batch,
+//   4. estimate end-to-end throughput against the baselines.
+#include <cstdio>
+
+#include "src/baselines/te_cp.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/core/trainer.h"
+#include "src/core/zeppelin.h"
+#include "src/core/zones.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+
+int main() {
+  using namespace zeppelin;
+
+  // --- 1. Describe the hardware -------------------------------------------
+  ClusterSpec cluster;
+  cluster.name = "BudgetCluster(L40S)";
+  cluster.num_nodes = 4;
+  cluster.gpus_per_node = 4;
+  cluster.nics_per_node = 1;                          // One NIC for the node!
+  cluster.nic_bandwidth = GbpsToBytesPerUs(100.0);    // 100 Gb/s.
+  cluster.nvswitch_bandwidth = GBpsToBytesPerUs(48.0);  // PCIe-P2P class.
+  cluster.gpu_effective_tflops = 90.0;
+  cluster.gpu_memory_bytes = 48.0 * kGiB;
+  cluster.hbm_bandwidth = 0.8e6;
+  cluster.gpu_to_nic = {0, 0, 0, 0};
+  cluster.Validate();
+  std::printf("%s\n\n", DescribeCluster(cluster).c_str());
+
+  const TransformerConfig model = MakeLlama3B();
+  const CostModel cost_model(model, cluster);
+
+  // --- 2. Zone boundaries for this hardware --------------------------------
+  const ZoneClassifier classifier(cost_model);
+  const ZoneBoundaries zones = classifier.Compute();
+  std::printf("zone boundaries on this fabric: local <= %ld, intra-node <= %ld\n",
+              static_cast<long>(zones.local_max), static_cast<long>(zones.intra_max));
+  std::printf("(slower fabric than an A800 pod => much larger local/intra zones)\n\n");
+
+  // --- 3. Partition one concrete batch -------------------------------------
+  const FabricResources fabric(cluster);
+  BatchSampler sampler(MakeGithubDistribution(), /*total_tokens=*/16 * 2048, /*seed=*/5);
+  const Batch batch = sampler.NextBatch();
+  std::printf("batch: %s\n", DescribeBatch(batch).c_str());
+
+  ZeppelinStrategy zeppelin;
+  zeppelin.Plan(batch, cost_model, fabric);
+  const PartitionPlan& plan = zeppelin.partition_plan();
+
+  Table placement({"zone", "sequences", "detail"});
+  placement.AddRow({"inter-node", Table::Cell(static_cast<int64_t>(plan.inter_node.size())),
+                    plan.inter_node.empty()
+                        ? "-"
+                        : "largest ring " +
+                              std::to_string(plan.inter_node.front().group_size()) + " ranks"});
+  placement.AddRow({"intra-node", Table::Cell(static_cast<int64_t>(plan.intra_node.size())),
+                    plan.intra_node.empty()
+                        ? "-"
+                        : "first ring " + std::to_string(plan.intra_node.front().group_size()) +
+                              " ranks"});
+  placement.AddRow({"local", Table::Cell(static_cast<int64_t>(plan.local.size())), "-"});
+  placement.Print();
+  std::printf("token imbalance before remapping: %.3f; remap max-cost: %.1f us\n\n",
+              plan.TokenImbalance(), zeppelin.remap_solution().max_row_cost);
+
+  // --- 4. Throughput estimate ----------------------------------------------
+  const Trainer trainer(model, cluster);
+  TeCpStrategy te;
+  ZeppelinStrategy zep;
+  BatchSampler eval_sampler(MakeGithubDistribution(), 16 * 2048, /*seed=*/9);
+  double te_sum = 0;
+  double zep_sum = 0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    const Batch b = eval_sampler.NextBatch();
+    te_sum += trainer.Run(te, b).tokens_per_second;
+    zep_sum += trainer.Run(zep, b).tokens_per_second;
+  }
+  std::printf("estimated throughput over %d batches:\n", trials);
+  std::printf("  TE CP:    %8.0f tokens/s\n", te_sum / trials);
+  std::printf("  Zeppelin: %8.0f tokens/s  (%.2fx)\n", zep_sum / trials, zep_sum / te_sum);
+  std::printf(
+      "\nWith a single shared NIC per node the routing layer degenerates (no\n"
+      "spare NICs to recruit), so the win here comes from the partitioner\n"
+      "keeping sequences node-local — exactly what the zone analysis predicts.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// zeppelin_cli — run any (model, cluster, dataset, strategy) combination from
+// the command line; the sweep driver behind ad-hoc what-if questions.
+//
+//   $ ./zeppelin_cli --model=7B --cluster=A --nodes=2 --dataset=github ...
+//       --strategies=te-cp,zeppelin --batches=5
+//   $ ./zeppelin_cli --batch_file=workload.txt --strategies=zeppelin+zones
+//   $ ./zeppelin_cli --help
+//
+// Strategy specs accept modifiers (see src/core/registry.h):
+//   zeppelin, zeppelin-routing, zeppelin+striped, te-cp+routing, llama-cp, ...
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/flags.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/core/registry.h"
+#include "src/core/trainer.h"
+#include "src/data/batch_io.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+
+namespace {
+
+using namespace zeppelin;
+
+void PrintUsage() {
+  std::printf(
+      "usage: zeppelin_cli [flags]\n"
+      "  --model=7B            3B|7B|13B|30B|8x550M|8B-GQA\n"
+      "  --cluster=A           A (A800x8,4 NIC) | B (H800x8,8 NIC) | C (H200x8,8 NIC)\n"
+      "  --nodes=2             number of nodes\n"
+      "  --tp=1                tensor parallelism inside nodes\n"
+      "  --dataset=github      arxiv|github|prolong64k|fineweb|...\n"
+      "  --tokens_per_gpu=4096 context per GPU (total = gpus * this)\n"
+      "  --batches=5           batches to average over\n"
+      "  --seed=42             workload seed\n"
+      "  --batch_file=path     replay a saved workload instead of sampling\n"
+      "  --save_batches=path   save the sampled workload for replay\n"
+      "  --strategies=te-cp,zeppelin   comma-separated strategy specs\n");
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (!part.empty()) {
+      out.push_back(part);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.GetBool("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  const TransformerConfig model = ModelByName(flags.GetString("model", "7B"));
+  const int nodes = static_cast<int>(flags.GetInt("nodes", 2));
+  const ClusterSpec cluster = MakeClusterByName(flags.GetString("cluster", "A"), nodes);
+  const int tp = static_cast<int>(flags.GetInt("tp", 1));
+  const Trainer trainer(model, cluster, {.tensor_parallel = tp});
+
+  // Workload: sampled or replayed.
+  std::vector<Batch> batches;
+  const std::string batch_file = flags.GetString("batch_file", "");
+  if (!batch_file.empty()) {
+    if (!LoadBatches(batch_file, &batches)) {
+      std::fprintf(stderr, "cannot read %s\n", batch_file.c_str());
+      return 1;
+    }
+    std::printf("replaying %zu batches from %s\n", batches.size(), batch_file.c_str());
+  } else {
+    const int64_t tokens_per_gpu = flags.GetInt("tokens_per_gpu", 4096);
+    const int64_t total = tokens_per_gpu * cluster.world_size() / tp;
+    BatchSampler sampler(DatasetByName(flags.GetString("dataset", "github")), total,
+                         static_cast<uint64_t>(flags.GetInt("seed", 42)));
+    const int count = static_cast<int>(flags.GetInt("batches", 5));
+    for (int i = 0; i < count; ++i) {
+      batches.push_back(sampler.NextBatch());
+    }
+  }
+  const std::string save_path = flags.GetString("save_batches", "");
+  if (!save_path.empty() && SaveBatches(save_path, batches)) {
+    std::printf("workload saved to %s\n", save_path.c_str());
+  }
+
+  const std::string strategy_specs =
+      flags.GetString("strategies", "te-cp,llama-cp,hybrid-dp,zeppelin");
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s (see --help)\n", unused.c_str());
+  }
+
+  std::printf("%s | %s | tp=%d | %zu batches of %ld tokens\n\n",
+              DescribeCluster(trainer.fabric().cluster()).c_str(), model.name.c_str(), tp,
+              batches.size(), static_cast<long>(batches.front().total_tokens()));
+
+  Table table({"strategy", "mean tok/s", "min", "max", "NIC util", "iter ms"});
+  for (const std::string& spec : SplitCommas(strategy_specs)) {
+    auto strategy = MakeStrategyByName(spec);
+    RunningStats tput;
+    RunningStats nic;
+    RunningStats iter_ms;
+    for (const Batch& batch : batches) {
+      const IterationResult r = trainer.Run(*strategy, batch);
+      tput.Add(r.tokens_per_second);
+      nic.Add(r.nic_utilization);
+      iter_ms.Add(r.iteration_us / 1000.0);
+    }
+    table.AddRow({strategy->name(), Table::Cell(tput.mean(), 0), Table::Cell(tput.min(), 0),
+                  Table::Cell(tput.max(), 0), Table::Cell(nic.mean(), 3),
+                  Table::Cell(iter_ms.mean(), 1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Double-ring context parallelism (LoongTrain-style, the paper's related
+// work [23]) — an extension baseline beyond the paper's three comparators.
+//
+// Like TE CP, every sequence is split evenly over all ranks with causal-
+// balanced chunk pairs. Unlike TE CP's single flat ring — where only the two
+// node-boundary GPUs ever touch a NIC — the rotation is hierarchical:
+//   - P-1 *inner* rounds rotate KV blocks within each node over NVSwitch;
+//   - then one *outer* hop ships every rank's block to the peer rank of the
+//     next node simultaneously, using every NIC of the node in parallel.
+// This fixes the NIC under-utilization differently from Zeppelin: by
+// restructuring the ring itself rather than by re-routing a flat ring's
+// boundary hop. It still pays communication proportional to total sequence
+// length for every sequence, short or long — the inefficiency Zeppelin's
+// hierarchical partitioning removes.
+#ifndef SRC_BASELINES_DOUBLE_RING_H_
+#define SRC_BASELINES_DOUBLE_RING_H_
+
+#include <vector>
+
+#include "src/core/strategy.h"
+
+namespace zeppelin {
+
+class DoubleRingStrategy : public Strategy {
+ public:
+  std::string name() const override { return "DoubleRing-CP"; }
+  void Plan(const Batch& batch, const CostModel& cost_model,
+            const FabricResources& fabric) override;
+  std::vector<TaskId> EmitLayer(TaskGraph& graph, Direction direction) override;
+  std::vector<int64_t> LinearTokensPerRank() const override;
+
+ private:
+  const CostModel* cost_model_ = nullptr;
+  const FabricResources* fabric_ = nullptr;
+  std::vector<std::vector<double>> round_flops_;   // [round][rank].
+  std::vector<std::vector<int64_t>> round_bytes_;  // [round][rank].
+  std::vector<int64_t> tokens_per_rank_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_BASELINES_DOUBLE_RING_H_

@@ -1,0 +1,58 @@
+// FLOP-balanced hybrid data parallelism baseline (§5 "Hybrid DP",
+// ByteScale/FlexSP family).
+//
+// Long sequences get dedicated context-parallel rank groups sized so each
+// group's per-rank FLOPs match the global budget; short sequences are
+// scattered whole onto the least-FLOP-loaded ranks as plain data parallelism.
+// Because short sequences carry far fewer FLOPs per token, DP ranks
+// accumulate more tokens than fit in memory and must split their work into
+// extra micro-batches — lowering compute intensity and leaving their NICs
+// idle, the imbalance the paper's Fig. 2(c) highlights.
+#ifndef SRC_BASELINES_HYBRID_DP_H_
+#define SRC_BASELINES_HYBRID_DP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/partitioner.h"
+#include "src/core/routing.h"
+#include "src/core/strategy.h"
+
+namespace zeppelin {
+
+struct HybridDpOptions {
+  // Token capacity per rank; 0 derives ceil(total/world) from the batch.
+  int64_t token_capacity = 0;
+  // A sequence becomes context-parallel when its FLOPs exceed this multiple
+  // of the per-rank budget.
+  double cp_threshold = 1.0;
+};
+
+class HybridDpStrategy : public Strategy {
+ public:
+  explicit HybridDpStrategy(HybridDpOptions options = {});
+
+  std::string name() const override { return "Hybrid-DP"; }
+  void Plan(const Batch& batch, const CostModel& cost_model,
+            const FabricResources& fabric) override;
+  std::vector<TaskId> EmitLayer(TaskGraph& graph, Direction direction) override;
+  std::vector<int64_t> LinearTokensPerRank() const override;
+
+  // Planning diagnostics.
+  int num_cp_groups() const { return static_cast<int>(cp_rings_.size()); }
+  int num_micro_batches() const;
+
+ private:
+  HybridDpOptions options_;
+  const CostModel* cost_model_ = nullptr;
+  const FabricResources* fabric_ = nullptr;
+
+  std::vector<RingSequence> cp_rings_;
+  // micro_batches_[rank] = list of micro-batches, each a list of seq lengths.
+  std::vector<std::vector<std::vector<int64_t>>> micro_batches_;
+  std::vector<int64_t> tokens_per_rank_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_BASELINES_HYBRID_DP_H_

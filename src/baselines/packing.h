@@ -1,0 +1,85 @@
+// Input-balanced packing + Ulysses sequence parallelism (Fig. 2(a) family:
+// the Qwen / DeepSeek recipe), plus the analytic cost decomposition behind
+// the paper's Fig. 3.
+//
+// Sequences are packed first-fit-decreasing into R equal-token buffers; each
+// buffer's attention runs over the packed context with a plain causal mask,
+// so tokens attend across sequence boundaries — computation the model does
+// not need ("redundant computation"). Distributed execution uses
+// DeepSpeed-Ulysses all-to-alls to switch between sequence- and head-sharded
+// layouts around the attention.
+#ifndef SRC_BASELINES_PACKING_H_
+#define SRC_BASELINES_PACKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/strategy.h"
+#include "src/data/distribution.h"
+
+namespace zeppelin {
+
+struct PackingPlanInfo {
+  std::vector<std::vector<int64_t>> packs;  // Per rank: packed sequence lengths.
+  double redundant_flops = 0;               // Cross-sequence attention FLOPs.
+  double useful_flops = 0;                  // Within-sequence causal FLOPs.
+};
+
+// First-fit-decreasing packing of `seq_lens` into `num_packs` buffers of
+// `pack_capacity` tokens; oversized sequences are chunked.
+PackingPlanInfo PackSequences(const std::vector<int64_t>& seq_lens, int num_packs,
+                              int64_t pack_capacity, const CostModel& cost_model);
+
+// Ulysses constraint (§2.2): the sequence-parallel group size must divide the
+// attention head count, so the SP group is gcd(world, heads) and the cluster
+// splits into world/g data-parallel replicas of it.
+int UlyssesGroupSize(int world_size, int num_heads);
+
+class PackingUlyssesStrategy : public Strategy {
+ public:
+  std::string name() const override { return "Pack+Ulysses"; }
+  void Plan(const Batch& batch, const CostModel& cost_model,
+            const FabricResources& fabric) override;
+  std::vector<TaskId> EmitLayer(TaskGraph& graph, Direction direction) override;
+  std::vector<int64_t> LinearTokensPerRank() const override;
+
+  const PackingPlanInfo& plan_info() const { return info_; }
+  int ulysses_group_size() const { return group_size_; }
+
+ private:
+  const CostModel* cost_model_ = nullptr;
+  const FabricResources* fabric_ = nullptr;
+  PackingPlanInfo info_;
+  std::vector<int64_t> tokens_per_rank_;
+  int group_size_ = 1;
+};
+
+// --- Fig. 3 reproduction -----------------------------------------------------
+// Per-length-bin attention cost decomposition for a dataset, normalized to
+// the dataset's total attention cost. Costs are expressed in time units
+// through the cost model, with communication priced at the inter-node NIC
+// bandwidth (the paper's 2-node setting).
+struct AttentionCostBin {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  double computation = 0;    // Useful attention compute share.
+  double communication = 0;  // Distributed-attention communication share.
+  double redundant = 0;      // Cross-sequence (packing only) share.
+};
+
+// Fig. 3(a): packing + Ulysses SP.
+std::vector<AttentionCostBin> AnalyzePackingCosts(const LengthDistribution& dist,
+                                                  const CostModel& cost_model, int world_size,
+                                                  int64_t batch_tokens, int num_batches,
+                                                  uint64_t seed);
+
+// Fig. 3(b): even split + ring CP.
+std::vector<AttentionCostBin> AnalyzeEvenSplitCosts(const LengthDistribution& dist,
+                                                    const CostModel& cost_model, int world_size,
+                                                    int64_t batch_tokens, int num_batches,
+                                                    uint64_t seed);
+
+}  // namespace zeppelin
+
+#endif  // SRC_BASELINES_PACKING_H_

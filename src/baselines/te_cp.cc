@@ -1,0 +1,108 @@
+#include "src/baselines/te_cp.h"
+
+#include "src/comm/primitives.h"
+#include "src/common/check.h"
+#include "src/core/chunking.h"
+#include "src/core/linear_stage.h"
+
+namespace zeppelin {
+
+void TeCpStrategy::Plan(const Batch& batch, const CostModel& cost_model,
+                        const FabricResources& fabric) {
+  cost_model_ = &cost_model;
+  fabric_ = &fabric;
+  batch_ = batch;
+  routing_.emplace(fabric, options_.routing);
+  const int world = fabric.cluster().world_size();
+  const int64_t kv_bytes = cost_model.KvBytesPerToken();
+
+  round_flops_.assign(world, std::vector<double>(world, 0.0));
+  round_bytes_.assign(world, std::vector<int64_t>(world, 0));
+  tokens_per_rank_.assign(world, 0);
+
+  // All sequences share the one global ring; per round each rank runs one
+  // fused kernel over every sequence's chunk pair and forwards one fused KV
+  // buffer (this is how TE batches variable-length inputs).
+  for (int64_t len : batch.seq_lens) {
+    const std::vector<ChunkPair> assignment = BalancedChunkAssignment(len, world);
+    for (int r = 0; r < world; ++r) {
+      for (int k = 0; k < world; ++k) {
+        round_flops_[r][k] += RingRoundFlops(cost_model, assignment, len, k, r);
+        const int held_owner = ((k - r) % world + world) % world;
+        round_bytes_[r][k] += assignment[held_owner].tokens() * kv_bytes;
+      }
+    }
+    for (int k = 0; k < world; ++k) {
+      tokens_per_rank_[k] += assignment[k].tokens();
+    }
+  }
+}
+
+std::vector<TaskId> TeCpStrategy::EmitLayer(TaskGraph& graph, Direction direction) {
+  ZCHECK(cost_model_ != nullptr) << "Plan() must run before EmitLayer()";
+  const int world = fabric_->cluster().world_size();
+  const double scale = direction == Direction::kBackward ? kBackwardMultiplier : 1.0;
+  const std::string tag = direction == Direction::kForward ? "fwd" : "bwd";
+
+  auto to_deps = [&](const std::vector<TaskId>& v) {
+    std::vector<std::vector<TaskId>> deps(v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      deps[i] = {v[i]};
+    }
+    return deps;
+  };
+
+  std::vector<std::vector<TaskId>> linear_gate;  // Per-rank deps for linear.
+  std::vector<TaskId> attn_last(world, kInvalidTask);
+
+  auto emit_attention = [&](const std::vector<std::vector<TaskId>>& gate) {
+    std::vector<TaskId> recv(world, kInvalidTask);
+    for (int r = 0; r < world; ++r) {
+      std::vector<TaskId> next_recv(world, kInvalidTask);
+      if (r < world - 1) {
+        for (int k = 0; k < world; ++k) {
+          const int next = (k + 1) % world;
+          std::vector<TaskId> send_deps;
+          if (r == 0) {
+            send_deps = gate.empty() ? std::vector<TaskId>{} : gate[k];
+          } else {
+            send_deps = {recv[k]};
+          }
+          const int64_t bytes =
+              static_cast<int64_t>(static_cast<double>(round_bytes_[r][k]) * scale);
+          next_recv[next] = routing_->EmitTransfer(
+              graph, k, next, bytes, std::move(send_deps),
+              tag + ".kv.r" + std::to_string(r) + "." + std::to_string(k));
+        }
+      }
+      for (int k = 0; k < world; ++k) {
+        std::vector<TaskId> deps;
+        if (r == 0) {
+          deps = gate.empty() ? std::vector<TaskId>{} : gate[k];
+        } else {
+          deps = {recv[k]};
+        }
+        attn_last[k] = graph.AddCompute(
+            fabric_->ComputeLane(k), cost_model_->ComputeTime(round_flops_[r][k] * scale),
+            TaskCategory::kAttentionCompute, std::move(deps),
+            tag + ".attn.r" + std::to_string(r) + "." + std::to_string(k), k);
+      }
+      recv = next_recv;
+    }
+  };
+
+  if (direction == Direction::kForward) {
+    emit_attention({});
+    const std::vector<TaskId> linear = EmitLinearStage(
+        graph, *cost_model_, *fabric_, tokens_per_rank_, direction, to_deps(attn_last), tag);
+    return linear;
+  }
+  const std::vector<TaskId> linear = EmitLinearStage(graph, *cost_model_, *fabric_,
+                                                     tokens_per_rank_, direction, {}, tag);
+  emit_attention(to_deps(linear));
+  return attn_last;
+}
+
+std::vector<int64_t> TeCpStrategy::LinearTokensPerRank() const { return tokens_per_rank_; }
+
+}  // namespace zeppelin

@@ -1,0 +1,53 @@
+// Transformer Engine context parallelism baseline (§5 "TE CP").
+//
+// Every sequence is split evenly across *all* ranks on a single global ring
+// with causal-balanced chunk pairs, and ring attention runs R rounds, each
+// overlapping local attention with the KV send to the next rank. The node
+// boundary hops cross the network through each boundary GPU's single affinity
+// NIC — the bottleneck the paper's Fig. 12(a) measures at 2.18 ms per round —
+// and the ring's reverse direction stays idle.
+#ifndef SRC_BASELINES_TE_CP_H_
+#define SRC_BASELINES_TE_CP_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/routing.h"
+#include "src/core/strategy.h"
+
+namespace zeppelin {
+
+struct TeCpOptions {
+  // When enabled, the node-boundary ring hops go through Zeppelin's
+  // communication routing layer — the paper's Fig. 11 "w/ Routing" ablation
+  // (routing applied to the TE CP execution pattern).
+  RoutingOptions routing{.enabled = false};
+};
+
+class TeCpStrategy : public Strategy {
+ public:
+  explicit TeCpStrategy(TeCpOptions options = {}) : options_(options) {}
+
+  std::string name() const override {
+    return options_.routing.enabled ? "TE-CP[+routing]" : "TE-CP";
+  }
+  void Plan(const Batch& batch, const CostModel& cost_model,
+            const FabricResources& fabric) override;
+  std::vector<TaskId> EmitLayer(TaskGraph& graph, Direction direction) override;
+  std::vector<int64_t> LinearTokensPerRank() const override;
+
+ private:
+  TeCpOptions options_;
+  std::optional<RoutingLayer> routing_;
+  const CostModel* cost_model_ = nullptr;
+  const FabricResources* fabric_ = nullptr;
+  Batch batch_;
+  // Per (round, rank): attention FLOPs; per (round, rank): KV bytes to send.
+  std::vector<std::vector<double>> round_flops_;
+  std::vector<std::vector<int64_t>> round_bytes_;
+  std::vector<int64_t> tokens_per_rank_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_BASELINES_TE_CP_H_

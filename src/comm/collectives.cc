@@ -1,0 +1,143 @@
+#include "src/comm/collectives.h"
+
+#include "src/comm/primitives.h"
+#include "src/common/check.h"
+
+namespace zeppelin {
+namespace {
+
+std::vector<TaskId> DepsFor(const std::vector<std::vector<TaskId>>& deps, size_t k) {
+  if (deps.empty()) {
+    return {};
+  }
+  ZCHECK_LT(k, deps.size());
+  return deps[k];
+}
+
+}  // namespace
+
+CollectiveResult RingAllGather(TaskGraph& graph, const FabricResources& fabric,
+                               const std::vector<int>& ranks,
+                               const std::vector<int64_t>& bytes_per_rank,
+                               TaskCategory category, const std::vector<std::vector<TaskId>>& deps,
+                               const std::string& label) {
+  const int r = static_cast<int>(ranks.size());
+  ZCHECK_GT(r, 0);
+  ZCHECK_EQ(bytes_per_rank.size(), ranks.size());
+
+  CollectiveResult result;
+  result.done.resize(r, kInvalidTask);
+  if (r == 1) {
+    result.done[0] = graph.AddBarrier(DepsFor(deps, 0), label + ".done");
+    return result;
+  }
+
+  // In round t, rank k forwards the chunk originally contributed by rank
+  // (k - t) mod r to rank (k + 1) mod r. After r-1 rounds everyone has all
+  // chunks. prev_recv[k] is the transfer whose arrival rank k forwards next.
+  std::vector<TaskId> prev_recv(r, kInvalidTask);
+  std::vector<std::vector<TaskId>> recvs(r);
+  for (int t = 0; t < r - 1; ++t) {
+    std::vector<TaskId> this_recv(r, kInvalidTask);
+    for (int k = 0; k < r; ++k) {
+      const int next = (k + 1) % r;
+      const int chunk_owner = ((k - t) % r + r) % r;
+      std::vector<TaskId> send_deps;
+      if (t == 0) {
+        send_deps = DepsFor(deps, k);
+      } else {
+        send_deps = {prev_recv[k]};
+      }
+      const TaskId xfer = AddP2P(graph, fabric, ranks[k], ranks[next],
+                                 bytes_per_rank[chunk_owner], category, std::move(send_deps),
+                                 label + ".ag.r" + std::to_string(t) + "." + std::to_string(k) +
+                                     "->" + std::to_string(next));
+      this_recv[next] = xfer;
+      recvs[next].push_back(xfer);
+    }
+    prev_recv = this_recv;
+  }
+  for (int k = 0; k < r; ++k) {
+    std::vector<TaskId> all = recvs[k];
+    for (TaskId d : DepsFor(deps, k)) {
+      all.push_back(d);
+    }
+    result.done[k] = graph.AddBarrier(std::move(all), label + ".done." + std::to_string(k));
+  }
+  return result;
+}
+
+CollectiveResult AllToAllV(TaskGraph& graph, const FabricResources& fabric,
+                           const std::vector<int>& ranks,
+                           const std::vector<std::vector<int64_t>>& sends, TaskCategory category,
+                           const std::vector<std::vector<TaskId>>& deps,
+                           const std::string& label) {
+  const int r = static_cast<int>(ranks.size());
+  ZCHECK_GT(r, 0);
+  ZCHECK_EQ(sends.size(), ranks.size());
+
+  std::vector<std::vector<TaskId>> incoming(r);
+  for (int i = 0; i < r; ++i) {
+    ZCHECK_EQ(sends[i].size(), ranks.size());
+    for (int j = 0; j < r; ++j) {
+      if (i == j || sends[i][j] == 0) {
+        continue;
+      }
+      const TaskId xfer = AddP2P(graph, fabric, ranks[i], ranks[j], sends[i][j], category,
+                                 DepsFor(deps, i),
+                                 label + ".a2a." + std::to_string(i) + "->" + std::to_string(j));
+      incoming[j].push_back(xfer);
+    }
+  }
+  CollectiveResult result;
+  result.done.resize(r, kInvalidTask);
+  for (int k = 0; k < r; ++k) {
+    std::vector<TaskId> all = incoming[k];
+    for (TaskId d : DepsFor(deps, k)) {
+      all.push_back(d);
+    }
+    result.done[k] = graph.AddBarrier(std::move(all), label + ".done." + std::to_string(k));
+  }
+  return result;
+}
+
+CollectiveResult RingAllReduce(TaskGraph& graph, const FabricResources& fabric,
+                               const std::vector<int>& ranks, int64_t bytes,
+                               TaskCategory category, const std::vector<std::vector<TaskId>>& deps,
+                               const std::string& label) {
+  const int r = static_cast<int>(ranks.size());
+  ZCHECK_GT(r, 0);
+  CollectiveResult result;
+  result.done.resize(r, kInvalidTask);
+  if (r == 1) {
+    result.done[0] = graph.AddBarrier(DepsFor(deps, 0), label + ".done");
+    return result;
+  }
+
+  const int64_t chunk = (bytes + r - 1) / r;
+  std::vector<TaskId> prev(r, kInvalidTask);
+  // Reduce-scatter then all-gather: 2(r-1) uniform ring steps.
+  for (int t = 0; t < 2 * (r - 1); ++t) {
+    std::vector<TaskId> this_recv(r, kInvalidTask);
+    for (int k = 0; k < r; ++k) {
+      const int next = (k + 1) % r;
+      std::vector<TaskId> send_deps;
+      if (t == 0) {
+        send_deps = DepsFor(deps, k);
+      } else {
+        send_deps = {prev[k]};
+      }
+      const TaskId xfer =
+          AddP2P(graph, fabric, ranks[k], ranks[next], chunk, category, std::move(send_deps),
+                 label + ".ar.r" + std::to_string(t) + "." + std::to_string(k));
+      this_recv[next] = xfer;
+    }
+    prev = this_recv;
+  }
+  for (int k = 0; k < r; ++k) {
+    result.done[k] = graph.AddBarrier({prev[k]}, label + ".done." + std::to_string(k));
+  }
+  return result;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,63 @@
+// Lightweight runtime-check macros used throughout the Zeppelin library.
+//
+// The library is exception-free in steady state: invariant violations indicate
+// programming errors (not recoverable conditions) and abort with a diagnostic,
+// following the "catch run-time errors early" guideline. All checks are active
+// in every build type; none of them sit on hot paths.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace zeppelin {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[zeppelin] CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream sink that lets ZCHECK(x) << "detail" collect extra context lazily.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace zeppelin
+
+// Aborts with a diagnostic when `condition` is false. Usage:
+//   ZCHECK(rank < world_size) << "rank=" << rank;
+#define ZCHECK(condition)                                                       \
+  if (condition) {                                                              \
+  } else /* NOLINT */                                                           \
+    ::zeppelin::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define ZCHECK_GE(a, b) ZCHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ZCHECK_GT(a, b) ZCHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ZCHECK_LE(a, b) ZCHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ZCHECK_LT(a, b) ZCHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ZCHECK_EQ(a, b) ZCHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ZCHECK_NE(a, b) ZCHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,84 @@
+#include "src/common/rng.h"
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+namespace {
+
+// SplitMix64: used only to expand the user seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  ZCHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of `bound` that fits in 64
+  // bits, so every residue is equally likely.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  ZCHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    ZCHECK_GE(w, 0.0);
+    total += w;
+  }
+  ZCHECK_GT(total, 0.0) << "NextWeighted requires a positive total weight";
+  double pick = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick < 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(weights.size()) - 1;  // Guard against FP round-off.
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace zeppelin

@@ -1,0 +1,80 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0 : mean_; }
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  ZCHECK(!values.empty());
+  ZCHECK(p >= 0 && p <= 100) << "p=" << p;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  ZCHECK(!values.empty());
+  double log_sum = 0;
+  for (double v : values) {
+    ZCHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double ImbalanceRatio(const std::vector<double>& loads) {
+  ZCHECK(!loads.empty());
+  RunningStats s;
+  for (double l : loads) {
+    s.Add(l);
+  }
+  if (s.mean() == 0) {
+    return 0;
+  }
+  return s.max() / s.mean() - 1.0;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,50 @@
+// Small descriptive-statistics helpers used by benches and tests.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zeppelin {
+
+// Online accumulator for min/max/mean/variance (Welford) plus sum.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // Sample variance / standard deviation (n - 1 denominator). 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Exact percentile (linear interpolation between order statistics).
+// `p` in [0, 100]. Input need not be sorted; the function copies.
+double Percentile(std::vector<double> values, double p);
+
+// Geometric mean of strictly positive values.
+double GeometricMean(const std::vector<double>& values);
+
+// Coefficient of variation max/mean - 1, a common load-imbalance metric:
+// 0 means perfectly balanced.
+double ImbalanceRatio(const std::vector<double>& loads);
+
+// Formats a double with `digits` significant decimals (helper for tables).
+std::string FormatDouble(double v, int digits);
+
+}  // namespace zeppelin
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,82 @@
+#include "src/common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace zeppelin {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ZCHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  ZCHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Cell(double v, int decimals) { return FormatDouble(v, decimals); }
+
+std::string Table::Cell(int64_t v) { return std::to_string(v); }
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out << "  ";
+      }
+      if (c == 0) {
+        out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    out << "\n";
+  };
+
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out << ",";
+      }
+      out << row[c];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,37 @@
+// Plain-text table printer used by the bench harnesses to emit paper-style
+// rows. Columns are right-aligned; the first column is left-aligned.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace zeppelin {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given number of decimals.
+  static std::string Cell(double v, int decimals = 2);
+  static std::string Cell(int64_t v);
+
+  // Renders the table, header first, with a separator rule.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+  // Renders rows as comma-separated values (no alignment), for machine reads.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_COMMON_TABLE_H_

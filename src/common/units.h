@@ -1,0 +1,39 @@
+// Unit helpers. All times in the library are microseconds (double), all data
+// volumes are bytes (int64_t), and all bandwidths are bytes per microsecond
+// (== MB/s * 1e-6... concretely: 1 GB/s == 1e3 bytes/us). Keeping a single
+// canonical unit per dimension avoids a whole class of unit bugs; these
+// helpers exist so call sites can state intent in natural units.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace zeppelin {
+
+// --- Time ---------------------------------------------------------------
+constexpr double kUsPerMs = 1.0e3;
+constexpr double kUsPerSecond = 1.0e6;
+
+constexpr double MsToUs(double ms) { return ms * kUsPerMs; }
+constexpr double UsToMs(double us) { return us / kUsPerMs; }
+constexpr double SecondsToUs(double s) { return s * kUsPerSecond; }
+constexpr double UsToSeconds(double us) { return us / kUsPerSecond; }
+
+// --- Data volume ----------------------------------------------------------
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+// --- Bandwidth --------------------------------------------------------------
+// Canonical bandwidth unit: bytes per microsecond. 1 GB/s = 1000 B/us.
+constexpr double GBpsToBytesPerUs(double gbps) { return gbps * 1.0e3; }
+constexpr double GbpsToBytesPerUs(double gbits_per_s) { return gbits_per_s * 1.0e3 / 8.0; }
+constexpr double BytesPerUsToGBps(double bpu) { return bpu / 1.0e3; }
+
+// --- Compute -----------------------------------------------------------------
+// Canonical compute rate: FLOPs per microsecond. 1 TFLOP/s = 1e6 FLOP/us.
+constexpr double TflopsToFlopsPerUs(double tflops) { return tflops * 1.0e6; }
+
+}  // namespace zeppelin
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,192 @@
+#include "src/core/attention_engine.h"
+
+#include <map>
+
+#include "src/common/check.h"
+#include "src/core/chunking.h"
+
+namespace zeppelin {
+
+AttentionEngine::AttentionEngine(const CostModel& cost_model, const FabricResources& fabric,
+                                 const RoutingLayer& routing, AttentionEngineOptions options)
+    : cost_model_(&cost_model), fabric_(&fabric), routing_(&routing), options_(options) {}
+
+namespace {
+
+std::vector<TaskId> RankDeps(const std::vector<std::vector<TaskId>>& deps, int rank) {
+  if (deps.empty()) {
+    return {};
+  }
+  ZCHECK_LT(static_cast<size_t>(rank), deps.size());
+  return deps[rank];
+}
+
+double DirectionScale(Direction direction) {
+  return direction == Direction::kBackward ? kBackwardMultiplier : 1.0;
+}
+
+}  // namespace
+
+void AttentionEngine::EmitRingSequence(TaskGraph& graph, const RingSequence& ring,
+                                       Direction direction,
+                                       const std::vector<std::vector<TaskId>>& deps,
+                                       const std::string& label,
+                                       std::vector<std::vector<TaskId>>* last_task_per_rank) const {
+  const int g = ring.group_size();
+  ZCHECK_GT(g, 1) << "rings of size 1 are local sequences";
+  const double scale = DirectionScale(direction);
+  const ChunkScheme scheme = options_.chunk_scheme;
+  // For the range-based schemes the assignment is materialized once; the
+  // striped scheme is closed-form and needs no per-ring state.
+  std::vector<ChunkPair> assignment;
+  if (scheme == ChunkScheme::kBalancedPairs) {
+    assignment = BalancedChunkAssignment(ring.length, g);
+  } else if (scheme == ChunkScheme::kContiguous) {
+    assignment = ContiguousChunkAssignment(ring.length, g);
+  }
+  auto round_flops = [&](int k, int r) {
+    if (scheme == ChunkScheme::kStriped) {
+      return StripedRoundFlops(*cost_model_, ring.length, g, k, r);
+    }
+    return RingRoundFlops(*cost_model_, assignment, ring.length, k, r);
+  };
+  auto tokens_at = [&](int k) {
+    if (scheme == ChunkScheme::kStriped) {
+      return StripedTokens(ring.length, g, k);
+    }
+    return assignment[k].tokens();
+  };
+  const int64_t kv_bytes_per_token = cost_model_->KvBytesPerToken();
+
+  // recv[k]: arrival of the KV block rank k uses in the *next* round.
+  std::vector<TaskId> recv(g, kInvalidTask);
+  std::vector<TaskId> last_compute(g, kInvalidTask);
+  for (int r = 0; r < g; ++r) {
+    // Sends for round r+1 are issued first: ring attention overlaps the
+    // forwarding of the currently held KV with computation on it.
+    std::vector<TaskId> next_recv(g, kInvalidTask);
+    if (r < g - 1) {
+      for (int k = 0; k < g; ++k) {
+        const int next = (k + 1) % g;
+        const int held_owner = ((k - r) % g + g) % g;
+        const int64_t bytes = static_cast<int64_t>(
+            static_cast<double>(tokens_at(held_owner) * kv_bytes_per_token) * scale);
+        std::vector<TaskId> send_deps =
+            r == 0 ? RankDeps(deps, ring.ranks[k]) : std::vector<TaskId>{recv[k]};
+        next_recv[next] = routing_->EmitTransfer(
+            graph, ring.ranks[k], ring.ranks[next], bytes, std::move(send_deps),
+            label + ".kv.r" + std::to_string(r) + "." + std::to_string(k));
+      }
+    }
+    for (int k = 0; k < g; ++k) {
+      const double flops = round_flops(k, r) * scale;
+      std::vector<TaskId> compute_deps;
+      if (r == 0) {
+        compute_deps = RankDeps(deps, ring.ranks[k]);
+      } else {
+        compute_deps = {recv[k]};
+      }
+      const TaskId compute = graph.AddCompute(
+          fabric_->ComputeLane(ring.ranks[k]), cost_model_->ComputeTime(flops),
+          TaskCategory::kAttentionCompute, std::move(compute_deps),
+          label + ".attn.r" + std::to_string(r) + "." + std::to_string(k), ring.ranks[k]);
+      last_compute[k] = compute;
+    }
+    recv = next_recv;
+  }
+  for (int k = 0; k < g; ++k) {
+    (*last_task_per_rank)[ring.ranks[k]].push_back(last_compute[k]);
+  }
+}
+
+void AttentionEngine::EmitLocals(TaskGraph& graph, const std::vector<LocalSequence>& locals,
+                                 Direction direction,
+                                 const std::vector<std::vector<TaskId>>& deps,
+                                 const std::string& label,
+                                 std::vector<std::vector<TaskId>>* last_task_per_rank) const {
+  const double scale = DirectionScale(direction);
+  // All local sequences of a rank execute as one variable-length kernel.
+  std::map<int, double> flops_per_rank;
+  std::map<int, int> count_per_rank;
+  for (const auto& seq : locals) {
+    flops_per_rank[seq.rank] += cost_model_->CausalAttentionFlops(seq.length) * scale;
+    ++count_per_rank[seq.rank];
+  }
+  for (const auto& [rank, flops] : flops_per_rank) {
+    const TaskId t = graph.AddCompute(
+        fabric_->ComputeLane(rank), cost_model_->ComputeTime(flops),
+        TaskCategory::kAttentionCompute, RankDeps(deps, rank),
+        label + ".local.varlen_x" + std::to_string(count_per_rank[rank]), rank);
+    (*last_task_per_rank)[rank].push_back(t);
+  }
+}
+
+std::vector<TaskId> AttentionEngine::Emit(TaskGraph& graph, const PartitionPlan& plan,
+                                          Direction direction,
+                                          const std::vector<std::vector<TaskId>>& deps,
+                                          const std::string& label) const {
+  const int world = fabric_->cluster().world_size();
+
+  const QueueOrder order = direction == Direction::kForward
+                               ? options_.forward_order
+                               : (options_.forward_order == QueueOrder::kInterIntraLocal
+                                      ? QueueOrder::kLocalIntraInter
+                                      : QueueOrder::kInterIntraLocal);
+
+  // `gate[r]` carries the dependency frontier of rank r through the three
+  // queue phases: each phase's first tasks wait on the previous phase's last
+  // tasks on that rank, which is exactly the §3.2 queue ordering (a device
+  // starts its intra-node queue only after its inter-node queue drains).
+  std::vector<std::vector<TaskId>> gate(world);
+  if (!deps.empty()) {
+    gate = deps;
+  }
+
+  auto advance = [&](const std::vector<std::vector<TaskId>>& phase_last) {
+    for (int r = 0; r < world; ++r) {
+      if (!phase_last[r].empty()) {
+        gate[r] = phase_last[r];
+      }
+    }
+  };
+
+  auto emit_inter = [&] {
+    std::vector<std::vector<TaskId>> phase_last(world);
+    for (const auto& ring : plan.inter_node) {
+      EmitRingSequence(graph, ring, direction, gate,
+                       label + ".inter.s" + std::to_string(ring.seq_id), &phase_last);
+    }
+    advance(phase_last);
+  };
+  auto emit_intra = [&] {
+    std::vector<std::vector<TaskId>> phase_last(world);
+    for (const auto& ring : plan.intra_node) {
+      EmitRingSequence(graph, ring, direction, gate,
+                       label + ".intra.s" + std::to_string(ring.seq_id), &phase_last);
+    }
+    advance(phase_last);
+  };
+  auto emit_local = [&] {
+    std::vector<std::vector<TaskId>> phase_last(world);
+    EmitLocals(graph, plan.local, direction, gate, label, &phase_last);
+    advance(phase_last);
+  };
+
+  if (order == QueueOrder::kInterIntraLocal) {
+    emit_inter();
+    emit_intra();
+    emit_local();
+  } else {
+    emit_local();
+    emit_intra();
+    emit_inter();
+  }
+
+  std::vector<TaskId> done(world);
+  for (int r = 0; r < world; ++r) {
+    done[r] = graph.AddBarrier(gate[r], label + ".attn_done." + std::to_string(r));
+  }
+  return done;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,65 @@
+#include "src/core/autotuner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/core/registry.h"
+
+namespace zeppelin {
+
+const AutotuneEntry& AutotuneResult::best() const {
+  ZCHECK(!ranking.empty());
+  return ranking.front();
+}
+
+double AutotuneResult::WinningMargin() const {
+  if (ranking.size() < 2 || ranking[1].mean_tokens_per_second == 0) {
+    return 1.0;
+  }
+  return ranking[0].mean_tokens_per_second / ranking[1].mean_tokens_per_second;
+}
+
+AutotuneResult Autotune(const Trainer& trainer, const std::vector<std::string>& specs,
+                        const std::vector<Batch>& batches) {
+  ZCHECK(!specs.empty());
+  ZCHECK(!batches.empty());
+
+  AutotuneResult result;
+  for (const std::string& spec : specs) {
+    auto strategy = MakeStrategyByName(spec);
+    AutotuneEntry entry;
+    entry.spec = spec;
+    entry.min_tokens_per_second = std::numeric_limits<double>::infinity();
+    double tput_sum = 0;
+    double nic_sum = 0;
+    for (const Batch& batch : batches) {
+      const IterationResult iter = trainer.Run(*strategy, batch);
+      tput_sum += iter.tokens_per_second;
+      nic_sum += iter.nic_utilization;
+      entry.min_tokens_per_second =
+          std::min(entry.min_tokens_per_second, iter.tokens_per_second);
+    }
+    entry.mean_tokens_per_second = tput_sum / static_cast<double>(batches.size());
+    entry.nic_utilization = nic_sum / static_cast<double>(batches.size());
+    result.ranking.push_back(std::move(entry));
+  }
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [](const AutotuneEntry& a, const AutotuneEntry& b) {
+                     return a.mean_tokens_per_second > b.mean_tokens_per_second;
+                   });
+  return result;
+}
+
+AutotuneResult Autotune(const Trainer& trainer, const std::vector<std::string>& specs,
+                        BatchSampler& sampler, int num_batches) {
+  ZCHECK_GT(num_batches, 0);
+  std::vector<Batch> batches;
+  batches.reserve(num_batches);
+  for (int i = 0; i < num_batches; ++i) {
+    batches.push_back(sampler.NextBatch());
+  }
+  return Autotune(trainer, specs, batches);
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,46 @@
+// Strategy autotuner: simulate candidate systems on a concrete workload and
+// rank them. Because the simulator is deterministic and fast (milliseconds
+// per candidate), a deployment can afford to re-tune per job — or even per
+// length-distribution shift — instead of committing to one system globally.
+// This operationalizes the paper's observation that no single balance metric
+// wins everywhere (§2.3): on some (cluster, workload) points Hybrid DP or
+// LLaMA CP genuinely is the right choice, and the tuner will say so.
+#ifndef SRC_CORE_AUTOTUNER_H_
+#define SRC_CORE_AUTOTUNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/data/sampler.h"
+
+namespace zeppelin {
+
+struct AutotuneEntry {
+  std::string spec;              // Registry spec, e.g. "zeppelin+zones".
+  double mean_tokens_per_second = 0;
+  double min_tokens_per_second = 0;
+  double nic_utilization = 0;    // Mean over evaluated batches.
+};
+
+struct AutotuneResult {
+  // Sorted best-first by mean throughput.
+  std::vector<AutotuneEntry> ranking;
+
+  const AutotuneEntry& best() const;
+  // best / runner-up mean throughput; 1.0 means a tie.
+  double WinningMargin() const;
+};
+
+// Evaluates each registry spec on `batches` and ranks them. Specs must be
+// valid for MakeStrategyByName. At least one spec and one batch required.
+AutotuneResult Autotune(const Trainer& trainer, const std::vector<std::string>& specs,
+                        const std::vector<Batch>& batches);
+
+// Convenience: samples `num_batches` from `sampler` first.
+AutotuneResult Autotune(const Trainer& trainer, const std::vector<std::string>& specs,
+                        BatchSampler& sampler, int num_batches);
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_AUTOTUNER_H_

@@ -1,0 +1,211 @@
+#include "src/core/chunking.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+namespace {
+
+// Chunk boundaries dividing [0, s) into `parts` nearly equal pieces.
+std::vector<int64_t> SplitBoundaries(int64_t s, int parts) {
+  std::vector<int64_t> edges(parts + 1);
+  for (int i = 0; i <= parts; ++i) {
+    edges[i] = s * i / parts;
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<ChunkPair> BalancedChunkAssignment(int64_t s, int group_size) {
+  ZCHECK_GT(group_size, 0);
+  ZCHECK_GE(s, 0);
+  const int g = group_size;
+  const std::vector<int64_t> edges = SplitBoundaries(s, 2 * g);
+  std::vector<ChunkPair> assignment(g);
+  for (int i = 0; i < g; ++i) {
+    assignment[i].lo_begin = edges[i];
+    assignment[i].lo_end = edges[i + 1];
+    assignment[i].hi_begin = edges[2 * g - 1 - i];
+    assignment[i].hi_end = edges[2 * g - i];
+  }
+  return assignment;
+}
+
+std::vector<ChunkPair> ContiguousChunkAssignment(int64_t s, int group_size) {
+  ZCHECK_GT(group_size, 0);
+  ZCHECK_GE(s, 0);
+  const std::vector<int64_t> edges = SplitBoundaries(s, group_size);
+  std::vector<ChunkPair> assignment(group_size);
+  for (int i = 0; i < group_size; ++i) {
+    assignment[i].lo_begin = edges[i];
+    assignment[i].lo_end = edges[i + 1];
+    // hi chunk empty.
+    assignment[i].hi_begin = edges[i + 1];
+    assignment[i].hi_end = edges[i + 1];
+  }
+  return assignment;
+}
+
+double RingRoundFlops(const CostModel& cost_model, const std::vector<ChunkPair>& assignment,
+                      int64_t /*s*/, int k, int r) {
+  const int g = static_cast<int>(assignment.size());
+  ZCHECK(k >= 0 && k < g) << "k=" << k;
+  ZCHECK(r >= 0 && r < g) << "r=" << r;
+  // In round r, rank k holds the KV of the chunks originally owned by rank
+  // (k - r) mod g (KV travels k -> k+1 each round).
+  const int owner = ((k - r) % g + g) % g;
+  const ChunkPair& q = assignment[k];
+  const ChunkPair& kv = assignment[owner];
+
+  double flops = 0;
+  const int64_t q_ranges[2][2] = {{q.lo_begin, q.lo_end}, {q.hi_begin, q.hi_end}};
+  const int64_t kv_ranges[2][2] = {{kv.lo_begin, kv.lo_end}, {kv.hi_begin, kv.hi_end}};
+  for (const auto& qr : q_ranges) {
+    for (const auto& kr : kv_ranges) {
+      flops += cost_model.CausalChunkFlops(qr[0], qr[1], kr[0], kr[1]);
+    }
+  }
+  return flops;
+}
+
+double RingTotalFlops(const CostModel& cost_model, const std::vector<ChunkPair>& assignment,
+                      int64_t s, int k) {
+  const int g = static_cast<int>(assignment.size());
+  double total = 0;
+  for (int r = 0; r < g; ++r) {
+    total += RingRoundFlops(cost_model, assignment, s, k, r);
+  }
+  return total;
+}
+
+double AssignmentImbalance(const CostModel& cost_model, const std::vector<ChunkPair>& assignment,
+                           int64_t s) {
+  const int g = static_cast<int>(assignment.size());
+  ZCHECK_GT(g, 0);
+  double max_flops = 0;
+  double total = 0;
+  for (int k = 0; k < g; ++k) {
+    const double f = RingTotalFlops(cost_model, assignment, s, k);
+    max_flops = std::max(max_flops, f);
+    total += f;
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  return max_flops / (total / g);
+}
+
+int64_t StripedTokens(int64_t s, int group_size, int k) {
+  ZCHECK_GT(group_size, 0);
+  ZCHECK(k >= 0 && k < group_size) << "k=" << k;
+  if (k >= s) {
+    return 0;
+  }
+  return (s - k - 1) / group_size + 1;
+}
+
+double StripedRoundFlops(const CostModel& cost_model, int64_t s, int group_size, int k, int r) {
+  const int g = group_size;
+  ZCHECK(k >= 0 && k < g) << "k=" << k;
+  ZCHECK(r >= 0 && r < g) << "r=" << r;
+  const int owner = ((k - r) % g + g) % g;
+
+  // Queries q = k + a*G (a in [0, n_q)), keys kv = owner + b*G (b in [0, n_k)).
+  // Causal admits b <= a when owner <= k, else b <= a - 1.
+  const int64_t n_q = StripedTokens(s, g, k);
+  const int64_t n_k = StripedTokens(s, g, owner);
+  double pairs = 0;
+  if (n_q > 0 && n_k > 0) {
+    if (owner <= k) {
+      // sum_{a=0}^{n_q-1} min(n_k, a + 1): a triangle capped at n_k.
+      const int64_t tri = std::min(n_q, n_k);
+      pairs = 0.5 * static_cast<double>(tri) * static_cast<double>(tri + 1) +
+              static_cast<double>(std::max<int64_t>(n_q - n_k, 0)) * static_cast<double>(n_k);
+    } else {
+      // sum_{a=0}^{n_q-1} min(n_k, a): same triangle, shifted by one.
+      const int64_t m = std::min(n_q - 1, n_k);
+      pairs = 0.5 * static_cast<double>(m) * static_cast<double>(m + 1) +
+              static_cast<double>(std::max<int64_t>(n_q - 1 - n_k, 0)) * static_cast<double>(n_k);
+    }
+  }
+  const double h_eff = static_cast<double>(cost_model.model().num_heads) *
+                       static_cast<double>(cost_model.model().head_dim());
+  return 4.0 * pairs * h_eff;
+}
+
+double StripedTotalFlops(const CostModel& cost_model, int64_t s, int group_size, int k) {
+  double total = 0;
+  for (int r = 0; r < group_size; ++r) {
+    total += StripedRoundFlops(cost_model, s, group_size, k, r);
+  }
+  return total;
+}
+
+double StripedImbalance(const CostModel& cost_model, int64_t s, int group_size) {
+  ZCHECK_GT(group_size, 0);
+  double max_flops = 0;
+  double total = 0;
+  for (int k = 0; k < group_size; ++k) {
+    const double f = StripedTotalFlops(cost_model, s, group_size, k);
+    max_flops = std::max(max_flops, f);
+    total += f;
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  return max_flops / (total / group_size);
+}
+
+const char* ChunkSchemeName(ChunkScheme scheme) {
+  switch (scheme) {
+    case ChunkScheme::kBalancedPairs:
+      return "balanced-pairs";
+    case ChunkScheme::kContiguous:
+      return "contiguous";
+    case ChunkScheme::kStriped:
+      return "striped";
+  }
+  return "unknown";
+}
+
+double SchemeRoundFlops(const CostModel& cost_model, ChunkScheme scheme, int64_t s,
+                        int group_size, int k, int r) {
+  switch (scheme) {
+    case ChunkScheme::kBalancedPairs:
+      return RingRoundFlops(cost_model, BalancedChunkAssignment(s, group_size), s, k, r);
+    case ChunkScheme::kContiguous:
+      return RingRoundFlops(cost_model, ContiguousChunkAssignment(s, group_size), s, k, r);
+    case ChunkScheme::kStriped:
+      return StripedRoundFlops(cost_model, s, group_size, k, r);
+  }
+  return 0;
+}
+
+int64_t SchemeTokens(ChunkScheme scheme, int64_t s, int group_size, int k) {
+  switch (scheme) {
+    case ChunkScheme::kBalancedPairs:
+      return BalancedChunkAssignment(s, group_size)[k].tokens();
+    case ChunkScheme::kContiguous:
+      return ContiguousChunkAssignment(s, group_size)[k].tokens();
+    case ChunkScheme::kStriped:
+      return StripedTokens(s, group_size, k);
+  }
+  return 0;
+}
+
+double SchemeImbalance(const CostModel& cost_model, ChunkScheme scheme, int64_t s,
+                       int group_size) {
+  switch (scheme) {
+    case ChunkScheme::kBalancedPairs:
+      return AssignmentImbalance(cost_model, BalancedChunkAssignment(s, group_size), s);
+    case ChunkScheme::kContiguous:
+      return AssignmentImbalance(cost_model, ContiguousChunkAssignment(s, group_size), s);
+    case ChunkScheme::kStriped:
+      return StripedImbalance(cost_model, s, group_size);
+  }
+  return 1.0;
+}
+
+}  // namespace zeppelin

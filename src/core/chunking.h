@@ -1,0 +1,92 @@
+// Causal-mask-balanced sequence chunking for ring attention (paper §3.2).
+//
+// With a lower-triangular mask, contiguous equal splits give rank 0 almost no
+// work and the last rank nearly double the average. The paper's fix (also
+// used by Striped/WLB-LLM): divide the sequence into 2G equal chunks and give
+// rank i chunks i and 2G-1-i — every rank then owns one "early" (cheap) and
+// one "late" (expensive) chunk, and per-round work is balanced up to one
+// chunk's triangle.
+#ifndef SRC_CORE_CHUNKING_H_
+#define SRC_CORE_CHUNKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/cost_model.h"
+
+namespace zeppelin {
+
+struct ChunkPair {
+  // Token ranges [lo_begin, lo_end) and [hi_begin, hi_end) within the
+  // sequence; the "lo" chunk is chunk i, the "hi" chunk is chunk 2G-1-i.
+  int64_t lo_begin = 0;
+  int64_t lo_end = 0;
+  int64_t hi_begin = 0;
+  int64_t hi_end = 0;
+
+  int64_t tokens() const { return (lo_end - lo_begin) + (hi_end - hi_begin); }
+};
+
+// Chunk pair owned by each of the G ring positions for a sequence of length
+// `s`. Handles non-divisible lengths by spreading remainders over the first
+// chunks (every chunk size differs by at most one "granule" of 1 token).
+std::vector<ChunkPair> BalancedChunkAssignment(int64_t s, int group_size);
+
+// Naive contiguous split (rank i owns [i*s/G, (i+1)*s/G)) — the comparison
+// point for design ablation D3.
+std::vector<ChunkPair> ContiguousChunkAssignment(int64_t s, int group_size);
+
+// Forward FLOPs rank `k` executes in ring round `r` for a sequence of length
+// `s` split across `group_size` ranks with the given assignment: its query
+// chunks against the KV chunks originally owned by rank (k - r) mod G,
+// under the causal mask.
+double RingRoundFlops(const CostModel& cost_model, const std::vector<ChunkPair>& assignment,
+                      int64_t /*s*/, int k, int r);
+
+// Total FLOPs rank `k` executes across all rounds (its full share).
+double RingTotalFlops(const CostModel& cost_model, const std::vector<ChunkPair>& assignment,
+                      int64_t s, int k);
+
+// Load-imbalance of an assignment: max over ranks of total FLOPs divided by
+// the mean (1.0 = perfectly balanced).
+double AssignmentImbalance(const CostModel& cost_model, const std::vector<ChunkPair>& assignment,
+                           int64_t s);
+
+// --- Striped assignment (Striped Attention, Brandon et al. 2023) ------------
+// Rank i owns tokens {i, i+G, i+2G, ...}. Also causally balanced, at a finer
+// granularity than the paired-chunk scheme; exposed as an alternative the
+// engine can use and as a comparison point in the ablation benches.
+
+// Number of tokens rank `k` owns under striping.
+int64_t StripedTokens(int64_t s, int group_size, int k);
+
+// Forward FLOPs rank `k` executes in ring round `r` under striping (closed
+// form; its query stripe against the KV stripe originally owned by rank
+// (k - r) mod G, causal mask applied token-wise).
+double StripedRoundFlops(const CostModel& cost_model, int64_t s, int group_size, int k, int r);
+
+// Total FLOPs for rank `k` across all rounds under striping.
+double StripedTotalFlops(const CostModel& cost_model, int64_t s, int group_size, int k);
+
+// Imbalance metric for striping (compare with AssignmentImbalance).
+double StripedImbalance(const CostModel& cost_model, int64_t s, int group_size);
+
+// --- Scheme dispatch ----------------------------------------------------------
+enum class ChunkScheme : uint8_t {
+  kBalancedPairs = 0,  // Paper's 2G chunk-pair scheme (§3.2).
+  kContiguous,         // Naive equal split (ablation D3).
+  kStriped,            // Token-interleaved stripes.
+};
+
+const char* ChunkSchemeName(ChunkScheme scheme);
+
+// Uniform accessors over the three schemes.
+double SchemeRoundFlops(const CostModel& cost_model, ChunkScheme scheme, int64_t s,
+                        int group_size, int k, int r);
+int64_t SchemeTokens(ChunkScheme scheme, int64_t s, int group_size, int k);
+double SchemeImbalance(const CostModel& cost_model, ChunkScheme scheme, int64_t s,
+                       int group_size);
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_CHUNKING_H_

@@ -1,0 +1,137 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/core/chunking.h"
+
+namespace zeppelin {
+namespace {
+
+double MaxOverMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 1.0;
+  }
+  double total = 0;
+  double max_value = 0;
+  for (double v : values) {
+    total += v;
+    max_value = std::max(max_value, v);
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  return max_value / (total / static_cast<double>(values.size()));
+}
+
+}  // namespace
+
+PlanMetrics ComputePlanMetrics(const PartitionPlan& plan, const CostModel& cost_model) {
+  const ClusterSpec& spec = cost_model.cluster();
+  const int world = spec.world_size();
+  ZCHECK_EQ(plan.tokens_per_rank.size(), static_cast<size_t>(world));
+
+  PlanMetrics metrics;
+  metrics.tokens_per_rank = plan.tokens_per_rank;
+  metrics.attention_flops_per_rank.assign(world, 0.0);
+  metrics.comm_bytes_per_rank.assign(world, 0);
+  metrics.inter_node_bytes_per_rank.assign(world, 0);
+  const int64_t kv_bytes = cost_model.KvBytesPerToken();
+
+  auto add_ring = [&](const RingSequence& ring) {
+    const int g = ring.group_size();
+    const auto assignment = BalancedChunkAssignment(ring.length, g);
+    for (int k = 0; k < g; ++k) {
+      const int rank = ring.ranks[k];
+      metrics.attention_flops_per_rank[rank] +=
+          RingTotalFlops(cost_model, assignment, ring.length, k);
+      // Each of the g-1 rounds the rank forwards the KV block it holds; the
+      // block sizes cycle over all chunk owners, so the aggregate equals the
+      // whole sequence's KV minus its own chunk.
+      const int64_t sent = (ring.length - assignment[k].tokens()) * kv_bytes;
+      metrics.comm_bytes_per_rank[rank] += sent;
+      const int next = ring.ranks[(k + 1) % g];
+      if (spec.NodeOf(rank) != spec.NodeOf(next)) {
+        metrics.inter_node_bytes_per_rank[rank] += sent;
+      }
+    }
+  };
+  for (const auto& ring : plan.inter_node) {
+    add_ring(ring);
+  }
+  for (const auto& ring : plan.intra_node) {
+    add_ring(ring);
+  }
+  for (const auto& seq : plan.local) {
+    metrics.attention_flops_per_rank[seq.rank] += cost_model.CausalAttentionFlops(seq.length);
+  }
+
+  std::vector<double> tokens_d(world);
+  for (int r = 0; r < world; ++r) {
+    tokens_d[r] = static_cast<double>(metrics.tokens_per_rank[r]);
+    metrics.total_comm_bytes += metrics.comm_bytes_per_rank[r];
+    metrics.total_inter_node_bytes += metrics.inter_node_bytes_per_rank[r];
+  }
+  metrics.token_imbalance = MaxOverMean(tokens_d);
+  metrics.flop_imbalance = MaxOverMean(metrics.attention_flops_per_rank);
+  return metrics;
+}
+
+std::string DescribePlan(const PartitionPlan& plan, const CostModel& cost_model) {
+  std::ostringstream out;
+  const PlanMetrics metrics = ComputePlanMetrics(plan, cost_model);
+
+  Table zones({"zone", "sequences", "tokens", "ring sizes"});
+  auto ring_sizes = [](const std::vector<RingSequence>& rings) {
+    std::ostringstream s;
+    for (size_t i = 0; i < rings.size() && i < 8; ++i) {
+      if (i > 0) {
+        s << ",";
+      }
+      s << rings[i].group_size();
+    }
+    if (rings.size() > 8) {
+      s << ",...";
+    }
+    return s.str().empty() ? std::string("-") : s.str();
+  };
+  int64_t inter_tokens = 0;
+  for (const auto& r : plan.inter_node) {
+    inter_tokens += r.length;
+  }
+  int64_t intra_tokens = 0;
+  for (const auto& r : plan.intra_node) {
+    intra_tokens += r.length;
+  }
+  int64_t local_tokens = 0;
+  for (const auto& s : plan.local) {
+    local_tokens += s.length;
+  }
+  zones.AddRow({"inter-node", Table::Cell(static_cast<int64_t>(plan.inter_node.size())),
+                Table::Cell(inter_tokens), ring_sizes(plan.inter_node)});
+  zones.AddRow({"intra-node", Table::Cell(static_cast<int64_t>(plan.intra_node.size())),
+                Table::Cell(intra_tokens), ring_sizes(plan.intra_node)});
+  zones.AddRow({"local", Table::Cell(static_cast<int64_t>(plan.local.size())),
+                Table::Cell(local_tokens), "-"});
+  out << zones.ToString();
+
+  out << "thresholds: s1=" << plan.threshold_s1 << ", s0 per node = [";
+  for (size_t i = 0; i < plan.threshold_s0.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << plan.threshold_s0[i];
+  }
+  out << "]\n";
+  out << "token imbalance " << FormatDouble(metrics.token_imbalance, 3) << ", flop imbalance "
+      << FormatDouble(metrics.flop_imbalance, 3) << ", comm "
+      << FormatDouble(static_cast<double>(metrics.total_comm_bytes) / (1 << 20), 1) << " MiB ("
+      << FormatDouble(static_cast<double>(metrics.total_inter_node_bytes) / (1 << 20), 1)
+      << " MiB cross-node)\n";
+  return out.str();
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,45 @@
+// Balance metrics over partition plans — the quantities the paper's §2.3
+// argues existing systems optimize in isolation ("load balance, at what
+// cost?"): token balance (linear modules), FLOP balance (attention), and
+// communication volume per rank. Benches and tests use these to show *why*
+// a plan is fast, not just that it is.
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/partitioner.h"
+#include "src/model/cost_model.h"
+
+namespace zeppelin {
+
+struct PlanMetrics {
+  // Tokens per rank during attention (before remapping).
+  std::vector<int64_t> tokens_per_rank;
+  // Attention FLOPs per rank implied by the plan's rings and locals.
+  std::vector<double> attention_flops_per_rank;
+  // KV bytes each rank ships per ring-attention layer (send side).
+  std::vector<int64_t> comm_bytes_per_rank;
+  // Of which crossing node boundaries.
+  std::vector<int64_t> inter_node_bytes_per_rank;
+
+  // max/mean ratios (1.0 = perfect balance; 0-rank-safe).
+  double token_imbalance = 1.0;
+  double flop_imbalance = 1.0;
+
+  int64_t total_comm_bytes = 0;
+  int64_t total_inter_node_bytes = 0;
+};
+
+// Computes the metrics for a plan under the given cost model / cluster.
+PlanMetrics ComputePlanMetrics(const PartitionPlan& plan, const CostModel& cost_model);
+
+// Multi-line human-readable description of a plan: per-zone sequence tables
+// and the balance metrics. The "explain my placement" debugging view.
+std::string DescribePlan(const PartitionPlan& plan, const CostModel& cost_model);
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_METRICS_H_

@@ -1,0 +1,266 @@
+#include "src/core/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+#include "src/core/chunking.h"
+
+namespace zeppelin {
+
+int64_t PartitionPlan::total_tokens() const {
+  return std::accumulate(tokens_per_rank.begin(), tokens_per_rank.end(), int64_t{0});
+}
+
+double PartitionPlan::TokenImbalance() const {
+  std::vector<double> loads(tokens_per_rank.begin(), tokens_per_rank.end());
+  return 1.0 + ImbalanceRatio(loads);
+}
+
+SequencePartitioner::SequencePartitioner(const ClusterSpec& cluster, Options options)
+    : cluster_(cluster), options_(options) {
+  cluster_.Validate();
+  ZCHECK_GT(options_.token_capacity, 0);
+}
+
+namespace {
+
+// Index of the least-loaded bucket (ties -> lowest index, deterministic).
+int ArgMinLoad(const std::vector<int64_t>& loads) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(loads.size()); ++i) {
+    if (loads[i] < loads[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+// Indices of the k least-loaded buckets, ascending by (load, index).
+std::vector<int> LeastLoaded(const std::vector<int64_t>& loads, int k) {
+  std::vector<int> order(loads.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return loads[a] < loads[b]; });
+  order.resize(k);
+  std::sort(order.begin(), order.end());  // Keep ring order node-ascending.
+  return order;
+}
+
+}  // namespace
+
+std::vector<SequencePartitioner::NodeAssignment> SequencePartitioner::PartitionInterNode(
+    const Batch& batch, PartitionPlan* plan) const {
+  const int num_nodes = cluster_.num_nodes;
+  const int p = cluster_.gpus_per_node;
+  const int64_t node_capacity = static_cast<int64_t>(p) * options_.token_capacity;
+
+  // Sort sequence ids by length, descending (Alg. 1 line 1).
+  std::vector<int> order(batch.seq_lens.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return batch.seq_lens[a] > batch.seq_lens[b];
+  });
+
+  int64_t total = batch.total_tokens();
+  ZCHECK_LE(total, static_cast<int64_t>(num_nodes) * node_capacity)
+      << "batch does not fit the cluster at capacity L=" << options_.token_capacity;
+
+  int64_t s1 = node_capacity;  // Alg. 1 line 2.
+  if (options_.max_inter_threshold > 0) {
+    s1 = std::min(s1, options_.max_inter_threshold);
+  }
+  std::vector<NodeAssignment> assignments;
+  for (bool retry = true; retry;) {
+    retry = false;
+    assignments.assign(num_nodes, NodeAssignment{});
+    plan->inter_node.clear();
+    plan->intra_node.clear();  // May hold single-node z2 rings from a retry.
+    std::vector<int64_t> node_loads(num_nodes, 0);
+
+    // Zone split at the current threshold (lines 5-6).
+    std::vector<int> z2;   // |s| >= s1.
+    std::vector<int> z01;  // |s| < s1, still sorted descending.
+    for (int id : order) {
+      (batch.seq_lens[id] >= s1 ? z2 : z01).push_back(id);
+    }
+
+    // Chunk inter-node sequences over ceil(|s| / s_avg) node buckets
+    // (lines 7-10).
+    int64_t z2_total = 0;
+    for (int id : z2) {
+      z2_total += batch.seq_lens[id];
+    }
+    if (!z2.empty()) {
+      const double s_avg = static_cast<double>(z2_total) / num_nodes;
+      for (int id : z2) {
+        const int64_t len = batch.seq_lens[id];
+        int k = static_cast<int>(
+            std::ceil(static_cast<double>(len) / std::max(s_avg, 1.0)));
+        k = std::clamp(k, 1, num_nodes);
+        const std::vector<int> nodes = LeastLoaded(node_loads, k);
+
+        RingSequence ring;
+        ring.seq_id = id;
+        ring.length = len;
+        // A z2 sequence that lands in a single node bucket (k == 1, e.g. on
+        // a one-node cluster) never crosses the network: it is an intra-node
+        // ring over that node's devices, not an inter-node one.
+        ring.zone = nodes.size() > 1 ? Zone::kInterNode : Zone::kIntraNode;
+        for (int n : nodes) {
+          for (int local = 0; local < p; ++local) {
+            ring.ranks.push_back(cluster_.GlobalRank(n, local));
+          }
+        }
+        // Record per-node chunk loads (even split across the k nodes).
+        for (int c = 0; c < k; ++c) {
+          const int64_t chunk = len * (c + 1) / k - len * c / k;
+          assignments[nodes[c]].inter_chunks.emplace_back(id, chunk);
+          node_loads[nodes[c]] += chunk;
+        }
+        if (ring.zone == Zone::kInterNode) {
+          plan->inter_node.push_back(std::move(ring));
+        } else {
+          plan->intra_node.push_back(std::move(ring));
+        }
+      }
+    }
+
+    // Pack the rest onto least-loaded nodes (lines 11-19).
+    for (int id : z01) {
+      const int64_t len = batch.seq_lens[id];
+      const int idx = ArgMinLoad(node_loads);
+      if (len + node_loads[idx] > node_capacity) {
+        s1 = len;  // len == max(z01): z01 is sorted descending, and any
+                   // earlier sequence was placed successfully.
+        retry = true;
+        break;
+      }
+      node_loads[idx] += len;
+      assignments[idx].sequences.push_back(id);
+    }
+  }
+  plan->threshold_s1 = s1;
+  return assignments;
+}
+
+void SequencePartitioner::PartitionIntraNode(const Batch& batch, int node,
+                                             const NodeAssignment& assignment,
+                                             PartitionPlan* plan) const {
+  const int p = cluster_.gpus_per_node;
+  const int64_t capacity = options_.token_capacity;
+
+  // Sequence ids on this node, longest first (inherited from Alg. 1 order).
+  std::vector<int> seqs = assignment.sequences;
+  std::stable_sort(seqs.begin(), seqs.end(), [&](int a, int b) {
+    return batch.seq_lens[a] > batch.seq_lens[b];
+  });
+
+  int64_t s0 = capacity;  // Alg. 2 line 1.
+  if (options_.max_local_threshold > 0) {
+    s0 = std::min(s0, options_.max_local_threshold);
+  }
+  std::vector<RingSequence> intra_rings;
+  std::vector<LocalSequence> locals;
+  std::vector<int64_t> device_loads;
+
+  for (bool retry = true; retry;) {
+    retry = false;
+    intra_rings.clear();
+    locals.clear();
+    device_loads.assign(p, 0);
+
+    // Inter-node chunks are spread evenly over all P devices (lines 4-6).
+    for (const auto& [seq_id, chunk_len] : assignment.inter_chunks) {
+      for (int d = 0; d < p; ++d) {
+        device_loads[d] += chunk_len * (d + 1) / p - chunk_len * d / p;
+      }
+    }
+
+    // Zone split at the current threshold (line 7).
+    std::vector<int> z0;
+    std::vector<int> z1;
+    for (int id : seqs) {
+      (batch.seq_lens[id] >= s0 ? z1 : z0).push_back(id);
+    }
+
+    // Quadratic-balanced fragmentation of intra-node sequences (lines 8-12).
+    double c_total = 0;
+    for (int id : z1) {
+      const double len = static_cast<double>(batch.seq_lens[id]);
+      c_total += len * len;
+    }
+    int cursor = 0;  // Round-robin start for fragment placement.
+    if (!z1.empty()) {
+      const double c_avg = c_total / p;
+      for (int id : z1) {
+        const double len = static_cast<double>(batch.seq_lens[id]);
+        int fragments =
+            static_cast<int>(std::ceil(len * len / std::max(c_avg, 1.0)));
+        fragments = std::clamp(fragments, 1, p);
+
+        RingSequence ring;
+        ring.seq_id = id;
+        ring.length = batch.seq_lens[id];
+        ring.zone = Zone::kIntraNode;
+        for (int f = 0; f < fragments; ++f) {
+          const int device = (cursor + f) % p;
+          ring.ranks.push_back(cluster_.GlobalRank(node, device));
+          device_loads[device] +=
+              ring.length * (f + 1) / fragments - ring.length * f / fragments;
+        }
+        cursor = (cursor + fragments) % p;
+        intra_rings.push_back(std::move(ring));
+      }
+    }
+
+    // Local sequences onto least-loaded devices (lines 13-21).
+    for (int id : z0) {
+      const int64_t len = batch.seq_lens[id];
+      const int idx = ArgMinLoad(device_loads);
+      if (len + device_loads[idx] > capacity) {
+        s0 = len;  // max(z0): z0 is sorted descending.
+        retry = true;
+        break;
+      }
+      device_loads[idx] += len;
+      locals.push_back({id, len, cluster_.GlobalRank(node, idx)});
+    }
+  }
+
+  // Size-1 "rings" need no communication: execute as local kernels.
+  for (auto& ring : intra_rings) {
+    if (ring.group_size() == 1) {
+      locals.push_back({ring.seq_id, ring.length, ring.ranks[0]});
+    } else {
+      plan->intra_node.push_back(std::move(ring));
+    }
+  }
+  for (auto& local : locals) {
+    plan->local.push_back(local);
+  }
+  for (int d = 0; d < p; ++d) {
+    plan->tokens_per_rank[cluster_.GlobalRank(node, d)] += device_loads[d];
+  }
+  plan->threshold_s0[node] = s0;
+}
+
+PartitionPlan SequencePartitioner::Partition(const Batch& batch) const {
+  ZCHECK_GT(batch.size(), 0);
+  PartitionPlan plan;
+  plan.tokens_per_rank.assign(cluster_.world_size(), 0);
+  plan.threshold_s0.assign(cluster_.num_nodes, 0);
+
+  const std::vector<NodeAssignment> assignments = PartitionInterNode(batch, &plan);
+  for (int node = 0; node < cluster_.num_nodes; ++node) {
+    PartitionIntraNode(batch, node, assignments[node], &plan);
+  }
+
+  ZCHECK_EQ(plan.total_tokens(), batch.total_tokens())
+      << "partitioner must conserve tokens";
+  return plan;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,108 @@
+// Hierarchical sequence partitioner (paper §3.1, Algorithms 1 and 2).
+//
+// Two-level planning executed once per iteration on the global batch:
+//
+//   Inter-node stage (Alg. 1): determines the boundary s1 between the
+//   inter-node zone z2 and everything shorter (z01), chunks each z2 sequence
+//   over ceil(|s| / s_avg) node buckets (communication — the bottleneck at
+//   this level — is balanced by giving cross-node sequences the coarsest
+//   granularity that still fits), then packs z01 sequences into the
+//   least-loaded node buckets. If a z01 sequence overflows node capacity P*L,
+//   s1 shrinks to max(z01) and the stage repeats.
+//
+//   Intra-node stage (Alg. 2): per node, spreads that node's inter-node
+//   chunks over all P devices, determines the boundary s0 between intra-node
+//   z1 and local z0 sequences, splits each z1 sequence into
+//   ceil(|s|^2 / c_avg) fragments (quadratic work, the bottleneck at this
+//   level, is balanced) placed round-robin, then packs local sequences onto
+//   the least-loaded devices, shrinking s0 and repeating on overflow.
+//
+// The output plan lists, per zone, each sequence's ring group (the ordered
+// ranks that share it) — exactly what the attention engine (§3.2) executes.
+#ifndef SRC_CORE_PARTITIONER_H_
+#define SRC_CORE_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/zones.h"
+#include "src/data/sampler.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+
+// A sequence executed as a ring across `ranks` (inter- or intra-node zone).
+struct RingSequence {
+  int seq_id = 0;
+  int64_t length = 0;
+  Zone zone = Zone::kIntraNode;
+  std::vector<int> ranks;  // Ring order; position i holds chunks i and 2G-1-i.
+
+  int group_size() const { return static_cast<int>(ranks.size()); }
+};
+
+// A sequence processed entirely on one device (local zone).
+struct LocalSequence {
+  int seq_id = 0;
+  int64_t length = 0;
+  int rank = 0;
+};
+
+struct PartitionPlan {
+  std::vector<RingSequence> inter_node;  // Queue order for the engine.
+  std::vector<RingSequence> intra_node;
+  std::vector<LocalSequence> local;
+
+  // Attention-layout token count per rank (input to the remapping layer).
+  std::vector<int64_t> tokens_per_rank;
+
+  // Final thresholds after iterative refinement (diagnostics / tests).
+  int64_t threshold_s1 = 0;               // Inter-node boundary.
+  std::vector<int64_t> threshold_s0;      // Per-node local boundary.
+
+  int64_t total_tokens() const;
+  // max/mean of tokens_per_rank (1.0 = perfectly token-balanced).
+  double TokenImbalance() const;
+};
+
+class SequencePartitioner {
+ public:
+  struct Options {
+    // Token capacity L of each device (Alg. 1/2 input).
+    int64_t token_capacity = 0;
+    // Optional caps on the initial zone thresholds (0 = use the algorithm's
+    // capacity-derived defaults P*L and L). Setting these to the Fig. 5
+    // overlap crossovers forces sequences into larger rings earlier — the
+    // "zone-aware initialization" extension (design ablation D6); the
+    // iterative refinement still only ever shrinks the thresholds.
+    int64_t max_inter_threshold = 0;  // Caps s1.
+    int64_t max_local_threshold = 0;  // Caps s0.
+  };
+
+  SequencePartitioner(const ClusterSpec& cluster, Options options);
+
+  PartitionPlan Partition(const Batch& batch) const;
+
+ private:
+  struct NodeAssignment {
+    // (seq_id, chunk length at this node) for inter-node sequences.
+    std::vector<std::pair<int, int64_t>> inter_chunks;
+    // Sequence ids (into batch) of z01 sequences packed on this node.
+    std::vector<int> sequences;
+  };
+
+  // Alg. 1. Fills `plan->inter_node` and returns per-node assignments.
+  std::vector<NodeAssignment> PartitionInterNode(const Batch& batch, PartitionPlan* plan) const;
+
+  // Alg. 2 for one node. Appends to plan->intra_node / plan->local and
+  // accumulates plan->tokens_per_rank.
+  void PartitionIntraNode(const Batch& batch, int node, const NodeAssignment& assignment,
+                          PartitionPlan* plan) const;
+
+  ClusterSpec cluster_;
+  Options options_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_PARTITIONER_H_

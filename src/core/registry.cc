@@ -1,0 +1,118 @@
+#include "src/core/registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/baselines/double_ring.h"
+#include "src/baselines/hybrid_dp.h"
+#include "src/baselines/llama_cp.h"
+#include "src/baselines/packing.h"
+#include "src/baselines/te_cp.h"
+#include "src/common/check.h"
+#include "src/core/zeppelin.h"
+
+namespace zeppelin {
+namespace {
+
+std::vector<std::string> SplitSpec(const std::string& spec) {
+  // "zeppelin+striped-routing" -> {"zeppelin", "+striped", "-routing"}.
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : spec) {
+    if (c == '+' || c == '-') {
+      if (!current.empty()) {
+        parts.push_back(current);
+      }
+      current = std::string(1, c);
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) {
+    parts.push_back(current);
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec) {
+  const std::vector<std::string> parts = SplitSpec(spec);
+  ZCHECK(!parts.empty()) << "empty strategy spec";
+  const std::string& base = parts[0];
+
+  if (base == "te" && parts.size() >= 2 && parts[1] == "-cp") {
+    // "te-cp" splits at '-'; re-join and treat the remainder as modifiers.
+    TeCpOptions options;
+    for (size_t i = 2; i < parts.size(); ++i) {
+      if (parts[i] == "+routing") {
+        options.routing.enabled = true;
+      } else {
+        ZCHECK(false) << "unknown te-cp modifier: " << parts[i];
+      }
+    }
+    return std::make_unique<TeCpStrategy>(options);
+  }
+  if (base == "llama" || spec == "llama-cp") {
+    return std::make_unique<LlamaCpStrategy>();
+  }
+  if (spec == "double-ring") {
+    return std::make_unique<DoubleRingStrategy>();
+  }
+  if (base == "hybrid" || spec == "hybrid-dp") {
+    return std::make_unique<HybridDpStrategy>();
+  }
+  if (base == "pack" || spec == "pack-ulysses") {
+    return std::make_unique<PackingUlyssesStrategy>();
+  }
+  if (base == "zeppelin") {
+    ZeppelinOptions options;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      const std::string& mod = parts[i];
+      if (mod == "-routing") {
+        options.routing.enabled = false;
+      } else if (mod == "-remap") {
+        options.remapping.enabled = false;
+      } else if (mod == "-partition") {
+        options.hierarchical_partitioning = false;
+      } else if (mod == "+zones") {
+        options.zone_aware_thresholds = true;
+      } else if (mod == "+striped") {
+        options.engine.chunk_scheme = ChunkScheme::kStriped;
+      } else if (mod == "+contiguous") {
+        options.engine.chunk_scheme = ChunkScheme::kContiguous;
+      } else if (mod == "+localfirst") {
+        options.engine.forward_order = QueueOrder::kLocalIntraInter;
+      } else {
+        ZCHECK(false) << "unknown zeppelin modifier: " << mod;
+      }
+    }
+    return std::make_unique<ZeppelinStrategy>(options);
+  }
+  ZCHECK(false) << "unknown strategy spec: " << spec;
+  return nullptr;
+}
+
+std::vector<std::string> KnownStrategyNames() {
+  return {"te-cp",     "te-cp+routing", "llama-cp", "double-ring",
+          "hybrid-dp", "pack-ulysses",  "zeppelin"};
+}
+
+ClusterSpec MakeClusterByName(const std::string& name, int num_nodes) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "A") {
+    return MakeClusterA(num_nodes);
+  }
+  if (upper == "B") {
+    return MakeClusterB(num_nodes);
+  }
+  if (upper == "C") {
+    return MakeClusterC(num_nodes);
+  }
+  ZCHECK(false) << "unknown cluster preset: " << name << " (expected A, B, or C)";
+  return MakeClusterA(num_nodes);
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,41 @@
+// Strategy and cluster registries: build the paper's systems from strings,
+// so tools (CLI, sweep scripts) can select configurations without touching
+// C++ options structs.
+//
+// Strategy spec grammar:  name[+modifier]...
+//   te-cp            Transformer Engine context parallelism
+//   te-cp+routing    TE CP with Zeppelin's routing layer (Fig. 11 ablation)
+//   llama-cp         LLaMA-3-style all-gather context parallelism
+//   hybrid-dp        FLOP-balanced hybrid data parallelism
+//   pack-ulysses     input-balanced packing + Ulysses SP
+//   zeppelin         the full system
+//   zeppelin+...     modifiers: -routing, -remap, +zones (zone-aware
+//                    thresholds), +striped / +contiguous (chunk scheme),
+//                    +localfirst (queue-order ablation)
+//
+// Cluster spec grammar: A|B|C (paper presets), case-insensitive.
+#ifndef SRC_CORE_REGISTRY_H_
+#define SRC_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/strategy.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+
+// Creates a strategy from a spec string; aborts (ZCHECK) on unknown specs.
+std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec);
+
+// All spec names the registry accepts (base names, without modifiers).
+std::vector<std::string> KnownStrategyNames();
+
+// Creates one of the paper's cluster presets ("A", "B", "C") with the given
+// node count.
+ClusterSpec MakeClusterByName(const std::string& name, int num_nodes);
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_REGISTRY_H_

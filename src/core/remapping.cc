@@ -1,0 +1,73 @@
+#include "src/core/remapping.h"
+
+#include "src/comm/collectives.h"
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+RemappingLayer::RemappingLayer(const CostModel& cost_model, const FabricResources& fabric,
+                               RemappingOptions options)
+    : cost_model_(&cost_model), fabric_(&fabric), options_(options) {}
+
+RemapSolution RemappingLayer::Plan(const std::vector<int64_t>& tokens_per_rank) const {
+  const ClusterSpec& spec = fabric_->cluster();
+  ZCHECK_EQ(tokens_per_rank.size(), static_cast<size_t>(spec.world_size()));
+
+  RemapProblem problem;
+  problem.tokens = tokens_per_rank;
+  problem.node_of.resize(spec.world_size());
+  for (int r = 0; r < spec.world_size(); ++r) {
+    problem.node_of[r] = spec.NodeOf(r);
+  }
+  const double bytes_per_token = static_cast<double>(cost_model_->HiddenBytesPerToken());
+  problem.b_intra = cost_model_->b_intra() * bytes_per_token;
+  problem.b_inter = cost_model_->b_inter() * bytes_per_token;
+  return options_.minimax ? SolveMinimaxRemap(problem) : SolveMinTotalRemap(problem);
+}
+
+RemappingLayer::EmitResult RemappingLayer::Emit(TaskGraph& graph,
+                                                const std::vector<int64_t>& tokens_per_rank,
+                                                const RemapSolution& solution, bool inverse,
+                                                const std::vector<std::vector<TaskId>>& deps,
+                                                const std::string& label) const {
+  const ClusterSpec& spec = fabric_->cluster();
+  const int world = spec.world_size();
+  ZCHECK_EQ(tokens_per_rank.size(), static_cast<size_t>(world));
+
+  EmitResult result;
+  if (!options_.enabled) {
+    result.new_tokens = tokens_per_rank;
+    result.done.resize(world);
+    for (int k = 0; k < world; ++k) {
+      result.done[k] = graph.AddBarrier(deps.empty() ? std::vector<TaskId>{} : deps[k],
+                                        label + ".noremap." + std::to_string(k));
+    }
+    return result;
+  }
+
+  const int64_t bytes_per_token = cost_model_->HiddenBytesPerToken();
+  std::vector<std::vector<int64_t>> sends(world, std::vector<int64_t>(world, 0));
+  result.new_tokens = tokens_per_rank;
+  for (int i = 0; i < world; ++i) {
+    for (int j = 0; j < world; ++j) {
+      const int64_t moved = inverse ? solution.transfer[j][i] : solution.transfer[i][j];
+      if (moved == 0) {
+        continue;
+      }
+      sends[i][j] = moved * bytes_per_token;
+      result.new_tokens[i] -= moved;
+      result.new_tokens[j] += moved;
+    }
+  }
+
+  std::vector<int> ranks(world);
+  for (int r = 0; r < world; ++r) {
+    ranks[r] = r;
+  }
+  const CollectiveResult a2a =
+      AllToAllV(graph, *fabric_, ranks, sends, TaskCategory::kRemapComm, deps, label);
+  result.done = a2a.done;
+  return result;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,129 @@
+#include "src/core/routing.h"
+
+#include <algorithm>
+
+#include "src/comm/primitives.h"
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+RoutingLayer::RoutingLayer(const FabricResources& fabric, RoutingOptions options)
+    : fabric_(&fabric), options_(options) {}
+
+namespace {
+
+// One GPU per distinct NIC on `node`, starting with (and always including)
+// `anchor_gpu`'s NIC slot so the anchor's own slice avoids a dispatch hop.
+std::vector<int> ProxiesCoveringNics(const ClusterSpec& spec, int node, int anchor_gpu,
+                                     int max_count) {
+  std::vector<int> proxies;
+  std::vector<bool> nic_used(spec.nics_per_node, false);
+  auto take = [&](int rank) {
+    const int nic = spec.NicOf(rank);
+    if (!nic_used[nic]) {
+      nic_used[nic] = true;
+      proxies.push_back(rank);
+    }
+  };
+  if (spec.NodeOf(anchor_gpu) == node) {
+    take(anchor_gpu);
+  }
+  for (int local = 0; local < spec.gpus_per_node; ++local) {
+    take(spec.GlobalRank(node, local));
+    if (max_count > 0 && static_cast<int>(proxies.size()) >= max_count) {
+      break;
+    }
+  }
+  if (max_count > 0 && static_cast<int>(proxies.size()) > max_count) {
+    proxies.resize(max_count);
+  }
+  return proxies;
+}
+
+}  // namespace
+
+std::vector<int> RoutingLayer::SendProxies(int src_gpu, int dst_node) const {
+  const ClusterSpec& spec = fabric_->cluster();
+  (void)dst_node;
+  return ProxiesCoveringNics(spec, spec.NodeOf(src_gpu), src_gpu, options_.max_proxies);
+}
+
+std::vector<int> RoutingLayer::RecvProxies(int dst_gpu, int src_node) const {
+  const ClusterSpec& spec = fabric_->cluster();
+  (void)src_node;
+  return ProxiesCoveringNics(spec, spec.NodeOf(dst_gpu), dst_gpu, options_.max_proxies);
+}
+
+TaskId RoutingLayer::EmitTransfer(TaskGraph& graph, int src_gpu, int dst_gpu, int64_t bytes,
+                                  std::vector<TaskId> deps, const std::string& label) const {
+  const ClusterSpec& spec = fabric_->cluster();
+  const int src_node = spec.NodeOf(src_gpu);
+  const int dst_node = spec.NodeOf(dst_gpu);
+
+  if (!options_.enabled || src_node == dst_node || bytes == 0) {
+    return AddP2PAuto(graph, *fabric_, src_gpu, dst_gpu, bytes, std::move(deps), label);
+  }
+
+  std::vector<int> send_proxies = SendProxies(src_gpu, dst_node);
+  std::vector<int> recv_proxies = RecvProxies(dst_gpu, src_node);
+  // Paper's pairing rule: one-to-one matching of senders and receivers.
+  const int x = static_cast<int>(std::min(send_proxies.size(), recv_proxies.size()));
+  ZCHECK_GT(x, 0);
+  if (x == 1) {
+    return AddP2PAuto(graph, *fabric_, src_gpu, dst_gpu, bytes, std::move(deps), label);
+  }
+  send_proxies.resize(x);
+  recv_proxies.resize(x);
+
+  std::vector<TaskId> combines;
+  combines.reserve(x);
+  for (int i = 0; i < x; ++i) {
+    const int64_t slice = bytes * (i + 1) / x - bytes * i / x;
+    if (slice == 0) {
+      continue;
+    }
+    const int sp = send_proxies[i];
+    const int rp = recv_proxies[i];
+
+    // Step 1: dispatch src -> send proxy (skipped when src is its own proxy).
+    std::vector<TaskId> transfer_deps = deps;
+    if (sp != src_gpu) {
+      const TaskId dispatch =
+          AddP2P(graph, *fabric_, src_gpu, sp, slice, TaskCategory::kDispatchComm, deps,
+                 label + ".dispatch." + std::to_string(i));
+      transfer_deps = {dispatch};
+    }
+
+    // Step 2: inter-node transfer through the proxy pair's own NICs.
+    const TaskId transfer = AddP2P(graph, *fabric_, sp, rp, slice, TaskCategory::kInterComm,
+                                   std::move(transfer_deps),
+                                   label + ".nic." + std::to_string(i), spec.NicOf(sp),
+                                   spec.NicOf(rp));
+
+    // Step 3: combine recv proxy -> dst (skipped when dst is its own proxy).
+    if (rp != dst_gpu) {
+      combines.push_back(AddP2P(graph, *fabric_, rp, dst_gpu, slice,
+                                TaskCategory::kCombineComm, {transfer},
+                                label + ".combine." + std::to_string(i)));
+    } else {
+      combines.push_back(transfer);
+    }
+  }
+  return graph.AddBarrier(std::move(combines), label + ".routed_done");
+}
+
+double RoutingLayer::RoutedCostUs(const CostModel& cost_model, int64_t bytes, int x1, int x2) {
+  ZCHECK_GT(x1, 0);
+  ZCHECK_GT(x2, 0);
+  const double n = static_cast<double>(bytes);
+  const double dispatch = cost_model.b_intra() * n * (x1 - 1) / x1;
+  const double inter = cost_model.b_inter() * std::max(n / x1, n / x2);
+  const double combine = cost_model.b_intra() * n * (x2 - 1) / x2;
+  return dispatch + inter + combine;
+}
+
+double RoutingLayer::DirectCostUs(const CostModel& cost_model, int64_t bytes) {
+  return cost_model.b_inter() * static_cast<double>(bytes);
+}
+
+}  // namespace zeppelin

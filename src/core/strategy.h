@@ -1,0 +1,45 @@
+// Strategy interface: how a training system lays out and executes one
+// transformer layer for a variable-length batch.
+//
+// A strategy is planned once per batch (Plan) and then asked to emit the task
+// DAG of one representative layer, forward or backward (EmitLayer). The
+// trainer simulates that layer and extrapolates the full iteration — layers
+// are identical, which is the same reduction the paper's timeline analysis
+// (Fig. 12) relies on. Implementations: ZeppelinStrategy (src/core) and the
+// baselines TeCpStrategy / LlamaCpStrategy / HybridDpStrategy /
+// PackingUlyssesStrategy (src/baselines).
+#ifndef SRC_CORE_STRATEGY_H_
+#define SRC_CORE_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/attention_engine.h"
+#include "src/data/sampler.h"
+#include "src/model/cost_model.h"
+#include "src/sim/graph.h"
+#include "src/topology/path.h"
+
+namespace zeppelin {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Plans the batch layout. Called once per batch, before any EmitLayer.
+  virtual void Plan(const Batch& batch, const CostModel& cost_model,
+                    const FabricResources& fabric) = 0;
+
+  // Emits one transformer layer (attention + linear modules + any data
+  // movement the strategy needs) into `graph`. Returns one done-task per rank.
+  virtual std::vector<TaskId> EmitLayer(TaskGraph& graph, Direction direction) = 0;
+
+  // Token count per rank during the linear stage (reporting/diagnostics).
+  virtual std::vector<int64_t> LinearTokensPerRank() const = 0;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_STRATEGY_H_

@@ -1,0 +1,134 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+#include "src/sim/trace.h"
+
+namespace zeppelin {
+
+Trainer::Trainer(const TransformerConfig& model, const ClusterSpec& cluster,
+                 TrainerOptions options)
+    : model_(model),
+      logical_cluster_(ApplyTensorParallelism(cluster, options.tensor_parallel)),
+      options_(options),
+      fabric_(logical_cluster_),
+      cost_model_(model, logical_cluster_, options.tensor_parallel) {
+  model_.Validate();
+}
+
+double Trainer::FixedCostUs(int64_t batch_tokens) const {
+  if (!options_.include_fixed_costs) {
+    return 0;
+  }
+  const int world = logical_cluster_.world_size();
+  const double params = static_cast<double>(model_.NumParams());
+  const double tokens_per_rank = static_cast<double>(batch_tokens) / world;
+
+  // Embedding lookup is cheap; the LM head GEMM is 2*h*vocab per token
+  // forward and twice that backward.
+  const double head_flops =
+      6.0 * static_cast<double>(model_.hidden_size) * model_.vocab_size * tokens_per_rank;
+  const double head_us = head_flops / logical_cluster_.flops_per_us();
+
+  // Data-parallel gradient all-reduce (bf16 grads, ring): each rank moves
+  // 2*(R-1)/R of the gradient volume through its NIC share. Mostly hidden
+  // under backward; only the tail is charged.
+  const double grad_bytes = params * model_.dtype_bytes;
+  const double nic_share_per_rank = logical_cluster_.nic_bandwidth *
+                                    logical_cluster_.nics_per_node /
+                                    logical_cluster_.gpus_per_node;
+  double allreduce_us = 0;
+  if (world > 1) {
+    allreduce_us = 2.0 * grad_bytes * (world - 1) / world / nic_share_per_rank;
+  }
+  const double exposed_allreduce = allreduce_us * (1.0 - options_.grad_allreduce_overlap);
+
+  // ZeRO-1 optimizer: the sharded Adam update is HBM-bound (~30 bytes of
+  // state traffic per parameter), followed by the parameter all-gather.
+  const double optimizer_us = params * 30.0 / world / logical_cluster_.hbm_bandwidth;
+  double allgather_us = 0;
+  if (world > 1) {
+    allgather_us = grad_bytes * (world - 1) / world / nic_share_per_rank *
+                   (1.0 - options_.grad_allreduce_overlap);
+  }
+
+  return head_us + exposed_allreduce + optimizer_us + allgather_us;
+}
+
+Trainer::ScheduleResult Trainer::RunSchedule(Strategy& strategy, BatchSampler& sampler,
+                                             int total_steps, int warmup_steps) const {
+  ZCHECK_GT(total_steps, 0);
+  ZCHECK_GE(warmup_steps, 0);
+  ZCHECK_LT(warmup_steps, total_steps);
+
+  ScheduleResult result;
+  double sum = 0;
+  double sum_sq = 0;
+  result.min_tokens_per_second = std::numeric_limits<double>::infinity();
+  for (int step = 0; step < total_steps; ++step) {
+    const Batch batch = sampler.NextBatch();
+    const IterationResult iter = Run(strategy, batch);
+    if (step < warmup_steps) {
+      continue;
+    }
+    const double tput = iter.tokens_per_second;
+    result.per_step_tokens_per_second.push_back(tput);
+    sum += tput;
+    sum_sq += tput * tput;
+    result.min_tokens_per_second = std::min(result.min_tokens_per_second, tput);
+    result.max_tokens_per_second = std::max(result.max_tokens_per_second, tput);
+    result.total_simulated_seconds += iter.iteration_us / 1e6;
+  }
+  const double n = static_cast<double>(result.per_step_tokens_per_second.size());
+  result.mean_tokens_per_second = sum / n;
+  const double variance = std::max(0.0, sum_sq / n - result.mean_tokens_per_second *
+                                                         result.mean_tokens_per_second);
+  result.stddev_tokens_per_second = std::sqrt(variance);
+  return result;
+}
+
+IterationResult Trainer::Run(Strategy& strategy, const Batch& batch,
+                             ChromeTraceWriter* forward_trace,
+                             ChromeTraceWriter* backward_trace) const {
+  ZCHECK_GT(batch.size(), 0);
+  strategy.Plan(batch, cost_model_, fabric_);
+
+  Engine engine(fabric_);
+
+  TaskGraph forward_graph;
+  strategy.EmitLayer(forward_graph, Direction::kForward);
+  SimResult forward = engine.Run(forward_graph, forward_trace);
+
+  TaskGraph backward_graph;
+  strategy.EmitLayer(backward_graph, Direction::kBackward);
+  SimResult backward = engine.Run(backward_graph, backward_trace);
+
+  IterationResult result;
+  result.strategy = strategy.name();
+  result.layer_forward_us = forward.makespan_us;
+  result.layer_backward_us = backward.makespan_us;
+  result.fixed_us = FixedCostUs(batch.total_tokens());
+  result.iteration_us =
+      model_.num_layers * (forward.makespan_us + backward.makespan_us) + result.fixed_us;
+  result.tokens_per_second =
+      static_cast<double>(batch.total_tokens()) / UsToSeconds(result.iteration_us);
+
+  result.attention_compute_us = forward.CategoryBusy(TaskCategory::kAttentionCompute);
+  result.linear_compute_us = forward.CategoryBusy(TaskCategory::kLinearCompute);
+  result.intra_comm_us = forward.CategoryBusy(TaskCategory::kIntraComm) +
+                         forward.CategoryBusy(TaskCategory::kDispatchComm) +
+                         forward.CategoryBusy(TaskCategory::kCombineComm);
+  result.inter_comm_us = forward.CategoryBusy(TaskCategory::kInterComm);
+  result.remap_comm_us = forward.CategoryBusy(TaskCategory::kRemapComm);
+  result.nic_utilization = MeanNicUtilization(fabric_, forward);
+
+  result.forward_sim = std::move(forward);
+  result.backward_sim = std::move(backward);
+  return result;
+}
+
+}  // namespace zeppelin

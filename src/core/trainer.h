@@ -1,0 +1,102 @@
+// End-to-end iteration builder and throughput measurement.
+//
+// Simulates one representative transformer layer (forward and backward) under
+// a strategy and extrapolates the training iteration:
+//
+//   iteration = num_layers * (t_fwd_layer + t_bwd_layer) + t_fixed
+//
+// where t_fixed covers the costs every strategy shares: embedding/LM-head
+// compute, the un-overlapped tail of the data-parallel gradient all-reduce,
+// and the (ZeRO-1 sharded) optimizer step. Throughput is reported as
+// processed tokens per second, the paper's Fig. 8/9/10 metric.
+#ifndef SRC_CORE_TRAINER_H_
+#define SRC_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/trace_json.h"
+#include "src/core/strategy.h"
+#include "src/data/sampler.h"
+#include "src/model/cost_model.h"
+#include "src/sim/engine.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+
+struct TrainerOptions {
+  // Tensor parallelism inside nodes (the paper uses 2 for 13B/30B runs).
+  int tensor_parallel = 1;
+  // Fraction of the gradient all-reduce hidden under backward compute.
+  double grad_allreduce_overlap = 0.9;
+  // Include embedding/head/optimizer/grad-sync fixed costs in the iteration.
+  bool include_fixed_costs = true;
+};
+
+struct IterationResult {
+  std::string strategy;
+  double layer_forward_us = 0;
+  double layer_backward_us = 0;
+  double fixed_us = 0;
+  double iteration_us = 0;
+  double tokens_per_second = 0;
+
+  // Busy-time breakdown of the simulated forward layer (resource-seconds).
+  double attention_compute_us = 0;
+  double linear_compute_us = 0;
+  double intra_comm_us = 0;
+  double inter_comm_us = 0;
+  double remap_comm_us = 0;
+
+  // Mean NIC directional-channel utilization during the forward layer.
+  double nic_utilization = 0;
+
+  SimResult forward_sim;
+  SimResult backward_sim;
+};
+
+class Trainer {
+ public:
+  Trainer(const TransformerConfig& model, const ClusterSpec& cluster,
+          TrainerOptions options = {});
+
+  // Plans `strategy` on `batch`, simulates one layer in each direction, and
+  // assembles the iteration result. Optional writers capture chrome traces of
+  // the simulated layers.
+  IterationResult Run(Strategy& strategy, const Batch& batch,
+                      ChromeTraceWriter* forward_trace = nullptr,
+                      ChromeTraceWriter* backward_trace = nullptr) const;
+
+  // Multi-step schedule, matching the paper's measurement protocol: runs
+  // `total_steps` sampled iterations and averages throughput over
+  // [warmup_steps, total_steps) — §5 reports "tokens per second, averaged
+  // over steps 50-150".
+  struct ScheduleResult {
+    double mean_tokens_per_second = 0;
+    double min_tokens_per_second = 0;
+    double max_tokens_per_second = 0;
+    double stddev_tokens_per_second = 0;
+    double total_simulated_seconds = 0;  // Wall time of the measured window.
+    std::vector<double> per_step_tokens_per_second;  // Measured window only.
+  };
+  ScheduleResult RunSchedule(Strategy& strategy, BatchSampler& sampler, int total_steps,
+                             int warmup_steps) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const FabricResources& fabric() const { return fabric_; }
+  const TransformerConfig& model() const { return model_; }
+
+  // Fixed per-iteration cost shared by all strategies (exposed for tests).
+  double FixedCostUs(int64_t batch_tokens) const;
+
+ private:
+  TransformerConfig model_;
+  ClusterSpec logical_cluster_;  // After ApplyTensorParallelism.
+  TrainerOptions options_;
+  FabricResources fabric_;
+  CostModel cost_model_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_TRAINER_H_

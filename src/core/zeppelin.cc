@@ -1,0 +1,157 @@
+#include "src/core/zeppelin.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/check.h"
+#include "src/core/linear_stage.h"
+#include "src/core/zones.h"
+#include "src/model/memory.h"
+
+namespace zeppelin {
+
+ZeppelinStrategy::ZeppelinStrategy(ZeppelinOptions options) : options_(options) {}
+
+std::string ZeppelinStrategy::name() const {
+  std::string n = "Zeppelin";
+  if (!options_.hierarchical_partitioning) {
+    n += "[global-ring]";
+  }
+  if (!options_.routing.enabled) {
+    n += "[-routing]";
+  }
+  if (!options_.remapping.enabled) {
+    n += "[-remap]";
+  }
+  return n;
+}
+
+void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
+                            const FabricResources& fabric) {
+  cost_model_ = &cost_model;
+  fabric_ = &fabric;
+  const ClusterSpec& spec = fabric.cluster();
+  const int world = spec.world_size();
+
+  const auto start = std::chrono::steady_clock::now();
+
+  if (options_.hierarchical_partitioning) {
+    int64_t capacity = options_.token_capacity;
+    if (capacity == 0) {
+      // L is the per-device *memory* capacity (Alg. 1/2 input). The paper's
+      // workloads size the batch to nearly fill memory (4k tokens/GPU), so L
+      // sits a modest headroom above the batch average; we model that with a
+      // 25% slack, additionally capped by the memory model when it binds.
+      const int64_t average = (batch.total_tokens() + world - 1) / world;
+      int64_t with_slack = average + average / 4;
+      const int64_t memory_cap = TokenCapacity(cost_model.model(), spec, world);
+      if (memory_cap > 0) {
+        with_slack = std::min(with_slack, memory_cap);
+      }
+      capacity = std::max(average, with_slack);
+    }
+    SequencePartitioner::Options popts{.token_capacity = capacity};
+    if (options_.zone_aware_thresholds) {
+      const ZoneBoundaries zones = ZoneClassifier(cost_model).Compute();
+      popts.max_inter_threshold = zones.intra_max;
+      popts.max_local_threshold = zones.local_max;
+    }
+    SequencePartitioner partitioner(spec, popts);
+    plan_ = partitioner.Partition(batch);
+  } else {
+    // Ablation baseline: every sequence on one global ring spanning all ranks
+    // (the TE CP layout), so the only Zeppelin component in play is routing.
+    plan_ = PartitionPlan{};
+    plan_.tokens_per_rank.assign(world, 0);
+    plan_.threshold_s0.assign(spec.num_nodes, 0);
+    for (int id = 0; id < batch.size(); ++id) {
+      RingSequence ring;
+      ring.seq_id = id;
+      ring.length = batch.seq_lens[id];
+      ring.zone = Zone::kInterNode;
+      for (int r = 0; r < world; ++r) {
+        ring.ranks.push_back(r);
+      }
+      for (int r = 0; r < world; ++r) {
+        plan_.tokens_per_rank[r] += ring.length * (r + 1) / world - ring.length * r / world;
+      }
+      plan_.inter_node.push_back(std::move(ring));
+    }
+  }
+
+  routing_.emplace(fabric, options_.routing);
+  engine_.emplace(cost_model, fabric, *routing_, options_.engine);
+  remapping_.emplace(cost_model, fabric, options_.remapping);
+
+  if (options_.remapping.enabled) {
+    remap_solution_ = remapping_->Plan(plan_.tokens_per_rank);
+  } else {
+    remap_solution_ = RemapSolution{};
+    remap_solution_.transfer.assign(world, std::vector<int64_t>(world, 0));
+  }
+  linear_tokens_ = plan_.tokens_per_rank;
+  if (options_.remapping.enabled) {
+    for (int i = 0; i < world; ++i) {
+      for (int j = 0; j < world; ++j) {
+        const int64_t moved = remap_solution_.transfer[i][j];
+        linear_tokens_[i] -= moved;
+        linear_tokens_[j] += moved;
+      }
+    }
+  }
+
+  partition_time_us_ = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+}
+
+std::vector<TaskId> ZeppelinStrategy::EmitLayer(TaskGraph& graph, Direction direction) {
+  ZCHECK(cost_model_ != nullptr) << "Plan() must run before EmitLayer()";
+  const std::string tag = direction == Direction::kForward ? "fwd" : "bwd";
+
+  if (direction == Direction::kForward) {
+    // attention -> remap to balanced -> linear modules -> remap back.
+    const std::vector<TaskId> attn_done = engine_->Emit(graph, plan_, direction, {}, tag);
+    auto to_deps = [](const std::vector<TaskId>& v) {
+      std::vector<std::vector<TaskId>> deps(v.size());
+      for (size_t i = 0; i < v.size(); ++i) {
+        deps[i] = {v[i]};
+      }
+      return deps;
+    };
+    const RemappingLayer::EmitResult remap_in = remapping_->Emit(
+        graph, plan_.tokens_per_rank, remap_solution_, /*inverse=*/false, to_deps(attn_done),
+        tag + ".remap_in");
+    const std::vector<TaskId> linear_done =
+        EmitLinearStage(graph, *cost_model_, *fabric_, remap_in.new_tokens, direction,
+                        to_deps(remap_in.done), tag);
+    const RemappingLayer::EmitResult remap_out =
+        remapping_->Emit(graph, remap_in.new_tokens, remap_solution_, /*inverse=*/true,
+                         to_deps(linear_done), tag + ".remap_out");
+    return remap_out.done;
+  }
+
+  // Backward mirrors the forward dataflow in reverse: gradients arrive in the
+  // attention layout, get remapped to the balanced layout for the linear
+  // backward, and return to the attention layout for the attention backward.
+  auto to_deps = [](const std::vector<TaskId>& v) {
+    std::vector<std::vector<TaskId>> deps(v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      deps[i] = {v[i]};
+    }
+    return deps;
+  };
+  const RemappingLayer::EmitResult remap_in = remapping_->Emit(
+      graph, plan_.tokens_per_rank, remap_solution_, /*inverse=*/false, {}, "bwd.remap_in");
+  const std::vector<TaskId> linear_done =
+      EmitLinearStage(graph, *cost_model_, *fabric_, remap_in.new_tokens, direction,
+                      to_deps(remap_in.done), "bwd");
+  const RemappingLayer::EmitResult remap_out = remapping_->Emit(
+      graph, remap_in.new_tokens, remap_solution_, /*inverse=*/true, to_deps(linear_done),
+      "bwd.remap_out");
+  return engine_->Emit(graph, plan_, direction, to_deps(remap_out.done), "bwd");
+}
+
+std::vector<int64_t> ZeppelinStrategy::LinearTokensPerRank() const { return linear_tokens_; }
+
+}  // namespace zeppelin

@@ -1,0 +1,76 @@
+// ZeppelinStrategy: the paper's system (§3), assembled from the four core
+// components — sequence partitioner, attention engine, communication routing
+// layer, and remapping layer. Every component can be toggled independently,
+// which is how the ablation study (Fig. 11) is reproduced.
+#ifndef SRC_CORE_ZEPPELIN_H_
+#define SRC_CORE_ZEPPELIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/attention_engine.h"
+#include "src/core/partitioner.h"
+#include "src/core/remapping.h"
+#include "src/core/routing.h"
+#include "src/core/strategy.h"
+
+namespace zeppelin {
+
+struct ZeppelinOptions {
+  // Token capacity L per device; 0 derives the tight bound
+  // ceil(total_tokens / world_size) from each batch (the paper's experiments
+  // pin 4k tokens per GPU the same way).
+  int64_t token_capacity = 0;
+
+  RoutingOptions routing;        // §3.3; disable for the Fig. 11 "w/o routing" bar.
+  RemappingOptions remapping;    // §3.4; disable for "w/o remap".
+  AttentionEngineOptions engine; // §3.2; chunking / queue-order ablations.
+
+  // Disables hierarchical partitioning: all sequences are forced into a
+  // single global inter-node ring (used for the "routing only" ablation,
+  // which applies routing to the TE CP execution pattern).
+  bool hierarchical_partitioning = true;
+
+  // Extension (design ablation D6): initialize the partitioner's zone
+  // thresholds from the Fig. 5 overlap crossovers instead of raw capacity,
+  // so sequences whose communication cannot hide behind compute stay in
+  // smaller rings even when memory would allow bigger ones.
+  bool zone_aware_thresholds = false;
+};
+
+class ZeppelinStrategy : public Strategy {
+ public:
+  explicit ZeppelinStrategy(ZeppelinOptions options = {});
+
+  std::string name() const override;
+  void Plan(const Batch& batch, const CostModel& cost_model,
+            const FabricResources& fabric) override;
+  std::vector<TaskId> EmitLayer(TaskGraph& graph, Direction direction) override;
+  std::vector<int64_t> LinearTokensPerRank() const override;
+
+  // Planning artefacts (for tests, benches, and the Table 3 case study).
+  const PartitionPlan& partition_plan() const { return plan_; }
+  const RemapSolution& remap_solution() const { return remap_solution_; }
+  double partition_time_us() const { return partition_time_us_; }
+
+ private:
+  ZeppelinOptions options_;
+  const CostModel* cost_model_ = nullptr;
+  const FabricResources* fabric_ = nullptr;
+
+  PartitionPlan plan_;
+  RemapSolution remap_solution_;
+  std::vector<int64_t> linear_tokens_;
+  double partition_time_us_ = 0;
+
+  std::optional<RoutingLayer> routing_;
+  std::optional<AttentionEngine> engine_;
+  std::optional<RemappingLayer> remapping_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_ZEPPELIN_H_

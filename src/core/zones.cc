@@ -1,0 +1,70 @@
+#include "src/core/zones.h"
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+const char* ZoneName(Zone zone) {
+  switch (zone) {
+    case Zone::kLocal:
+      return "local";
+    case Zone::kIntraNode:
+      return "intra-node";
+    case Zone::kInterNode:
+      return "inter-node";
+  }
+  return "unknown";
+}
+
+ZoneClassifier::ZoneClassifier(const CostModel& cost_model) : cost_model_(&cost_model) {}
+
+double ZoneClassifier::AttentionComputeUs(int64_t s) const {
+  return cost_model_->CausalAttentionTime(s);
+}
+
+double ZoneClassifier::LinearComputeUs(int64_t s) const { return cost_model_->LinearTime(s); }
+
+double ZoneClassifier::IntraSendRecvUs(int64_t s) const {
+  return cost_model_->IntraNodeTransferTime(cost_model_->KvBytesPerToken() * s);
+}
+
+double ZoneClassifier::InterSendRecvUs(int64_t s) const {
+  return cost_model_->InterNodeTransferTime(cost_model_->KvBytesPerToken() * s);
+}
+
+ZoneBoundaries ZoneClassifier::Compute(int64_t max_len, int64_t granularity) const {
+  ZCHECK_GT(granularity, 0);
+  ZoneBoundaries b;
+  b.local_max = max_len;
+  b.intra_max = max_len;
+  bool found_local = false;
+  bool found_intra = false;
+  for (int64_t s = granularity; s <= max_len; s += granularity) {
+    // Splitting across a ring of size 2 halves the per-device quadratic work;
+    // the saved compute must exceed the KV ring transfer to be worthwhile.
+    const double saved_compute = AttentionComputeUs(s) / 2.0;
+    if (!found_local && saved_compute > IntraSendRecvUs(s / 2)) {
+      b.local_max = s - granularity;
+      found_local = true;
+    }
+    if (!found_intra && saved_compute > InterSendRecvUs(s / 2)) {
+      b.intra_max = s - granularity;
+      found_intra = true;
+      break;
+    }
+  }
+  ZCHECK_LE(b.local_max, b.intra_max);
+  return b;
+}
+
+Zone ZoneClassifier::Classify(int64_t length, const ZoneBoundaries& boundaries) {
+  if (length <= boundaries.local_max) {
+    return Zone::kLocal;
+  }
+  if (length <= boundaries.intra_max) {
+    return Zone::kIntraNode;
+  }
+  return Zone::kInterNode;
+}
+
+}  // namespace zeppelin

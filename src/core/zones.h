@@ -1,0 +1,68 @@
+// Sequence zone classification (paper §3.1, Fig. 5).
+//
+// Ring attention hides communication behind computation only when the
+// computation of a sequence's shard outweighs the shard's KV transfer. Since
+// attention compute grows quadratically and KV volume linearly with sequence
+// length, each (model, cluster) pair induces two crossover lengths:
+//   - below `local_max`, even intra-node transfers cannot be hidden: process
+//     the sequence on a single device (local zone);
+//   - between `local_max` and `intra_max`, intra-node transfers hide but
+//     inter-node ones do not (intra-node zone);
+//   - above `intra_max`, computation is heavy enough to hide inter-node
+//     transfers (inter-node zone).
+// These analytic zones motivate the hierarchy; the partitioner's operational
+// thresholds (s0/s1 in Alg. 1/2) start from device/node token capacity and are
+// refined iteratively.
+#ifndef SRC_CORE_ZONES_H_
+#define SRC_CORE_ZONES_H_
+
+#include <cstdint>
+
+#include "src/model/cost_model.h"
+
+namespace zeppelin {
+
+enum class Zone : uint8_t {
+  kLocal = 0,
+  kIntraNode = 1,
+  kInterNode = 2,
+};
+
+const char* ZoneName(Zone zone);
+
+struct ZoneBoundaries {
+  // Largest length that should stay on one device.
+  int64_t local_max = 0;
+  // Largest length that should stay within one node.
+  int64_t intra_max = 0;
+};
+
+class ZoneClassifier {
+ public:
+  explicit ZoneClassifier(const CostModel& cost_model);
+
+  // Computes the crossover lengths by scanning sequence lengths (multiples of
+  // `granularity` up to `max_len`) and comparing per-round ring-attention
+  // compute time against the per-round KV transfer time at ring size G = 2
+  // (the smallest ring: the break-even point most favourable to splitting).
+  ZoneBoundaries Compute(int64_t max_len = 262144, int64_t granularity = 64) const;
+
+  // Zone of a sequence given boundaries.
+  static Zone Classify(int64_t length, const ZoneBoundaries& boundaries);
+
+  // The per-round costs the classifier compares (exposed for the Fig. 5
+  // reproduction): compute time of a causal sequence of length s on one GPU,
+  // and the send-receive time of its full KV through one intra-node channel /
+  // one NIC.
+  double AttentionComputeUs(int64_t s) const;
+  double LinearComputeUs(int64_t s) const;
+  double IntraSendRecvUs(int64_t s) const;
+  double InterSendRecvUs(int64_t s) const;
+
+ private:
+  const CostModel* cost_model_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_ZONES_H_

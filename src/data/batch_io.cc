@@ -1,0 +1,93 @@
+#include "src/data/batch_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+std::string BatchesToText(const std::vector<Batch>& batches) {
+  std::ostringstream out;
+  out << "# zeppelin batch file: one batch per line, comma-separated lengths\n";
+  for (const Batch& batch : batches) {
+    for (size_t i = 0; i < batch.seq_lens.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << batch.seq_lens[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<Batch> BatchesFromText(const std::string& text) {
+  std::vector<Batch> batches;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    // Trim whitespace.
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      continue;
+    }
+    line = line.substr(first, line.find_last_not_of(" \t\r") - first + 1);
+
+    Batch batch;
+    std::istringstream fields(line);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+      // Trim the field before strtoll so "128, 256" parses.
+      const size_t begin = field.find_first_not_of(" \t");
+      ZCHECK(begin != std::string::npos)
+          << "empty length field on line " << line_number;
+      field = field.substr(begin, field.find_last_not_of(" \t") - begin + 1);
+      char* end = nullptr;
+      const int64_t len = std::strtoll(field.c_str(), &end, 10);
+      ZCHECK(end == field.c_str() + field.size())
+          << "malformed length '" << field << "' on line " << line_number;
+      ZCHECK_GT(len, 0) << "non-positive length on line " << line_number;
+      batch.seq_lens.push_back(len);
+    }
+    ZCHECK(!batch.seq_lens.empty()) << "empty batch on line " << line_number;
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+bool SaveBatches(const std::string& path, const std::vector<Batch>& batches) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string text = BatchesToText(batches);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+bool LoadBatches(const std::string& path, std::vector<Batch>* batches) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  *batches = BatchesFromText(text);
+  return true;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,27 @@
+// Batch serialization: save/load workloads as plain text so experiments can
+// be replayed exactly across machines and runs (one batch per line,
+// comma-separated sequence lengths, '#' comments).
+#ifndef SRC_DATA_BATCH_IO_H_
+#define SRC_DATA_BATCH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/sampler.h"
+
+namespace zeppelin {
+
+// Serializes batches, one per line: "4096,1024,512".
+std::string BatchesToText(const std::vector<Batch>& batches);
+
+// Parses the format above. Ignores blank lines and '#' comments. Aborts
+// (ZCHECK) on malformed input (non-numeric tokens, non-positive lengths).
+std::vector<Batch> BatchesFromText(const std::string& text);
+
+// File convenience wrappers; return false on I/O failure.
+bool SaveBatches(const std::string& path, const std::vector<Batch>& batches);
+bool LoadBatches(const std::string& path, std::vector<Batch>* batches);
+
+}  // namespace zeppelin
+
+#endif  // SRC_DATA_BATCH_IO_H_

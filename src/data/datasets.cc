@@ -1,0 +1,81 @@
+#include "src/data/datasets.h"
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+namespace {
+
+// Builds bins over the standard edges from a weight list (one per bin).
+LengthDistribution FromStandardBins(std::string name, const std::vector<double>& weights) {
+  const std::vector<int64_t> edges = StandardBinEdges();
+  ZCHECK_EQ(weights.size(), edges.size() - 1);
+  std::vector<LengthBin> bins;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0) {
+      bins.push_back({edges[i], edges[i + 1], weights[i]});
+    }
+  }
+  return LengthDistribution(std::move(name), std::move(bins));
+}
+
+}  // namespace
+
+// Proportions below are Table 2 of the paper, bins:
+// <1k, 1-2k, 2-4k, 4-8k, 8-16k, 16-32k, 32-64k, 64-128k, 128-256k.
+LengthDistribution MakeArxivDistribution() {
+  return FromStandardBins("arxiv", {0.032, 0.03, 0.08, 0.219, 0.338, 0.224, 0.077, 0.0, 0.0});
+}
+
+LengthDistribution MakeGithubDistribution() {
+  return FromStandardBins("github",
+                          {0.0, 0.34, 0.095, 0.104, 0.107, 0.102, 0.088, 0.064, 0.045});
+}
+
+LengthDistribution MakeProlong64kDistribution() {
+  return FromStandardBins("prolong64k",
+                          {0.231, 0.042, 0.021, 0.012, 0.013, 0.008, 0.673, 0.0, 0.0});
+}
+
+// The web corpora of Fig. 1 are dominated by short documents. Shapes below
+// follow the figure qualitatively: FineWeb(-Edu) mostly <2k, OpenWebMath
+// short-to-medium, StackExchange overwhelmingly <1k.
+LengthDistribution MakeFinewebDistribution() {
+  return FromStandardBins("fineweb", {0.62, 0.21, 0.10, 0.045, 0.018, 0.005, 0.002, 0.0, 0.0});
+}
+
+LengthDistribution MakeFinewebEduDistribution() {
+  return FromStandardBins("fineweb_edu",
+                          {0.55, 0.25, 0.12, 0.05, 0.02, 0.008, 0.002, 0.0, 0.0});
+}
+
+LengthDistribution MakeOpenWebMathDistribution() {
+  return FromStandardBins("openwebmath", {0.48, 0.27, 0.15, 0.07, 0.02, 0.008, 0.002, 0.0, 0.0});
+}
+
+LengthDistribution MakeStackExchangeDistribution() {
+  return FromStandardBins("stackexchange",
+                          {0.78, 0.14, 0.05, 0.02, 0.007, 0.002, 0.001, 0.0, 0.0});
+}
+
+std::vector<LengthDistribution> EvaluationDatasets() {
+  return {MakeArxivDistribution(), MakeGithubDistribution(), MakeProlong64kDistribution()};
+}
+
+std::vector<LengthDistribution> AllDatasets() {
+  return {MakeArxivDistribution(),      MakeGithubDistribution(),
+          MakeProlong64kDistribution(), MakeFinewebDistribution(),
+          MakeFinewebEduDistribution(), MakeOpenWebMathDistribution(),
+          MakeStackExchangeDistribution()};
+}
+
+LengthDistribution DatasetByName(const std::string& name) {
+  for (auto& d : AllDatasets()) {
+    if (d.name() == name) {
+      return d;
+    }
+  }
+  ZCHECK(false) << "unknown dataset: " << name;
+  return MakeArxivDistribution();
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,39 @@
+// Dataset presets.
+//
+// Table 2 of the paper gives exact per-bin proportions for the three
+// evaluation datasets (ArXiv, GitHub, ProLong64k); those are reproduced
+// verbatim. The four additional Fig. 1 corpora (FineWeb, FineWeb-Edu,
+// OpenWebMath, StackExchange) are modelled from the shapes shown in Fig. 1 —
+// web/QA corpora dominated by sub-4k documents.
+#ifndef SRC_DATA_DATASETS_H_
+#define SRC_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/distribution.h"
+
+namespace zeppelin {
+
+// --- Evaluation datasets (Table 2) -----------------------------------------
+LengthDistribution MakeArxivDistribution();
+LengthDistribution MakeGithubDistribution();
+LengthDistribution MakeProlong64kDistribution();
+
+// --- Additional Fig. 1 corpora ----------------------------------------------
+LengthDistribution MakeFinewebDistribution();
+LengthDistribution MakeFinewebEduDistribution();
+LengthDistribution MakeOpenWebMathDistribution();
+LengthDistribution MakeStackExchangeDistribution();
+
+// The three Table-2 datasets in paper order.
+std::vector<LengthDistribution> EvaluationDatasets();
+// All seven Fig.-1 corpora.
+std::vector<LengthDistribution> AllDatasets();
+
+// Lookup by name ("arxiv", "github", "prolong64k", "fineweb", ...).
+LengthDistribution DatasetByName(const std::string& name);
+
+}  // namespace zeppelin
+
+#endif  // SRC_DATA_DATASETS_H_

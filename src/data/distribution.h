@@ -1,0 +1,65 @@
+// Sequence-length distributions.
+//
+// Training batches in the paper are synthetic: sequence lengths are sampled
+// proportionally to the length histogram of a reference dataset (§5, Table 2).
+// A LengthDistribution is exactly such a histogram: a set of [lo, hi) bins
+// with sampling weights; lengths within a bin are drawn log-uniformly, which
+// matches the long-tailed shapes in Fig. 1.
+#ifndef SRC_DATA_DISTRIBUTION_H_
+#define SRC_DATA_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace zeppelin {
+
+struct LengthBin {
+  int64_t lo = 0;        // Inclusive.
+  int64_t hi = 0;        // Exclusive.
+  double weight = 0;     // Probability mass (need not be normalized).
+};
+
+class LengthDistribution {
+ public:
+  LengthDistribution(std::string name, std::vector<LengthBin> bins);
+
+  const std::string& name() const { return name_; }
+  const std::vector<LengthBin>& bins() const { return bins_; }
+
+  // Draws one sequence length. Lengths are rounded to a multiple of
+  // `granularity` (tokenizer/packing granularity; 64 matches common practice)
+  // and clamped to the bin.
+  int64_t Sample(Rng& rng, int64_t granularity = 64) const;
+
+  // Probability mass of sequences falling in [lo, hi).
+  double MassInRange(int64_t lo, int64_t hi) const;
+
+  // Expected token contribution of sequences in [lo, hi) relative to the
+  // overall expected tokens (token-mass share rather than count share).
+  double TokenShareInRange(int64_t lo, int64_t hi) const;
+
+  // Expected sequence length under the distribution.
+  double MeanLength() const;
+
+  // Largest representable length.
+  int64_t MaxLength() const;
+
+ private:
+  std::string name_;
+  std::vector<LengthBin> bins_;
+  double total_weight_ = 0;
+};
+
+// The standard bin edges used throughout the paper's figures:
+// <1k, 1-2k, 2-4k, ..., 128-256k.
+std::vector<int64_t> StandardBinEdges();
+
+// Human label for a [lo, hi) standard bin, e.g. "<1k" or "16-32k".
+std::string BinLabel(int64_t lo, int64_t hi);
+
+}  // namespace zeppelin
+
+#endif  // SRC_DATA_DISTRIBUTION_H_

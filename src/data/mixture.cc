@@ -1,0 +1,38 @@
+#include "src/data/mixture.h"
+
+#include "src/common/check.h"
+#include "src/data/datasets.h"
+
+namespace zeppelin {
+
+LengthDistribution MakeMixtureDistribution(const std::string& name,
+                                           const std::vector<MixtureComponent>& components) {
+  ZCHECK(!components.empty());
+  std::vector<LengthBin> bins;
+  for (const auto& component : components) {
+    ZCHECK_GE(component.weight, 0.0);
+    const LengthDistribution d = DatasetByName(component.dataset);
+    double total = 0;
+    for (const auto& b : d.bins()) {
+      total += b.weight;
+    }
+    for (const auto& b : d.bins()) {
+      bins.push_back({b.lo, b.hi, component.weight * b.weight / total});
+    }
+  }
+  return LengthDistribution(name, std::move(bins));
+}
+
+LengthDistribution MakePretrainMixture() {
+  return MakeMixtureDistribution("pretrain-mixture", {
+                                                         {"fineweb", 0.45},
+                                                         {"fineweb_edu", 0.15},
+                                                         {"stackexchange", 0.10},
+                                                         {"openwebmath", 0.08},
+                                                         {"github", 0.12},
+                                                         {"arxiv", 0.06},
+                                                         {"prolong64k", 0.04},
+                                                     });
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,30 @@
+// Weighted dataset mixtures — "typical LLM training involves a mixture of
+// datasets with diverse and often long-tailed sequence length distributions"
+// (paper §1, Fig. 1). A mixture is itself a LengthDistribution, so samplers,
+// zone analysis, and benches consume it unchanged.
+#ifndef SRC_DATA_MIXTURE_H_
+#define SRC_DATA_MIXTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/distribution.h"
+
+namespace zeppelin {
+
+struct MixtureComponent {
+  std::string dataset;  // Name resolvable by DatasetByName().
+  double weight = 0;    // Relative sampling weight (need not normalize).
+};
+
+// Blends the components' (normalized) bins by weight.
+LengthDistribution MakeMixtureDistribution(const std::string& name,
+                                           const std::vector<MixtureComponent>& components);
+
+// A representative pretraining mixture: mostly web text, meaningful code /
+// math / long-context slices (weights follow open recipes).
+LengthDistribution MakePretrainMixture();
+
+}  // namespace zeppelin
+
+#endif  // SRC_DATA_MIXTURE_H_

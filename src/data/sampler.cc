@@ -1,0 +1,110 @@
+#include "src/data/sampler.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+int64_t Batch::total_tokens() const {
+  int64_t total = 0;
+  for (int64_t s : seq_lens) {
+    total += s;
+  }
+  return total;
+}
+
+int64_t Batch::max_len() const {
+  int64_t m = 0;
+  for (int64_t s : seq_lens) {
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+BatchSampler::BatchSampler(LengthDistribution dist, int64_t total_tokens, uint64_t seed,
+                           int64_t granularity)
+    : dist_(std::move(dist)),
+      total_tokens_(total_tokens),
+      granularity_(granularity),
+      rng_(seed) {
+  ZCHECK_GT(total_tokens_, 0);
+  ZCHECK_GT(granularity_, 0);
+  ZCHECK_EQ(total_tokens_ % granularity_, 0)
+      << "batch size must be a multiple of the granularity";
+}
+
+Batch BatchSampler::NextBatch() {
+  Batch batch;
+  int64_t remaining = total_tokens_;
+  while (remaining > 0) {
+    int64_t len = dist_.Sample(rng_, granularity_);
+    len = std::min(len, remaining);
+    batch.seq_lens.push_back(len);
+    remaining -= len;
+  }
+  ZCHECK_EQ(batch.total_tokens(), total_tokens_);
+  return batch;
+}
+
+Batch MakeBalancedBatch(int64_t total_tokens) {
+  // One representative sequence per Table-2 bin (midpoint lengths), repeated
+  // to fill the budget, largest first.
+  const std::vector<int64_t> reps = {512, 1536, 3072, 6144, 12288, 24576, 49152};
+  Batch batch;
+  int64_t remaining = total_tokens;
+  // Round-robin over representatives from long to short until filled.
+  while (remaining > 0) {
+    bool added = false;
+    for (auto it = reps.rbegin(); it != reps.rend(); ++it) {
+      if (*it <= remaining) {
+        batch.seq_lens.push_back(*it);
+        remaining -= *it;
+        added = true;
+        break;
+      }
+    }
+    if (!added) {
+      batch.seq_lens.push_back(remaining);
+      remaining = 0;
+    }
+  }
+  ZCHECK_EQ(batch.total_tokens(), total_tokens);
+  return batch;
+}
+
+Batch MakeSkewedBatch(int64_t total_tokens) {
+  // One dominant sequence (3/4 of the budget) plus short 1k fillers.
+  Batch batch;
+  const int64_t long_len = total_tokens / 4 * 3;
+  batch.seq_lens.push_back(long_len);
+  int64_t remaining = total_tokens - long_len;
+  while (remaining > 0) {
+    const int64_t len = std::min<int64_t>(1024, remaining);
+    batch.seq_lens.push_back(len);
+    remaining -= len;
+  }
+  ZCHECK_EQ(batch.total_tokens(), total_tokens);
+  return batch;
+}
+
+std::string DescribeBatch(const Batch& batch) {
+  std::map<int64_t, int> counts;
+  for (int64_t s : batch.seq_lens) {
+    ++counts[s];
+  }
+  std::ostringstream out;
+  bool first = true;
+  for (auto it = counts.rbegin(); it != counts.rend(); ++it) {
+    if (!first) {
+      out << " + ";
+    }
+    first = false;
+    out << it->second << "x" << it->first;
+  }
+  return out.str();
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,60 @@
+// Batch sampling: turns a length distribution into concrete training batches.
+//
+// Mirrors the paper's workload generation: a global batch targets a fixed
+// total context length (e.g. 64k-256k tokens = 4k per GPU), with individual
+// sequence lengths sampled from the dataset distribution. Also provides the
+// hand-built Balanced / Skewed batches of Table 3.
+#ifndef SRC_DATA_SAMPLER_H_
+#define SRC_DATA_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/distribution.h"
+
+namespace zeppelin {
+
+struct Batch {
+  std::vector<int64_t> seq_lens;
+
+  int64_t total_tokens() const;
+  int64_t max_len() const;
+  // Number of sequences.
+  int size() const { return static_cast<int>(seq_lens.size()); }
+};
+
+class BatchSampler {
+ public:
+  // `total_tokens`: the global context length of each batch. Sequences are
+  // drawn from `dist` until the target is met; the final sequence is trimmed
+  // so every batch has exactly `total_tokens` tokens (sequence lengths stay
+  // multiples of `granularity`).
+  BatchSampler(LengthDistribution dist, int64_t total_tokens, uint64_t seed,
+               int64_t granularity = 64);
+
+  Batch NextBatch();
+
+  const LengthDistribution& distribution() const { return dist_; }
+  int64_t total_tokens() const { return total_tokens_; }
+
+ private:
+  LengthDistribution dist_;
+  int64_t total_tokens_;
+  int64_t granularity_;
+  Rng rng_;
+};
+
+// Table 3 batches (7B model, 128k total context):
+// Balanced samples one sequence from every Table-2 bin of the dataset mix;
+// Skewed is one very long sequence plus several short ones.
+Batch MakeBalancedBatch(int64_t total_tokens);
+Batch MakeSkewedBatch(int64_t total_tokens);
+
+// Splits `batch` deterministically for quick inspection, e.g. "3x4096 + 1x512".
+std::string DescribeBatch(const Batch& batch);
+
+}  // namespace zeppelin
+
+#endif  // SRC_DATA_SAMPLER_H_

@@ -1,0 +1,136 @@
+#include "src/model/transformer.h"
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+int64_t TransformerConfig::ParamsPerLayer() const {
+  const int64_t h = hidden_size;
+  const int64_t kvh = kv_hidden();
+  const int64_t f = ffn_hidden;
+  // Attention: Q (h*h), K+V (h*kvh each), out (h*h).
+  const int64_t attn = h * h + 2 * h * kvh + h * h;
+  // Gated MLP (SwiGLU): three h x f matrices, per expert.
+  const int64_t mlp_per_expert = 3 * h * f;
+  const int64_t router = is_moe() ? h * num_experts : 0;
+  return attn + mlp_per_expert * num_experts + router;
+}
+
+int64_t TransformerConfig::NumParams() const {
+  const int64_t embed = static_cast<int64_t>(vocab_size) * hidden_size;
+  // Tied head counted once more (separate unembedding).
+  return 2 * embed + static_cast<int64_t>(num_layers) * ParamsPerLayer();
+}
+
+void TransformerConfig::Validate() const {
+  ZCHECK_GT(num_layers, 0);
+  ZCHECK_GT(hidden_size, 0);
+  ZCHECK_GT(num_heads, 0);
+  ZCHECK_GT(num_kv_heads, 0);
+  ZCHECK_LE(num_kv_heads, num_heads);
+  ZCHECK_EQ(hidden_size % num_heads, 0);
+  ZCHECK_GT(ffn_hidden, 0);
+  ZCHECK_GE(num_experts, 1);
+  ZCHECK_GE(experts_per_token, 1);
+  ZCHECK_LE(experts_per_token, num_experts);
+}
+
+TransformerConfig MakeLlama3B() {
+  TransformerConfig c;
+  c.name = "LLaMA-3B";
+  c.num_layers = 26;
+  c.hidden_size = 3200;
+  c.num_heads = 32;
+  c.num_kv_heads = 32;
+  c.ffn_hidden = 8640;
+  c.Validate();
+  return c;
+}
+
+TransformerConfig MakeLlama7B() {
+  TransformerConfig c;
+  c.name = "LLaMA-7B";
+  c.num_layers = 32;
+  c.hidden_size = 4096;
+  c.num_heads = 32;
+  c.num_kv_heads = 32;
+  c.ffn_hidden = 11008;
+  c.Validate();
+  return c;
+}
+
+TransformerConfig MakeLlama13B() {
+  TransformerConfig c;
+  c.name = "LLaMA-13B";
+  c.num_layers = 40;
+  c.hidden_size = 5120;
+  c.num_heads = 40;
+  c.num_kv_heads = 40;
+  c.ffn_hidden = 13824;
+  c.Validate();
+  return c;
+}
+
+TransformerConfig MakeLlama30B() {
+  TransformerConfig c;
+  c.name = "LLaMA-30B";
+  c.num_layers = 60;
+  c.hidden_size = 6656;
+  c.num_heads = 52;
+  c.num_kv_heads = 52;
+  c.ffn_hidden = 17920;
+  c.Validate();
+  return c;
+}
+
+TransformerConfig MakeMoe8x550M() {
+  TransformerConfig c;
+  c.name = "MoE-8x550M";
+  c.num_layers = 24;
+  c.hidden_size = 2048;
+  c.num_heads = 16;
+  c.num_kv_heads = 16;
+  c.ffn_hidden = 3584;
+  c.num_experts = 8;
+  c.experts_per_token = 2;
+  c.Validate();
+  return c;
+}
+
+TransformerConfig MakeLlama8BGqa() {
+  TransformerConfig c;
+  c.name = "LLaMA-8B-GQA";
+  c.num_layers = 32;
+  c.hidden_size = 4096;
+  c.num_heads = 32;
+  c.num_kv_heads = 8;
+  c.ffn_hidden = 14336;
+  c.vocab_size = 128256;
+  c.Validate();
+  return c;
+}
+
+TransformerConfig ModelByName(const std::string& name) {
+  if (name == "3B") {
+    return MakeLlama3B();
+  }
+  if (name == "7B") {
+    return MakeLlama7B();
+  }
+  if (name == "13B") {
+    return MakeLlama13B();
+  }
+  if (name == "30B") {
+    return MakeLlama30B();
+  }
+  if (name == "8x550M") {
+    return MakeMoe8x550M();
+  }
+  if (name == "8B-GQA") {
+    return MakeLlama8BGqa();
+  }
+  ZCHECK(false) << "unknown model preset: " << name;
+  return {};
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,60 @@
+// Transformer model descriptions (the paper's §2.1 architecture model).
+//
+// A model is a stack of identical layers, each containing one causal
+// self-attention module (quadratic in sequence length) and a set of "linear
+// modules" (QKV/out projections, gated MLP or MoE experts, norms) whose cost
+// is token-wise. The evaluation configurations (3B/7B/13B/30B dense and
+// 8x550M MoE LLaMA variants, §5) are provided as presets.
+#ifndef SRC_MODEL_TRANSFORMER_H_
+#define SRC_MODEL_TRANSFORMER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zeppelin {
+
+struct TransformerConfig {
+  std::string name;
+  int num_layers = 0;
+  int hidden_size = 0;
+  int num_heads = 0;
+  int num_kv_heads = 0;   // == num_heads for MHA; < num_heads for GQA.
+  int ffn_hidden = 0;     // Per-expert FFN width for MoE models.
+  int vocab_size = 32000;
+  int dtype_bytes = 2;    // bf16 activations / weights.
+
+  // Mixture-of-Experts. Dense models keep num_experts == 1.
+  int num_experts = 1;
+  int experts_per_token = 1;
+
+  bool is_moe() const { return num_experts > 1; }
+  int head_dim() const { return hidden_size / num_heads; }
+  // Width of the K/V projection output (GQA-aware).
+  int kv_hidden() const { return num_kv_heads * head_dim(); }
+
+  // Total parameter count (embeddings + layers + head).
+  int64_t NumParams() const;
+  // Parameters in one layer.
+  int64_t ParamsPerLayer() const;
+
+  void Validate() const;
+};
+
+// --- Presets used in the paper's evaluation (§5) ---------------------------
+TransformerConfig MakeLlama3B();
+TransformerConfig MakeLlama7B();
+TransformerConfig MakeLlama13B();
+TransformerConfig MakeLlama30B();
+TransformerConfig MakeMoe8x550M();
+// Extension beyond the paper's table: a LLaMA-3-style 8B with grouped-query
+// attention (8 KV heads) — GQA shrinks the KV activations ring attention
+// ships by 4x, shifting every zone boundary.
+TransformerConfig MakeLlama8BGqa();
+
+// Look up a preset by short name ("3B", "7B", "13B", "30B", "8x550M",
+// "8B-GQA").
+TransformerConfig ModelByName(const std::string& name);
+
+}  // namespace zeppelin
+
+#endif  // SRC_MODEL_TRANSFORMER_H_

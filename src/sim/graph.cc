@@ -1,0 +1,99 @@
+#include "src/sim/graph.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+const char* TaskCategoryName(TaskCategory category) {
+  switch (category) {
+    case TaskCategory::kAttentionCompute:
+      return "attention_compute";
+    case TaskCategory::kLinearCompute:
+      return "linear_compute";
+    case TaskCategory::kOtherCompute:
+      return "other_compute";
+    case TaskCategory::kIntraComm:
+      return "intra_comm";
+    case TaskCategory::kInterComm:
+      return "inter_comm";
+    case TaskCategory::kDispatchComm:
+      return "dispatch_comm";
+    case TaskCategory::kCombineComm:
+      return "combine_comm";
+    case TaskCategory::kRemapComm:
+      return "remap_comm";
+    case TaskCategory::kBarrier:
+      return "barrier";
+  }
+  return "unknown";
+}
+
+bool IsCommCategory(TaskCategory category) {
+  switch (category) {
+    case TaskCategory::kIntraComm:
+    case TaskCategory::kInterComm:
+    case TaskCategory::kDispatchComm:
+    case TaskCategory::kCombineComm:
+    case TaskCategory::kRemapComm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TaskId TaskGraph::Push(Task task) {
+  ZCHECK_GE(task.duration_us, 0.0);
+  for (TaskId dep : task.deps) {
+    ZCHECK(dep >= 0 && dep < size()) << "dep=" << dep << " out of range (forward deps only)";
+  }
+  tasks_.push_back(std::move(task));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+TaskId TaskGraph::AddCompute(ResourceId lane, double duration_us, TaskCategory category,
+                             std::vector<TaskId> deps, std::string label, int gpu) {
+  Task t;
+  t.duration_us = duration_us;
+  t.category = category;
+  t.resources = {lane};
+  t.deps = std::move(deps);
+  t.gpu = gpu;
+  t.label = std::move(label);
+  return Push(std::move(t));
+}
+
+TaskId TaskGraph::AddTransfer(const TransferPath& path, int64_t bytes, TaskCategory category,
+                              std::vector<TaskId> deps, std::string label, int src_gpu) {
+  ZCHECK_GE(bytes, 0);
+  Task t;
+  t.category = category;
+  t.resources = path.resources;
+  t.deps = std::move(deps);
+  t.bytes = bytes;
+  t.gpu = src_gpu;
+  t.label = std::move(label);
+  if (path.resources.empty()) {
+    t.duration_us = 0;  // Same-device: free.
+  } else {
+    ZCHECK_GT(path.bandwidth, 0.0);
+    t.duration_us = static_cast<double>(bytes) / path.bandwidth + path.latency_us;
+  }
+  return Push(std::move(t));
+}
+
+TaskId TaskGraph::AddBarrier(std::vector<TaskId> deps, std::string label) {
+  Task t;
+  t.category = TaskCategory::kBarrier;
+  t.deps = std::move(deps);
+  t.label = std::move(label);
+  return Push(std::move(t));
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  ZCHECK(id >= 0 && id < size()) << "task id=" << id;
+  return tasks_[id];
+}
+
+}  // namespace zeppelin

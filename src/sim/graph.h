@@ -1,0 +1,50 @@
+// TaskGraph: builder for simulator DAGs.
+//
+// Program order matters: when several tasks wait on the same resource, the
+// one added first runs first (FIFO, like work issued to a CUDA stream).
+// Strategies therefore emit tasks in their intended per-resource execution
+// order — e.g. Zeppelin's attention engine adds the inter-node queue before
+// the intra-node queue before the local queue (§3.2).
+#ifndef SRC_SIM_GRAPH_H_
+#define SRC_SIM_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/topology/path.h"
+
+namespace zeppelin {
+
+class TaskGraph {
+ public:
+  // Compute kernel occupying a single lane.
+  TaskId AddCompute(ResourceId lane, double duration_us, TaskCategory category,
+                    std::vector<TaskId> deps, std::string label, int gpu);
+
+  // Point-to-point transfer along a resolved path. Duration is
+  // bytes / path.bandwidth + path.latency. A same-GPU path (no resources)
+  // completes instantly and merely propagates dependencies.
+  TaskId AddTransfer(const TransferPath& path, int64_t bytes, TaskCategory category,
+                     std::vector<TaskId> deps, std::string label, int src_gpu);
+
+  // Zero-duration scheduling node; handy for fan-in/fan-out points.
+  TaskId AddBarrier(std::vector<TaskId> deps, std::string label = "barrier");
+
+  // Escape hatch for composite operations (e.g. a bulk collective occupying
+  // many channels at once): the caller fills the Task fields directly.
+  TaskId AddTransferLike(Task task) { return Push(std::move(task)); }
+
+  const Task& task(TaskId id) const;
+  int size() const { return static_cast<int>(tasks_.size()); }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+ private:
+  TaskId Push(Task task);
+
+  std::vector<Task> tasks_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_SIM_GRAPH_H_

@@ -1,0 +1,54 @@
+// Task model for the discrete-event cluster simulator.
+//
+// A training step is expressed as a DAG of tasks. Each task occupies a set of
+// fabric resources (compute lanes, NVSwitch channels, NIC channels) for its
+// whole duration; resources serialize tasks FIFO in program order, which is
+// how CUDA streams and NCCL channels behave. The simulator executes the DAG
+// and reports the makespan plus per-resource utilization — the schedule-level
+// quantities all of the paper's comparisons are about.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topology/path.h"
+
+namespace zeppelin {
+
+using TaskId = int32_t;
+inline constexpr TaskId kInvalidTask = -1;
+
+enum class TaskCategory : uint8_t {
+  kAttentionCompute = 0,
+  kLinearCompute,
+  kOtherCompute,
+  kIntraComm,     // NVSwitch point-to-point.
+  kInterComm,     // NIC point-to-point.
+  kDispatchComm,  // Routing layer step 1 (intra-node scatter to proxies).
+  kCombineComm,   // Routing layer step 3 (intra-node gather from proxies).
+  kRemapComm,     // Remapping layer all-to-allv traffic.
+  kBarrier,
+};
+inline constexpr int kNumTaskCategories = 9;
+
+const char* TaskCategoryName(TaskCategory category);
+
+// True for the communication categories (anything that moves bytes).
+bool IsCommCategory(TaskCategory category);
+
+struct Task {
+  double duration_us = 0;
+  TaskCategory category = TaskCategory::kBarrier;
+  // Resources occupied for the full duration (empty => pure scheduling node).
+  std::vector<ResourceId> resources;
+  std::vector<TaskId> deps;
+  int64_t bytes = 0;  // For transfers.
+  int gpu = -1;       // Owning GPU (compute) or source GPU (transfers).
+  std::string label;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,50 @@
+// Post-run schedule analysis: per-category summaries, NIC utilization, and a
+// textual timeline report. Backs the reproduction of Fig. 12 (timeline
+// analysis) and the NIC-utilization claims of §3.3.
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/graph.h"
+#include "src/topology/path.h"
+
+namespace zeppelin {
+
+struct CategorySummary {
+  int task_count = 0;
+  double total_us = 0;  // Sum of task durations (not resource-seconds).
+  double mean_us = 0;
+  double max_us = 0;
+};
+
+// One summary per TaskCategory, indexed by static_cast<int>(category).
+std::array<CategorySummary, kNumTaskCategories> SummarizeByCategory(const TaskGraph& graph,
+                                                                    const SimResult& result);
+
+struct NicUtilization {
+  int node = 0;
+  int nic = 0;
+  double tx_busy_us = 0;
+  double rx_busy_us = 0;
+  double tx_utilization = 0;  // Busy / makespan.
+  double rx_utilization = 0;
+};
+
+std::vector<NicUtilization> ComputeNicUtilization(const FabricResources& fabric,
+                                                  const SimResult& result);
+
+// Mean utilization over all NIC directional channels — the paper's
+// "fully utilize all NICs" metric (1.0 = every NIC busy both ways, always).
+double MeanNicUtilization(const FabricResources& fabric, const SimResult& result);
+
+// Multi-line human-readable report: makespan, category table, NIC table.
+std::string FormatTimelineReport(const TaskGraph& graph, const FabricResources& fabric,
+                                 const SimResult& result);
+
+}  // namespace zeppelin
+
+#endif  // SRC_SIM_TRACE_H_

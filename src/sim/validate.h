@@ -1,0 +1,37 @@
+// Schedule validation: checks that a SimResult is a *legal* execution of its
+// TaskGraph. Used by the property/fuzz tests and available to users as a
+// debugging aid when building custom strategies.
+//
+// A legal schedule satisfies:
+//   1. every task ran (start/finish recorded, finish = start + duration);
+//   2. no task started before all of its dependencies finished;
+//   3. no two tasks overlap on any resource (resources are exclusive);
+//   4. per-resource admission is FIFO in program order among tasks that were
+//      ready when the resource chose (weak FIFO: a task may not start while
+//      an earlier-id task on the same resource is ready-and-waiting).
+#ifndef SRC_SIM_VALIDATE_H_
+#define SRC_SIM_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/graph.h"
+
+namespace zeppelin {
+
+struct ScheduleViolation {
+  TaskId task = kInvalidTask;
+  std::string description;
+};
+
+// Returns all violations found (empty = legal schedule).
+std::vector<ScheduleViolation> ValidateSchedule(const TaskGraph& graph, const SimResult& result,
+                                                int num_resources);
+
+// Convenience: true when ValidateSchedule finds nothing.
+bool IsLegalSchedule(const TaskGraph& graph, const SimResult& result, int num_resources);
+
+}  // namespace zeppelin
+
+#endif  // SRC_SIM_VALIDATE_H_

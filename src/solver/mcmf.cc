@@ -1,0 +1,107 @@
+#include "src/solver/mcmf.h"
+
+#include <limits>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Slack for floating-point comparisons in Dijkstra relaxation.
+constexpr double kEps = 1e-12;
+}  // namespace
+
+MinCostFlow::MinCostFlow(int num_nodes) : num_nodes_(num_nodes), adjacency_(num_nodes) {
+  ZCHECK_GT(num_nodes, 0);
+}
+
+int MinCostFlow::AddEdge(int from, int to, int64_t capacity, double cost) {
+  ZCHECK(from >= 0 && from < num_nodes_) << "from=" << from;
+  ZCHECK(to >= 0 && to < num_nodes_) << "to=" << to;
+  ZCHECK_GE(capacity, 0);
+  ZCHECK_GE(cost, 0.0);
+  ZCHECK(!solved_) << "graph is frozen after Solve()";
+
+  const int fwd_index = static_cast<int>(adjacency_[from].size());
+  const int rev_index = static_cast<int>(adjacency_[to].size());
+  adjacency_[from].push_back({to, capacity, cost, rev_index});
+  adjacency_[to].push_back({from, 0, -cost, fwd_index});
+  edge_handles_.emplace_back(from, fwd_index);
+  initial_capacity_.push_back(capacity);
+  return static_cast<int>(edge_handles_.size()) - 1;
+}
+
+MinCostFlow::Result MinCostFlow::Solve(int source, int sink) {
+  ZCHECK(source >= 0 && source < num_nodes_);
+  ZCHECK(sink >= 0 && sink < num_nodes_);
+  ZCHECK_NE(source, sink);
+  ZCHECK(!solved_);
+  solved_ = true;
+
+  Result result;
+  std::vector<double> potential(num_nodes_, 0.0);  // All costs >= 0, so valid initially.
+  std::vector<double> dist(num_nodes_);
+  std::vector<int> prev_node(num_nodes_);
+  std::vector<int> prev_edge(num_nodes_);
+
+  for (;;) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[source] = 0;
+    using QItem = std::pair<double, int>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    pq.emplace(0.0, source);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u] + kEps) {
+        continue;
+      }
+      for (int ei = 0; ei < static_cast<int>(adjacency_[u].size()); ++ei) {
+        const Edge& e = adjacency_[u][ei];
+        if (e.capacity <= 0) {
+          continue;
+        }
+        const double nd = d + e.cost + potential[u] - potential[e.to];
+        if (nd + kEps < dist[e.to]) {
+          dist[e.to] = nd;
+          prev_node[e.to] = u;
+          prev_edge[e.to] = ei;
+          pq.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[sink] == kInf) {
+      break;  // No augmenting path remains.
+    }
+    for (int v = 0; v < num_nodes_; ++v) {
+      if (dist[v] < kInf) {
+        potential[v] += dist[v];
+      }
+    }
+    // Bottleneck along the path.
+    int64_t push = std::numeric_limits<int64_t>::max();
+    for (int v = sink; v != source; v = prev_node[v]) {
+      push = std::min(push, adjacency_[prev_node[v]][prev_edge[v]].capacity);
+    }
+    for (int v = sink; v != source; v = prev_node[v]) {
+      Edge& e = adjacency_[prev_node[v]][prev_edge[v]];
+      e.capacity -= push;
+      adjacency_[e.to][e.rev].capacity += push;
+      result.total_cost += e.cost * static_cast<double>(push);
+    }
+    result.max_flow += push;
+  }
+  return result;
+}
+
+int64_t MinCostFlow::Flow(int edge_handle) const {
+  ZCHECK(edge_handle >= 0 && edge_handle < static_cast<int>(edge_handles_.size()));
+  ZCHECK(solved_);
+  const auto [node, index] = edge_handles_[edge_handle];
+  return initial_capacity_[edge_handle] - adjacency_[node][index].capacity;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,52 @@
+// Min-cost max-flow via successive shortest paths with Johnson potentials.
+//
+// Stands in for the paper's use of Gurobi (§3.4): the remapping problem
+// (Eq. 2) is a small transport LP over d <= a few hundred ranks, comfortably
+// in range for an exact combinatorial solver. Costs are doubles (inverse
+// bandwidths), capacities are int64 token counts.
+#ifndef SRC_SOLVER_MCMF_H_
+#define SRC_SOLVER_MCMF_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace zeppelin {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  // Adds a directed edge; returns an edge handle for Flow(). cost >= 0.
+  int AddEdge(int from, int to, int64_t capacity, double cost);
+
+  struct Result {
+    int64_t max_flow = 0;
+    double total_cost = 0;
+  };
+
+  // Computes the min-cost max-flow from `source` to `sink`. May be called
+  // once per instance.
+  Result Solve(int source, int sink);
+
+  // Flow routed on the edge returned by the i-th AddEdge call (post-Solve).
+  int64_t Flow(int edge_handle) const;
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;
+    double cost;
+    int rev;  // Index of the reverse edge in adjacency[to].
+  };
+
+  int num_nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+  // (node, index into adjacency_[node]) for each AddEdge call.
+  std::vector<std::pair<int, int>> edge_handles_;
+  std::vector<int64_t> initial_capacity_;
+  bool solved_ = false;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_SOLVER_MCMF_H_

@@ -1,0 +1,60 @@
+// Exact solver for the paper's remapping optimization (Eq. 2).
+//
+//   arg min_M || (T * M) 1 ||_inf
+//   s.t. row sums   = surplus_i  (ranks only ship what they have in excess)
+//        column sums = deficit_j (deficits are exactly filled)
+//        M >= 0
+//
+// where T_ij = b_inter when ranks i and j are on different nodes, b_intra
+// otherwise. The structure of T (two cost levels, determined solely by node
+// co-location) makes an exact combinatorial solution possible:
+//   1. only surplus rows have nonzero cost, so the objective is the max
+//      sender cost;
+//   2. the cross-node volume each node must export is fixed by per-node
+//      imbalance (intra-node transfers cannot change node totals);
+//   3. a sender's cost depends only on how many of its surplus tokens cross
+//      nodes: cost_i = b_intra * s_i + (b_inter - b_intra) * e_i;
+//   4. distributing the mandatory node export among its surplus ranks to
+//      minimize the max cost is a water-filling problem.
+// The solution provably meets the analytic lower bound (see
+// MinimaxLowerBound), up to integer rounding of token counts.
+#ifndef SRC_SOLVER_MINIMAX_REMAP_H_
+#define SRC_SOLVER_MINIMAX_REMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace zeppelin {
+
+struct RemapProblem {
+  std::vector<int64_t> tokens;  // Current token count per rank.
+  std::vector<int64_t> target;  // Desired per rank. Empty => balanced target.
+  std::vector<int> node_of;     // Node id per rank.
+  double b_intra = 0;           // Cost per token moved within a node.
+  double b_inter = 0;           // Cost per token moved across nodes; >= b_intra.
+};
+
+struct RemapSolution {
+  std::vector<std::vector<int64_t>> transfer;  // transfer[i][j] tokens i -> j.
+  double max_row_cost = 0;                     // Eq. 2 objective value.
+  double total_cost = 0;
+};
+
+// Balanced target: floor(total/d) everywhere, the remainder spread over the
+// lowest-indexed ranks (keeps every |target_i - target_j| <= 1).
+std::vector<int64_t> BalancedTarget(const std::vector<int64_t>& tokens);
+
+// Exact minimax solution (water-filling construction above).
+RemapSolution SolveMinimaxRemap(const RemapProblem& problem);
+
+// Comparator: minimizes *total* cost instead (greedy intra-first); generally
+// worse on the minimax objective. Design-choice ablation D5.
+RemapSolution SolveMinTotalRemap(const RemapProblem& problem);
+
+// Analytic lower bound on the optimum of Eq. 2 (continuous relaxation);
+// SolveMinimaxRemap is within one token's cost of this value.
+double MinimaxLowerBound(const RemapProblem& problem);
+
+}  // namespace zeppelin
+
+#endif  // SRC_SOLVER_MINIMAX_REMAP_H_

@@ -1,0 +1,108 @@
+#include "src/solver/transport.h"
+
+#include "src/common/check.h"
+#include "src/solver/mcmf.h"
+
+namespace zeppelin {
+namespace {
+
+void ValidateProblem(const TransportProblem& problem) {
+  ZCHECK(!problem.supply.empty());
+  ZCHECK(!problem.demand.empty());
+  ZCHECK_EQ(problem.cost.size(), problem.supply.size());
+  int64_t total_supply = 0;
+  int64_t total_demand = 0;
+  for (int64_t s : problem.supply) {
+    ZCHECK_GE(s, 0);
+    total_supply += s;
+  }
+  for (int64_t d : problem.demand) {
+    ZCHECK_GE(d, 0);
+    total_demand += d;
+  }
+  ZCHECK_EQ(total_supply, total_demand) << "unbalanced transport problem";
+  for (const auto& row : problem.cost) {
+    ZCHECK_EQ(row.size(), problem.demand.size());
+  }
+}
+
+}  // namespace
+
+TransportSolution SolveTransportMinTotalCost(const TransportProblem& problem) {
+  ValidateProblem(problem);
+  const int ns = static_cast<int>(problem.supply.size());
+  const int nd = static_cast<int>(problem.demand.size());
+
+  // Node layout: 0 = source, 1..ns = supplies, ns+1..ns+nd = demands, last = sink.
+  MinCostFlow flow_net(ns + nd + 2);
+  const int source = 0;
+  const int sink = ns + nd + 1;
+  for (int i = 0; i < ns; ++i) {
+    flow_net.AddEdge(source, 1 + i, problem.supply[i], 0.0);
+  }
+  std::vector<std::vector<int>> handles(ns, std::vector<int>(nd, -1));
+  for (int i = 0; i < ns; ++i) {
+    if (problem.supply[i] == 0) {
+      continue;
+    }
+    for (int j = 0; j < nd; ++j) {
+      if (problem.demand[j] == 0) {
+        continue;
+      }
+      handles[i][j] = flow_net.AddEdge(1 + i, ns + 1 + j, problem.supply[i], problem.cost[i][j]);
+    }
+  }
+  for (int j = 0; j < nd; ++j) {
+    flow_net.AddEdge(ns + 1 + j, sink, problem.demand[j], 0.0);
+  }
+
+  const auto result = flow_net.Solve(source, sink);
+  int64_t total_supply = 0;
+  for (int64_t s : problem.supply) {
+    total_supply += s;
+  }
+  ZCHECK_EQ(result.max_flow, total_supply) << "transport problem infeasible";
+
+  std::vector<std::vector<int64_t>> flow(ns, std::vector<int64_t>(nd, 0));
+  for (int i = 0; i < ns; ++i) {
+    for (int j = 0; j < nd; ++j) {
+      if (handles[i][j] >= 0) {
+        flow[i][j] = flow_net.Flow(handles[i][j]);
+      }
+    }
+  }
+  return EvaluateFlow(problem, std::move(flow));
+}
+
+TransportSolution EvaluateFlow(const TransportProblem& problem,
+                               std::vector<std::vector<int64_t>> flow) {
+  ValidateProblem(problem);
+  const int ns = static_cast<int>(problem.supply.size());
+  const int nd = static_cast<int>(problem.demand.size());
+  ZCHECK_EQ(flow.size(), problem.supply.size());
+
+  TransportSolution solution;
+  solution.flow = std::move(flow);
+  std::vector<int64_t> received(nd, 0);
+  for (int i = 0; i < ns; ++i) {
+    ZCHECK_EQ(solution.flow[i].size(), problem.demand.size());
+    int64_t sent = 0;
+    double row_cost = 0;
+    for (int j = 0; j < nd; ++j) {
+      const int64_t f = solution.flow[i][j];
+      ZCHECK_GE(f, 0);
+      sent += f;
+      received[j] += f;
+      row_cost += problem.cost[i][j] * static_cast<double>(f);
+    }
+    ZCHECK_EQ(sent, problem.supply[i]) << "row " << i << " violates supply";
+    solution.total_cost += row_cost;
+    solution.max_row_cost = std::max(solution.max_row_cost, row_cost);
+  }
+  for (int j = 0; j < nd; ++j) {
+    ZCHECK_EQ(received[j], problem.demand[j]) << "column " << j << " violates demand";
+  }
+  return solution;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,37 @@
+// Transport problems: move supplies to demands at minimum cost.
+//
+// The classic (total-cost) transport problem is solved exactly with min-cost
+// flow; it serves as the greedy comparator for the paper's minimax objective
+// (Eq. 2) and as a test oracle.
+#ifndef SRC_SOLVER_TRANSPORT_H_
+#define SRC_SOLVER_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace zeppelin {
+
+struct TransportProblem {
+  std::vector<int64_t> supply;               // Per source; >= 0.
+  std::vector<int64_t> demand;               // Per sink; >= 0; sums must match.
+  std::vector<std::vector<double>> cost;     // cost[i][j] per unit from i to j.
+};
+
+struct TransportSolution {
+  // flow[i][j] units shipped from source i to sink j.
+  std::vector<std::vector<int64_t>> flow;
+  double total_cost = 0;
+  // max over sources i of sum_j cost[i][j] * flow[i][j] — the Eq. 2 objective.
+  double max_row_cost = 0;
+};
+
+// Exact minimum *total* cost solution (min-cost flow).
+TransportSolution SolveTransportMinTotalCost(const TransportProblem& problem);
+
+// Recomputes solution metrics from a flow matrix (validation helper).
+TransportSolution EvaluateFlow(const TransportProblem& problem,
+                               std::vector<std::vector<int64_t>> flow);
+
+}  // namespace zeppelin
+
+#endif  // SRC_SOLVER_TRANSPORT_H_

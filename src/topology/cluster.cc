@@ -1,0 +1,85 @@
+#include "src/topology/cluster.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace zeppelin {
+
+int ClusterSpec::NodeOf(int rank) const {
+  ZCHECK(rank >= 0 && rank < world_size()) << "rank=" << rank;
+  return rank / gpus_per_node;
+}
+
+int ClusterSpec::LocalOf(int rank) const {
+  ZCHECK(rank >= 0 && rank < world_size()) << "rank=" << rank;
+  return rank % gpus_per_node;
+}
+
+int ClusterSpec::GlobalRank(int node, int local) const {
+  ZCHECK(node >= 0 && node < num_nodes) << "node=" << node;
+  ZCHECK(local >= 0 && local < gpus_per_node) << "local=" << local;
+  return node * gpus_per_node + local;
+}
+
+int ClusterSpec::NicOf(int rank) const { return gpu_to_nic[LocalOf(rank)]; }
+
+std::vector<int> ClusterSpec::RanksOnNic(int node, int nic) const {
+  std::vector<int> out;
+  for (int local = 0; local < gpus_per_node; ++local) {
+    if (gpu_to_nic[local] == nic) {
+      out.push_back(GlobalRank(node, local));
+    }
+  }
+  return out;
+}
+
+double ClusterSpec::flops_per_us() const { return TflopsToFlopsPerUs(gpu_effective_tflops); }
+
+void ClusterSpec::Validate() const {
+  ZCHECK_GT(num_nodes, 0);
+  ZCHECK_GT(gpus_per_node, 0);
+  ZCHECK_GT(nics_per_node, 0);
+  ZCHECK_GT(nic_bandwidth, 0.0);
+  ZCHECK_GT(nvswitch_bandwidth, 0.0);
+  ZCHECK_GT(gpu_effective_tflops, 0.0);
+  ZCHECK_EQ(gpu_to_nic.size(), static_cast<size_t>(gpus_per_node));
+  for (int nic : gpu_to_nic) {
+    ZCHECK(nic >= 0 && nic < nics_per_node) << "nic=" << nic;
+  }
+}
+
+ClusterSpec ApplyTensorParallelism(const ClusterSpec& spec, int tp) {
+  ZCHECK_GE(tp, 1);
+  if (tp == 1) {
+    return spec;
+  }
+  ZCHECK_EQ(spec.gpus_per_node % tp, 0) << "TP must divide GPUs per node";
+  ClusterSpec derived = spec;
+  derived.name = spec.name + "/tp" + std::to_string(tp);
+  derived.gpus_per_node = spec.gpus_per_node / tp;
+  derived.gpu_effective_tflops = spec.gpu_effective_tflops * tp;
+  // TP members transfer their activation shards in parallel through their own
+  // NVSwitch ports.
+  derived.nvswitch_bandwidth = spec.nvswitch_bandwidth * tp;
+  derived.gpu_memory_bytes = spec.gpu_memory_bytes * tp;
+  derived.hbm_bandwidth = spec.hbm_bandwidth * tp;
+  derived.gpu_to_nic.clear();
+  for (int logical = 0; logical < derived.gpus_per_node; ++logical) {
+    derived.gpu_to_nic.push_back(spec.gpu_to_nic[logical * tp]);
+  }
+  derived.Validate();
+  return derived;
+}
+
+std::string DescribeCluster(const ClusterSpec& spec) {
+  std::ostringstream out;
+  out << spec.name << ": " << spec.num_nodes << " nodes x " << spec.gpus_per_node << " GPUs, "
+      << spec.nics_per_node << " NICs/node @ " << BytesPerUsToGBps(spec.nic_bandwidth)
+      << " GB/s, NVSwitch " << BytesPerUsToGBps(spec.nvswitch_bandwidth) << " GB/s, GPU "
+      << spec.gpu_effective_tflops << " effective TFLOP/s";
+  return out.str();
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,88 @@
+// Cluster topology model.
+//
+// Reproduces the hardware substrate of the paper's evaluation (§5): multi-node
+// GPU clusters where each node has P GPUs on an NVSwitch fabric and a set of
+// NICs with a fixed GPU->NIC affinity (e.g. Cluster A shares one 200 Gb/s NIC
+// between two GPUs; Cluster C maps one 400 Gb/s NIC per GPU). All the
+// imbalance phenomena the paper studies — the ~10x inter/intra bandwidth gap,
+// NIC sharing, unidirectional ring under-utilization — are functions of these
+// parameters.
+#ifndef SRC_TOPOLOGY_CLUSTER_H_
+#define SRC_TOPOLOGY_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zeppelin {
+
+struct ClusterSpec {
+  std::string name;
+
+  int num_nodes = 1;
+  int gpus_per_node = 8;
+  int nics_per_node = 4;
+
+  // Effective (achievable, not peak-datasheet) bandwidths in bytes/us.
+  // inter: per NIC, per direction. intra: per GPU NVSwitch port, per direction.
+  double nic_bandwidth = 0;
+  double nvswitch_bandwidth = 0;
+
+  // Per-message fixed latencies (us).
+  double intra_latency_us = 5.0;
+  double inter_latency_us = 15.0;
+
+  // GPU compute. `gpu_effective_tflops` already folds in kernel efficiency; it
+  // is what a well-tuned FlashAttention / GEMM achieves, not the datasheet max.
+  double gpu_effective_tflops = 0;
+  double kernel_launch_us = 3.0;
+
+  // HBM capacity per GPU (bytes) — used by the memory model.
+  double gpu_memory_bytes = 80.0 * 1024 * 1024 * 1024;
+  // HBM bandwidth (bytes/us) — prices memory-bound fixed costs (optimizer).
+  double hbm_bandwidth = 1.9e6;
+
+  // gpu_to_nic[local_gpu] = local NIC index serving that GPU.
+  std::vector<int> gpu_to_nic;
+
+  // --- Derived helpers -------------------------------------------------------
+  int world_size() const { return num_nodes * gpus_per_node; }
+  int NodeOf(int rank) const;
+  int LocalOf(int rank) const;
+  int GlobalRank(int node, int local) const;
+  // Local NIC index serving a global rank (its affinity NIC).
+  int NicOf(int rank) const;
+  // Global ranks whose affinity NIC is (node, nic).
+  std::vector<int> RanksOnNic(int node, int nic) const;
+
+  // GPU compute rate in FLOPs per microsecond.
+  double flops_per_us() const;
+
+  // Validates invariants (positive sizes, affinity table shape). Aborts via
+  // ZCHECK on violation; call after hand-constructing a spec.
+  void Validate() const;
+};
+
+// Human-readable one-line summary, e.g. for bench headers.
+std::string DescribeCluster(const ClusterSpec& spec);
+
+// --- Presets matching the paper's evaluation clusters (§5) -----------------
+// Cluster A: 8x A800-80G per node, NVSwitch, 4x 200 Gb/s RoCE NICs, each NIC
+//            shared by 2 GPUs.
+ClusterSpec MakeClusterA(int num_nodes);
+// Cluster B: 8x H800 per node, 8x 200 Gb/s RoCE NICs, one NIC per GPU.
+ClusterSpec MakeClusterB(int num_nodes);
+// Cluster C: 8x H200 per node, 8x 400 Gb/s CX7 NICs, one NIC per GPU.
+ClusterSpec MakeClusterC(int num_nodes);
+
+// Derives the logical cluster seen by a CP/DP rank when tensor parallelism of
+// size `tp` is applied within nodes: TP groups fuse into "fat" logical
+// devices with tp-fold compute and NVSwitch bandwidth, and the group's
+// traffic uses the first member's NIC (on Cluster A with tp = 2 this removes
+// the 2-GPUs-per-NIC sharing — the effect the paper credits for the 13B
+// configuration's larger speedups).
+ClusterSpec ApplyTensorParallelism(const ClusterSpec& spec, int tp);
+
+}  // namespace zeppelin
+
+#endif  // SRC_TOPOLOGY_CLUSTER_H_

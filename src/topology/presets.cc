@@ -1,0 +1,78 @@
+// Cluster presets mirroring the paper's evaluation hardware (§5).
+//
+// Bandwidth/compute figures are *effective* numbers (what NCCL send/recv and
+// FlashAttention actually sustain) rather than datasheet peaks; they are
+// calibrated so the absolute per-round times in the paper's Fig. 12 timeline
+// land in the right regime (e.g. a 52 MB KV block crossing nodes on one
+// 200 Gb/s NIC takes ~2.1 ms, matching the paper's 2.18 ms measurement).
+#include "src/common/units.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+
+ClusterSpec MakeClusterA(int num_nodes) {
+  ClusterSpec spec;
+  spec.name = "ClusterA(A800)";
+  spec.num_nodes = num_nodes;
+  spec.gpus_per_node = 8;
+  spec.nics_per_node = 4;
+  // 200 Gb/s RoCE per NIC; ~24 GB/s achievable per direction.
+  spec.nic_bandwidth = GbpsToBytesPerUs(200.0) * 0.96;
+  // A800 NVSwitch: 400 GB/s nominal; ~160 GB/s sustained for p2p send/recv.
+  spec.nvswitch_bandwidth = GBpsToBytesPerUs(160.0);
+  // A800 bf16 tensor peak 312 TFLOP/s; ~45% sustained on attention/GEMM mix.
+  spec.gpu_effective_tflops = 140.0;
+  spec.intra_latency_us = 6.0;
+  spec.inter_latency_us = 18.0;
+  spec.kernel_launch_us = 3.0;
+  spec.gpu_memory_bytes = 80.0 * kGiB;
+  spec.hbm_bandwidth = 1.9e6;  // ~1.9 TB/s HBM2e.
+  // Each NIC shared by two adjacent GPUs through a PCIe switch.
+  spec.gpu_to_nic = {0, 0, 1, 1, 2, 2, 3, 3};
+  spec.Validate();
+  return spec;
+}
+
+ClusterSpec MakeClusterB(int num_nodes) {
+  ClusterSpec spec;
+  spec.name = "ClusterB(H800)";
+  spec.num_nodes = num_nodes;
+  spec.gpus_per_node = 8;
+  spec.nics_per_node = 8;
+  spec.nic_bandwidth = GbpsToBytesPerUs(200.0) * 0.96;
+  // H800 NVLink is capped (~400 GB/s nominal); ~160 GB/s sustained p2p.
+  spec.nvswitch_bandwidth = GBpsToBytesPerUs(160.0);
+  // Hopper bf16 tensor peak ~990 TFLOP/s; ~40% sustained.
+  spec.gpu_effective_tflops = 400.0;
+  spec.intra_latency_us = 5.0;
+  spec.inter_latency_us = 18.0;
+  spec.kernel_launch_us = 3.0;
+  spec.gpu_memory_bytes = 80.0 * kGiB;
+  spec.hbm_bandwidth = 3.2e6;  // ~3.2 TB/s HBM3.
+  spec.gpu_to_nic = {0, 1, 2, 3, 4, 5, 6, 7};
+  spec.Validate();
+  return spec;
+}
+
+ClusterSpec MakeClusterC(int num_nodes) {
+  ClusterSpec spec;
+  spec.name = "ClusterC(H200)";
+  spec.num_nodes = num_nodes;
+  spec.gpus_per_node = 8;
+  spec.nics_per_node = 8;
+  // 400 Gb/s CX7, one per GPU.
+  spec.nic_bandwidth = GbpsToBytesPerUs(400.0) * 0.96;
+  // H200 NVSwitch 900 GB/s nominal; ~360 GB/s sustained p2p.
+  spec.nvswitch_bandwidth = GBpsToBytesPerUs(360.0);
+  spec.gpu_effective_tflops = 430.0;
+  spec.intra_latency_us = 4.0;
+  spec.inter_latency_us = 15.0;
+  spec.kernel_launch_us = 3.0;
+  spec.gpu_memory_bytes = 141.0 * kGiB;
+  spec.hbm_bandwidth = 4.6e6;  // ~4.8 TB/s HBM3e.
+  spec.gpu_to_nic = {0, 1, 2, 3, 4, 5, 6, 7};
+  spec.Validate();
+  return spec;
+}
+
+}  // namespace zeppelin

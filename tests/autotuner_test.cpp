@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "src/core/autotuner.h"
+#include "src/core/registry.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(AutotunerTest, RanksAllCandidates) {
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+  BatchSampler sampler(MakeGithubDistribution(), 65536, 5);
+  const auto result =
+      Autotune(trainer, {"te-cp", "llama-cp", "zeppelin"}, sampler, /*num_batches=*/3);
+  ASSERT_EQ(result.ranking.size(), 3u);
+  // Sorted best-first.
+  EXPECT_GE(result.ranking[0].mean_tokens_per_second,
+            result.ranking[1].mean_tokens_per_second);
+  EXPECT_GE(result.ranking[1].mean_tokens_per_second,
+            result.ranking[2].mean_tokens_per_second);
+}
+
+TEST(AutotunerTest, ZeppelinWinsItsHomeTurf) {
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+  BatchSampler sampler(MakeGithubDistribution(), 65536, 5);
+  const auto result = Autotune(trainer, KnownStrategyNames(), sampler, 3);
+  EXPECT_EQ(result.best().spec, "zeppelin");
+  EXPECT_GT(result.WinningMargin(), 1.0);
+}
+
+TEST(AutotunerTest, WorksOnExplicitBatches) {
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+  Batch batch;
+  batch.seq_lens = {32768, 16384, 8192, 8192};
+  const auto result = Autotune(trainer, {"te-cp", "zeppelin"}, {batch});
+  ASSERT_EQ(result.ranking.size(), 2u);
+  EXPECT_EQ(result.best().spec, "zeppelin");
+  EXPECT_GT(result.best().min_tokens_per_second, 0);
+}
+
+TEST(AutotunerTest, DeterministicRanking) {
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+  Batch batch;
+  batch.seq_lens = {16384, 16384, 16384, 16384};
+  const auto a = Autotune(trainer, {"te-cp", "llama-cp", "hybrid-dp", "zeppelin"}, {batch});
+  const auto b = Autotune(trainer, {"te-cp", "llama-cp", "hybrid-dp", "zeppelin"}, {batch});
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].spec, b.ranking[i].spec);
+    EXPECT_DOUBLE_EQ(a.ranking[i].mean_tokens_per_second,
+                     b.ranking[i].mean_tokens_per_second);
+  }
+}
+
+TEST(AutotunerTest, SingleCandidateMarginIsOne) {
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(1));
+  Batch batch;
+  batch.seq_lens = {8192};
+  const auto result = Autotune(trainer, {"zeppelin"}, {batch});
+  EXPECT_DOUBLE_EQ(result.WinningMargin(), 1.0);
+}
+
+}  // namespace
+}  // namespace zeppelin

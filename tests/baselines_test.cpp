@@ -1,0 +1,247 @@
+// Deep-dive tests on the baseline implementations: the communication-volume
+// and balance arithmetic each baseline's cost argument rests on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/baselines/hybrid_dp.h"
+#include "src/baselines/llama_cp.h"
+#include "src/baselines/packing.h"
+#include "src/baselines/te_cp.h"
+#include "src/core/chunking.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+#include "src/sim/engine.h"
+
+namespace zeppelin {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : fabric_(MakeClusterA(2)),
+        cost_model_(MakeLlama7B(), fabric_.cluster()),
+        engine_(fabric_) {}
+
+  static Batch MakeBatch(std::vector<int64_t> lens) {
+    Batch b;
+    b.seq_lens = std::move(lens);
+    return b;
+  }
+
+  int64_t TotalCommBytes(const TaskGraph& g) {
+    int64_t total = 0;
+    for (const Task& t : g.tasks()) {
+      if (IsCommCategory(t.category)) {
+        total += t.bytes;
+      }
+    }
+    return total;
+  }
+
+  FabricResources fabric_;
+  CostModel cost_model_;
+  Engine engine_;
+};
+
+TEST_F(BaselinesTest, TeCpShipsR_minus_1TimesTotalKv) {
+  // Every round, every rank forwards its held KV (1/R of all tokens); over
+  // R-1 rounds the aggregate traffic is (R-1) * total_kv — the paper's
+  // b_inter * sum(s_i) scaling (per boundary link: total_kv).
+  const Batch batch = MakeBatch({32768, 16384, 8192, 8192});
+  TeCpStrategy te;
+  te.Plan(batch, cost_model_, fabric_);
+  TaskGraph g;
+  te.EmitLayer(g, Direction::kForward);
+  const int64_t total_kv = batch.total_tokens() * cost_model_.KvBytesPerToken();
+  const int world = fabric_.cluster().world_size();
+  EXPECT_EQ(TotalCommBytes(g), (world - 1) * total_kv);
+}
+
+TEST_F(BaselinesTest, TeCpBoundaryHopsAreTheBottleneck) {
+  const Batch batch = MakeBatch({65536});
+  TeCpStrategy te;
+  te.Plan(batch, cost_model_, fabric_);
+  TaskGraph g;
+  te.EmitLayer(g, Direction::kForward);
+  const SimResult sim = engine_.Run(g);
+  // The node-0 boundary GPU's NIC carries (R-1) rounds of one rank's KV.
+  const double nic_busy = sim.ResourceBusy(fabric_.NicTx(0, 3));  // GPU 7 -> NIC 3.
+  const int64_t per_round = 65536 / 16 * cost_model_.KvBytesPerToken();
+  const double expected = 15 * (per_round / fabric_.cluster().nic_bandwidth +
+                                fabric_.cluster().inter_latency_us);
+  EXPECT_NEAR(nic_busy, expected, expected * 0.02);
+  // Meanwhile, the other NICs of node 0 sit idle: the §3.3 motivation.
+  EXPECT_DOUBLE_EQ(sim.ResourceBusy(fabric_.NicTx(0, 0)), 0.0);
+}
+
+TEST_F(BaselinesTest, TeCpRoutingVariantSpreadsBoundaryTraffic) {
+  const Batch batch = MakeBatch({65536});
+  TeCpStrategy routed({.routing = {.enabled = true}});
+  routed.Plan(batch, cost_model_, fabric_);
+  TaskGraph g;
+  routed.EmitLayer(g, Direction::kForward);
+  const SimResult sim = engine_.Run(g);
+  for (int nic = 0; nic < 4; ++nic) {
+    EXPECT_GT(sim.ResourceBusy(fabric_.NicTx(0, nic)), 0.0) << "nic " << nic;
+  }
+}
+
+TEST_F(BaselinesTest, TeCpAttentionWorkMatchesCausalTotal) {
+  const Batch batch = MakeBatch({16384, 16384});
+  TeCpStrategy te;
+  te.Plan(batch, cost_model_, fabric_);
+  TaskGraph g;
+  te.EmitLayer(g, Direction::kForward);
+  double attn_time = 0;
+  int kernels = 0;
+  for (const Task& t : g.tasks()) {
+    if (t.category == TaskCategory::kAttentionCompute) {
+      attn_time += t.duration_us;
+      ++kernels;
+    }
+  }
+  const double expected_flops =
+      cost_model_.CausalAttentionFlops(16384) * 2 / fabric_.cluster().flops_per_us();
+  EXPECT_NEAR(attn_time - kernels * fabric_.cluster().kernel_launch_us, expected_flops,
+              expected_flops * 1e-6);
+}
+
+TEST_F(BaselinesTest, LlamaCpAllGatherOnCriticalPath) {
+  const Batch batch = MakeBatch({65536});
+  LlamaCpStrategy llama;
+  llama.Plan(batch, cost_model_, fabric_);
+  TaskGraph g;
+  llama.EmitLayer(g, Direction::kForward);
+  const SimResult sim = engine_.Run(g);
+  // No attention kernel may start before the all-gather finishes.
+  double allgather_finish = 0;
+  for (TaskId id = 0; id < g.size(); ++id) {
+    if (g.task(id).category == TaskCategory::kInterComm) {
+      allgather_finish = std::max(allgather_finish, sim.finish_us[id]);
+    }
+  }
+  ASSERT_GT(allgather_finish, 0);
+  for (TaskId id = 0; id < g.size(); ++id) {
+    if (g.task(id).category == TaskCategory::kAttentionCompute) {
+      EXPECT_GE(sim.start_us[id] + 1e-9, allgather_finish);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, LlamaCpAllGatherTimeMatchesAnalytic) {
+  const Batch batch = MakeBatch({65536});
+  LlamaCpStrategy llama;
+  llama.Plan(batch, cost_model_, fabric_);
+  TaskGraph g;
+  llama.EmitLayer(g, Direction::kForward);
+  double max_inter = 0;
+  for (const Task& t : g.tasks()) {
+    if (t.category == TaskCategory::kInterComm) {
+      max_inter = std::max(max_inter, t.duration_us);
+    }
+  }
+  const ClusterSpec& spec = fabric_.cluster();
+  const double volume = 65536.0 * cost_model_.KvBytesPerToken() * 15 / 16;
+  const double expected =
+      volume / (spec.nic_bandwidth * spec.nics_per_node) + spec.inter_latency_us;
+  EXPECT_NEAR(max_inter, expected, 1e-6);
+}
+
+TEST_F(BaselinesTest, LlamaCpSingleNodeUsesNvswitch) {
+  const FabricResources one_node(MakeClusterA(1));
+  const CostModel cm(MakeLlama7B(), one_node.cluster());
+  LlamaCpStrategy llama;
+  Batch batch = MakeBatch({32768});
+  llama.Plan(batch, cm, one_node);
+  TaskGraph g;
+  llama.EmitLayer(g, Direction::kForward);
+  int inter = 0;
+  int intra = 0;
+  for (const Task& t : g.tasks()) {
+    inter += t.category == TaskCategory::kInterComm;
+    intra += t.category == TaskCategory::kIntraComm;
+  }
+  EXPECT_EQ(inter, 0);
+  EXPECT_GT(intra, 0);
+}
+
+TEST_F(BaselinesTest, HybridDpBalancesFlops) {
+  // A mix of one long and many short sequences: per-rank FLOPs should land
+  // within a reasonable band of the budget.
+  std::vector<int64_t> lens = {32768};
+  int64_t rest = 65536 - 32768;
+  while (rest > 0) {
+    lens.push_back(std::min<int64_t>(2048, rest));
+    rest -= lens.back();
+  }
+  HybridDpStrategy hybrid;
+  hybrid.Plan(MakeBatch(lens), cost_model_, fabric_);
+  TaskGraph g;
+  hybrid.EmitLayer(g, Direction::kForward);
+  const SimResult sim = engine_.Run(g);
+  // Per-rank total compute busy time spread: max within 2x of mean.
+  std::vector<double> busy;
+  for (int r = 0; r < fabric_.cluster().world_size(); ++r) {
+    busy.push_back(sim.usage[fabric_.ComputeLane(r)].busy_us);
+  }
+  const double mean = std::accumulate(busy.begin(), busy.end(), 0.0) / busy.size();
+  for (double b : busy) {
+    EXPECT_LT(b, 2.0 * mean + 1.0);
+  }
+}
+
+TEST_F(BaselinesTest, HybridDpLongSequenceGetsNodeAlignedGroup) {
+  HybridDpStrategy hybrid;
+  std::vector<int64_t> lens = {65536};
+  int64_t rest = 65536;
+  while (rest > 0) {
+    lens.push_back(std::min<int64_t>(1024, rest));
+    rest -= lens.back();
+  }
+  hybrid.Plan(MakeBatch(lens), cost_model_, fabric_);
+  ASSERT_GT(hybrid.num_cp_groups(), 0);
+}
+
+TEST_F(BaselinesTest, HybridDpAllShortBatchIsPureDp) {
+  HybridDpStrategy hybrid;
+  std::vector<int64_t> lens(64, 1024);
+  hybrid.Plan(MakeBatch(lens), cost_model_, fabric_);
+  EXPECT_EQ(hybrid.num_cp_groups(), 0);
+  TaskGraph g;
+  hybrid.EmitLayer(g, Direction::kForward);
+  // Pure DP: zero communication inside the layer.
+  int comm = 0;
+  for (const Task& t : g.tasks()) {
+    comm += IsCommCategory(t.category) && t.bytes > 0;
+  }
+  EXPECT_EQ(comm, 0);
+}
+
+TEST_F(BaselinesTest, PackingPacksAreNearlyEqual) {
+  PackingUlyssesStrategy packing;
+  BatchSampler sampler(MakeGithubDistribution(), 65536, 3);
+  packing.Plan(sampler.NextBatch(), cost_model_, fabric_);
+  const auto tokens = packing.LinearTokensPerRank();
+  const auto [lo, hi] = std::minmax_element(tokens.begin(), tokens.end());
+  EXPECT_LE(*hi - *lo, 65536 / 16 / 4);  // Within 25% of a pack.
+}
+
+TEST_F(BaselinesTest, PackingUlyssesVolumeMatchesAnalytic) {
+  PackingUlyssesStrategy packing;
+  Batch batch = MakeBatch(std::vector<int64_t>(16, 4096));
+  packing.Plan(batch, cost_model_, fabric_);
+  TaskGraph g;
+  packing.EmitLayer(g, Direction::kForward);
+  // Two all-to-alls: QKV in (h + 2*kv_h widths) and hidden out, each moving
+  // (R-1)/R of each rank's tokens.
+  const TransformerConfig& m = cost_model_.model();
+  const double per_rank_tokens = 4096;
+  const double qkv_bytes = (m.hidden_size + 2 * m.kv_hidden()) * m.dtype_bytes;
+  const double out_bytes = m.hidden_size * m.dtype_bytes;
+  const double expected = 16 * per_rank_tokens * (qkv_bytes + out_bytes) * 15.0 / 16.0;
+  EXPECT_NEAR(static_cast<double>(TotalCommBytes(g)), expected, expected * 0.02);
+}
+
+}  // namespace
+}  // namespace zeppelin

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/chunking.h"
+#include "src/model/transformer.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+namespace {
+
+CostModel Make7B() { return CostModel(MakeLlama7B(), MakeClusterA(2)); }
+
+TEST(ChunkingTest, BalancedChunksCoverSequenceDisjointly) {
+  for (const int64_t s : {64, 1000, 4096, 65537}) {
+    for (const int g : {1, 2, 4, 8, 16}) {
+      const auto assignment = BalancedChunkAssignment(s, g);
+      ASSERT_EQ(assignment.size(), static_cast<size_t>(g));
+      int64_t total = 0;
+      std::set<std::pair<int64_t, int64_t>> ranges;
+      for (const auto& cp : assignment) {
+        EXPECT_LE(cp.lo_begin, cp.lo_end);
+        EXPECT_LE(cp.hi_begin, cp.hi_end);
+        EXPECT_LE(cp.lo_end, cp.hi_begin);
+        total += cp.tokens();
+        ranges.insert({cp.lo_begin, cp.lo_end});
+        ranges.insert({cp.hi_begin, cp.hi_end});
+      }
+      EXPECT_EQ(total, s) << "s=" << s << " g=" << g;
+    }
+  }
+}
+
+TEST(ChunkingTest, BalancedTokensNearlyEqual) {
+  const auto assignment = BalancedChunkAssignment(65536, 16);
+  int64_t min_tokens = 1 << 30;
+  int64_t max_tokens = 0;
+  for (const auto& cp : assignment) {
+    min_tokens = std::min(min_tokens, cp.tokens());
+    max_tokens = std::max(max_tokens, cp.tokens());
+  }
+  EXPECT_LE(max_tokens - min_tokens, 2);
+}
+
+TEST(ChunkingTest, ContiguousChunksCover) {
+  const auto assignment = ContiguousChunkAssignment(10000, 7);
+  int64_t total = 0;
+  for (const auto& cp : assignment) {
+    total += cp.tokens();
+  }
+  EXPECT_EQ(total, 10000);
+}
+
+// Property: summing every rank's flops over all rounds reproduces the full
+// causal triangle — no work lost or duplicated, for any assignment scheme.
+class ChunkFlopsConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkFlopsConservationTest, RingRoundsTileTheTriangle) {
+  const CostModel cm = Make7B();
+  const int g = GetParam();
+  for (const int64_t s : {512, 4096, 16384}) {
+    for (const bool balanced : {true, false}) {
+      const auto assignment =
+          balanced ? BalancedChunkAssignment(s, g) : ContiguousChunkAssignment(s, g);
+      double total = 0;
+      for (int k = 0; k < g; ++k) {
+        total += RingTotalFlops(cm, assignment, s, k);
+      }
+      EXPECT_NEAR(total / cm.CausalAttentionFlops(s), 1.0, 1e-9)
+          << "g=" << g << " s=" << s << " balanced=" << balanced;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, ChunkFlopsConservationTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+TEST(ChunkingTest, BalancedBeatsContiguousOnImbalance) {
+  const CostModel cm = Make7B();
+  for (const int g : {4, 8, 16}) {
+    const double balanced =
+        AssignmentImbalance(cm, BalancedChunkAssignment(65536, g), 65536);
+    const double contiguous =
+        AssignmentImbalance(cm, ContiguousChunkAssignment(65536, g), 65536);
+    // Contiguous: the last rank holds nearly 2x the mean; balanced is ~1.0.
+    EXPECT_LT(balanced, 1.05) << "g=" << g;
+    EXPECT_GT(contiguous, 1.5) << "g=" << g;
+  }
+}
+
+TEST(ChunkingTest, PerRoundWorkIsNonZeroForBalanced) {
+  // With the paired assignment, every (rank, round) cell has work — the
+  // property that makes ring rounds uniform.
+  const CostModel cm = Make7B();
+  const int g = 8;
+  const auto assignment = BalancedChunkAssignment(8192, g);
+  for (int k = 0; k < g; ++k) {
+    for (int r = 0; r < g; ++r) {
+      EXPECT_GT(RingRoundFlops(cm, assignment, 8192, k, r), 0) << "k=" << k << " r=" << r;
+    }
+  }
+}
+
+TEST(ChunkingTest, ContiguousHasMaskedOutRounds) {
+  // Naive split leaves early ranks idle in most rounds (future keys masked).
+  const CostModel cm = Make7B();
+  const int g = 8;
+  const auto assignment = ContiguousChunkAssignment(8192, g);
+  int zero_cells = 0;
+  for (int k = 0; k < g; ++k) {
+    for (int r = 0; r < g; ++r) {
+      if (RingRoundFlops(cm, assignment, 8192, k, r) == 0) {
+        ++zero_cells;
+      }
+    }
+  }
+  EXPECT_GT(zero_cells, g * g / 3);
+}
+
+TEST(ChunkingTest, GroupOfOneIsWholeSequence) {
+  const CostModel cm = Make7B();
+  const auto assignment = BalancedChunkAssignment(5000, 1);
+  EXPECT_EQ(assignment[0].tokens(), 5000);
+  EXPECT_DOUBLE_EQ(RingTotalFlops(cm, assignment, 5000, 0), cm.CausalAttentionFlops(5000));
+}
+
+}  // namespace
+}  // namespace zeppelin

@@ -1,0 +1,127 @@
+// Property sweeps over the cost model: scaling laws, additivity, and
+// cross-configuration relations that every strategy's accounting relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/model/cost_model.h"
+#include "src/model/transformer.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+namespace {
+
+// Additivity: any partition of [0, s) into chunks must tile the causal
+// triangle exactly, for random chunk grids.
+class ChunkGridTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkGridTest, RandomGridsTileTheTriangle) {
+  Rng rng(GetParam());
+  const CostModel cm(MakeLlama7B(), MakeClusterA(1));
+  const int64_t s = 500 + static_cast<int64_t>(rng.NextBounded(3000));
+  // Random edges.
+  std::vector<int64_t> edges = {0, s};
+  const int cuts = 1 + static_cast<int>(rng.NextBounded(6));
+  for (int i = 0; i < cuts; ++i) {
+    edges.push_back(rng.NextInt(0, s));
+  }
+  std::sort(edges.begin(), edges.end());
+  double total = 0;
+  for (size_t qi = 0; qi + 1 < edges.size(); ++qi) {
+    for (size_t ki = 0; ki + 1 < edges.size(); ++ki) {
+      total += cm.CausalChunkFlops(edges[qi], edges[qi + 1], edges[ki], edges[ki + 1]);
+    }
+  }
+  EXPECT_NEAR(total / cm.CausalAttentionFlops(s), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkGridTest, ::testing::Range(1, 21));
+
+TEST(CostModelPropertyTest, QuadraticScalingExponent) {
+  const CostModel cm(MakeLlama13B(), MakeClusterB(1));
+  // log-log slope of causal attention flops should approach 2.
+  const double f1 = cm.CausalAttentionFlops(16384);
+  const double f2 = cm.CausalAttentionFlops(65536);
+  const double slope = std::log(f2 / f1) / std::log(4.0);
+  EXPECT_NEAR(slope, 2.0, 0.01);
+}
+
+TEST(CostModelPropertyTest, TransferTimesMonotoneInBytes) {
+  const CostModel cm(MakeLlama7B(), MakeClusterA(2));
+  double prev_intra = -1;
+  double prev_inter = -1;
+  for (int64_t bytes = 1; bytes < (1 << 28); bytes *= 4) {
+    const double intra = cm.IntraNodeTransferTime(bytes);
+    const double inter = cm.InterNodeTransferTime(bytes);
+    EXPECT_GT(intra, prev_intra);
+    EXPECT_GT(inter, prev_inter);
+    EXPECT_GT(inter, intra);  // Inter always slower at equal volume.
+    prev_intra = intra;
+    prev_inter = inter;
+  }
+}
+
+TEST(CostModelPropertyTest, RectSymmetricInQAndKv) {
+  const CostModel cm(MakeLlama7B(), MakeClusterA(1));
+  EXPECT_DOUBLE_EQ(cm.AttentionFlopsRect(100, 700), cm.AttentionFlopsRect(700, 100));
+}
+
+TEST(CostModelPropertyTest, GqaScalesKvNotCompute) {
+  // Reducing KV heads shrinks KV bytes proportionally but leaves attention
+  // FLOPs (score computation over all query heads) unchanged.
+  TransformerConfig base = MakeLlama7B();
+  for (const int kv_heads : {32, 16, 8, 4}) {
+    TransformerConfig gqa = base;
+    gqa.num_kv_heads = kv_heads;
+    const CostModel cm(gqa, MakeClusterA(1));
+    const CostModel ref(base, MakeClusterA(1));
+    EXPECT_DOUBLE_EQ(cm.CausalAttentionFlops(4096), ref.CausalAttentionFlops(4096))
+        << kv_heads;
+    EXPECT_EQ(cm.KvBytesPerToken() * 32, ref.KvBytesPerToken() * kv_heads) << kv_heads;
+  }
+}
+
+TEST(CostModelPropertyTest, TensorParallelScalingAcrossDegrees) {
+  // More TP always shortens the linear stage for the same token count
+  // (rate grows faster than the all-reduce overhead at these scales).
+  const ClusterSpec base = MakeClusterB(2);
+  double prev = 1e18;
+  for (const int tp : {1, 2, 4}) {
+    const ClusterSpec derived = ApplyTensorParallelism(base, tp);
+    const CostModel cm(MakeLlama30B(), derived, tp);
+    const double t = cm.LinearTime(8192);
+    EXPECT_LT(t, prev) << "tp=" << tp;
+    prev = t;
+  }
+}
+
+TEST(CostModelPropertyTest, MoeDispatchGrowsWithEpGroup) {
+  // Bigger EP groups (more GPUs per node hosting experts) exchange a larger
+  // share of tokens.
+  const TransformerConfig moe = MakeMoe8x550M();
+  ClusterSpec two = MakeClusterA(1);
+  two.gpus_per_node = 2;
+  two.gpu_to_nic = {0, 0};
+  ClusterSpec eight = MakeClusterA(1);
+  const CostModel cm2(moe, two);
+  const CostModel cm8(moe, eight);
+  EXPECT_LT(cm2.LinearTime(8192), cm8.LinearTime(8192));
+}
+
+TEST(CostModelPropertyTest, ParamsMonotoneAcrossPresets) {
+  EXPECT_LT(MakeLlama3B().NumParams(), MakeLlama7B().NumParams());
+  EXPECT_LT(MakeLlama7B().NumParams(), MakeLlama13B().NumParams());
+  EXPECT_LT(MakeLlama13B().NumParams(), MakeLlama30B().NumParams());
+}
+
+TEST(CostModelPropertyTest, ComputeTimeLinearInFlops) {
+  const CostModel cm(MakeLlama7B(), MakeClusterA(1));
+  const double launch = cm.cluster().kernel_launch_us;
+  const double t1 = cm.ComputeTime(1e9) - launch;
+  const double t4 = cm.ComputeTime(4e9) - launch;
+  EXPECT_NEAR(t4 / t1, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace zeppelin

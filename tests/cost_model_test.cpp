@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/model/cost_model.h"
+#include "src/model/transformer.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+namespace {
+
+CostModel Make7B() { return CostModel(MakeLlama7B(), MakeClusterA(2)); }
+
+// Brute-force reference for CausalChunkFlops.
+double BruteForcePairs(int64_t qb, int64_t qe, int64_t kb, int64_t ke) {
+  double pairs = 0;
+  for (int64_t q = qb; q < qe; ++q) {
+    for (int64_t k = kb; k < ke; ++k) {
+      if (k <= q) {
+        pairs += 1;
+      }
+    }
+  }
+  return pairs;
+}
+
+TEST(CostModelTest, ParamCountsMatchModelNames) {
+  EXPECT_NEAR(static_cast<double>(MakeLlama3B().NumParams()), 3.3e9, 0.4e9);
+  EXPECT_NEAR(static_cast<double>(MakeLlama7B().NumParams()), 6.9e9, 0.5e9);
+  EXPECT_NEAR(static_cast<double>(MakeLlama13B().NumParams()), 13.0e9, 1.0e9);
+  EXPECT_NEAR(static_cast<double>(MakeLlama30B().NumParams()), 32.5e9, 2.5e9);
+  // MoE: ~550M per expert pair of... total ~4.8B with 8 experts.
+  const auto moe = MakeMoe8x550M();
+  EXPECT_GT(moe.NumParams(), 4e9);
+}
+
+TEST(CostModelTest, CausalIsHalfOfRectangle) {
+  const CostModel cm = Make7B();
+  const int64_t s = 4096;
+  const double causal = cm.CausalAttentionFlops(s);
+  const double rect = cm.AttentionFlopsRect(s, s);
+  EXPECT_NEAR(causal / rect, 0.5, 0.001);
+}
+
+TEST(CostModelTest, AttentionQuadraticLinearModulesLinear) {
+  const CostModel cm = Make7B();
+  // Doubling sequence length ~4x attention FLOPs, exactly 2x linear FLOPs.
+  const double a1 = cm.CausalAttentionFlops(8192);
+  const double a2 = cm.CausalAttentionFlops(16384);
+  EXPECT_NEAR(a2 / a1, 4.0, 0.01);
+  EXPECT_DOUBLE_EQ(cm.LinearFlopsPerToken() * 2, cm.LinearFlopsPerToken() * 2.0);
+}
+
+TEST(CostModelTest, CausalChunkClosedFormMatchesBruteForce) {
+  const CostModel cm = Make7B();
+  const double h_eff = 4.0 * cm.model().num_heads * cm.model().head_dim();
+  const int64_t cases[][4] = {
+      {0, 10, 0, 10},   {0, 10, 10, 20}, {10, 20, 0, 10},  {5, 15, 8, 12},
+      {8, 12, 5, 15},   {0, 1, 0, 1},    {3, 3, 0, 10},    {0, 10, 4, 4},
+      {100, 228, 64, 192}, {7, 97, 23, 41},
+  };
+  for (const auto& c : cases) {
+    const double expected = BruteForcePairs(c[0], c[1], c[2], c[3]) * h_eff;
+    EXPECT_DOUBLE_EQ(cm.CausalChunkFlops(c[0], c[1], c[2], c[3]), expected)
+        << "case (" << c[0] << "," << c[1] << "," << c[2] << "," << c[3] << ")";
+  }
+}
+
+TEST(CostModelTest, ChunksTileTheTriangle) {
+  const CostModel cm = Make7B();
+  const int64_t s = 777;
+  // Partition [0, s) into 4 chunks; the pairwise chunk flops must sum to the
+  // full causal triangle.
+  const int64_t edges[] = {0, 200, 400, 600, s};
+  double total = 0;
+  for (int qi = 0; qi < 4; ++qi) {
+    for (int ki = 0; ki < 4; ++ki) {
+      total += cm.CausalChunkFlops(edges[qi], edges[qi + 1], edges[ki], edges[ki + 1]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(total, cm.CausalAttentionFlops(s));
+}
+
+TEST(CostModelTest, KvBytesUseGqaWidth) {
+  TransformerConfig gqa = MakeLlama7B();
+  gqa.num_kv_heads = 8;
+  const CostModel cm(gqa, MakeClusterA(1));
+  EXPECT_EQ(cm.KvBytesPerToken(), 2 * 8 * gqa.head_dim() * gqa.dtype_bytes);
+  EXPECT_EQ(cm.HiddenBytesPerToken(), gqa.hidden_size * gqa.dtype_bytes);
+}
+
+TEST(CostModelTest, MoeChargesActiveExpertsOnly) {
+  const TransformerConfig moe = MakeMoe8x550M();
+  const CostModel cm(moe, MakeClusterA(1));
+  TransformerConfig dense = moe;
+  dense.num_experts = 1;
+  dense.experts_per_token = 1;
+  const CostModel dense_cm(dense, MakeClusterA(1));
+  // top-2 of 8 experts: ~2x the dense MLP FLOPs (plus router).
+  EXPECT_GT(cm.LinearFlopsPerToken(), 1.5 * dense_cm.LinearFlopsPerToken());
+  EXPECT_LT(cm.LinearFlopsPerToken(), 2.5 * dense_cm.LinearFlopsPerToken());
+}
+
+TEST(CostModelTest, TimesIncludeLaunchOverheadAndLatency) {
+  const CostModel cm = Make7B();
+  const ClusterSpec& spec = cm.cluster();
+  EXPECT_DOUBLE_EQ(cm.ComputeTime(0), 0);
+  EXPECT_GT(cm.ComputeTime(1), spec.kernel_launch_us);
+  EXPECT_DOUBLE_EQ(cm.IntraNodeTransferTime(0), 0);
+  const int64_t mb = 1 << 20;
+  EXPECT_NEAR(cm.IntraNodeTransferTime(mb),
+              mb / spec.nvswitch_bandwidth + spec.intra_latency_us, 1e-9);
+  EXPECT_NEAR(cm.InterNodeTransferTime(mb), mb / spec.nic_bandwidth + spec.inter_latency_us,
+              1e-9);
+}
+
+TEST(CostModelTest, InverseBandwidths) {
+  const CostModel cm = Make7B();
+  EXPECT_GT(cm.b_inter(), cm.b_intra());
+}
+
+TEST(CostModelTest, TensorParallelAddsAllreduceOverheadToLinear) {
+  const ClusterSpec base = MakeClusterA(2);
+  const CostModel cm1(MakeLlama13B(), base, 1);
+  const ClusterSpec tp_cluster = ApplyTensorParallelism(base, 2);
+  const CostModel cm2(MakeLlama13B(), tp_cluster, 2);
+  // Same token count: TP halves GEMM time (2x rate) but adds all-reduce time,
+  // so it must be more than half of the TP=1 time but less than all of it.
+  const int64_t tokens = 8192;
+  EXPECT_LT(cm2.LinearTime(tokens), cm1.LinearTime(tokens));
+  EXPECT_GT(cm2.LinearTime(tokens), 0.5 * cm1.LinearTime(tokens));
+}
+
+}  // namespace
+}  // namespace zeppelin

@@ -1,0 +1,100 @@
+// Cross-cluster integration sweep: every strategy on every paper cluster
+// (A/B/C) and every evaluation dataset, asserting the invariants that must
+// hold regardless of topology — schedules legal, tokens conserved, Zeppelin
+// never behind TE CP, throughput monotone in cluster capability.
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/core/trainer.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+#include "src/sim/validate.h"
+
+namespace zeppelin {
+namespace {
+
+struct Combo {
+  char cluster;
+  const char* dataset;
+};
+
+class CrossClusterTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Combo Pick(int index) {
+    static const char clusters[] = {'A', 'B', 'C'};
+    static const char* datasets[] = {"arxiv", "github", "prolong64k"};
+    return {clusters[index / 3], datasets[index % 3]};
+  }
+};
+
+TEST_P(CrossClusterTest, AllStrategiesHealthyOnThisCombo) {
+  const Combo combo = Pick(GetParam());
+  const ClusterSpec cluster = MakeClusterByName(std::string(1, combo.cluster), 2);
+  const Trainer trainer(MakeLlama3B(), cluster);
+  BatchSampler sampler(DatasetByName(combo.dataset), 65536, 17);
+  const Batch batch = sampler.NextBatch();
+
+  double te_tput = 0;
+  double zeppelin_tput = 0;
+  for (const std::string& spec : KnownStrategyNames()) {
+    auto strategy = MakeStrategyByName(spec);
+    const IterationResult result = trainer.Run(*strategy, batch);
+    EXPECT_GT(result.tokens_per_second, 0) << spec;
+
+    // Token conservation through every strategy's linear stage.
+    int64_t total = 0;
+    for (int64_t t : strategy->LinearTokensPerRank()) {
+      total += t;
+    }
+    EXPECT_EQ(total, batch.total_tokens()) << spec;
+
+    // Legality of both directions' schedules.
+    for (const Direction d : {Direction::kForward, Direction::kBackward}) {
+      TaskGraph g;
+      strategy->EmitLayer(g, d);
+      const Engine engine(trainer.fabric());
+      const SimResult sim = engine.Run(g);
+      EXPECT_TRUE(IsLegalSchedule(g, sim, trainer.fabric().num_resources())) << spec;
+    }
+
+    if (spec == "te-cp") {
+      te_tput = result.tokens_per_second;
+    }
+    if (spec == "zeppelin") {
+      zeppelin_tput = result.tokens_per_second;
+    }
+  }
+  EXPECT_GT(zeppelin_tput, te_tput) << "cluster " << combo.cluster << " / " << combo.dataset;
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, CrossClusterTest, ::testing::Range(0, 9));
+
+TEST(CrossClusterTest, ThroughputOrderedByClusterCapability) {
+  // C (H200 + 400G NICs) >= B (H800 + 200G) >= A (A800 + shared 200G) for
+  // the same workload and strategy.
+  BatchSampler sampler(MakeGithubDistribution(), 65536, 23);
+  const Batch batch = sampler.NextBatch();
+  double previous = 0;
+  for (const char cluster_tag : {'A', 'B', 'C'}) {
+    const Trainer trainer(MakeLlama3B(), MakeClusterByName(std::string(1, cluster_tag), 2));
+    auto zeppelin = MakeStrategyByName("zeppelin");
+    const double tput = trainer.Run(*zeppelin, batch).tokens_per_second;
+    EXPECT_GT(tput, previous) << cluster_tag;
+    previous = tput;
+  }
+}
+
+TEST(CrossClusterTest, TensorParallelRunsOnAllClusters) {
+  BatchSampler sampler(MakeArxivDistribution(), 65536, 29);
+  const Batch batch = sampler.NextBatch();
+  for (const char cluster_tag : {'A', 'B', 'C'}) {
+    const Trainer trainer(MakeLlama13B(), MakeClusterByName(std::string(1, cluster_tag), 2),
+                          {.tensor_parallel = 2});
+    auto zeppelin = MakeStrategyByName("zeppelin");
+    EXPECT_GT(trainer.Run(*zeppelin, batch).tokens_per_second, 0) << cluster_tag;
+    EXPECT_EQ(trainer.fabric().cluster().world_size(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace zeppelin

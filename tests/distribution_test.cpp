@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/datasets.h"
+#include "src/data/distribution.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(DistributionTest, SamplesStayInsideBins) {
+  const LengthDistribution dist("test", {{1024, 2048, 1.0}});
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t len = dist.Sample(rng);
+    EXPECT_GE(len, 1024);
+    EXPECT_LT(len, 2048);
+    EXPECT_EQ(len % 64, 0);
+  }
+}
+
+TEST(DistributionTest, GranularityRespected) {
+  const LengthDistribution dist("test", {{0, 262144, 1.0}});
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(dist.Sample(rng, 128) % 128, 0);
+  }
+}
+
+TEST(DistributionTest, MassInRangeSumsToOne) {
+  for (const auto& dist : AllDatasets()) {
+    double total = 0;
+    const auto edges = StandardBinEdges();
+    for (size_t i = 0; i + 1 < edges.size(); ++i) {
+      total += dist.MassInRange(edges[i], edges[i + 1]);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << dist.name();
+  }
+}
+
+TEST(DistributionTest, TokenShareSumsToOne) {
+  const auto dist = MakeGithubDistribution();
+  double total = 0;
+  const auto edges = StandardBinEdges();
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    total += dist.TokenShareInRange(edges[i], edges[i + 1]);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DatasetsTest, Table2ProportionsReproduced) {
+  // Spot-check the exact Table 2 values. The printed rows do not all sum to
+  // exactly 1 (GitHub sums to 0.945), so compare normalized proportions.
+  const auto arxiv = MakeArxivDistribution();
+  const double arxiv_sum = 0.032 + 0.03 + 0.08 + 0.219 + 0.338 + 0.224 + 0.077;
+  EXPECT_NEAR(arxiv.MassInRange(8192, 16384), 0.338 / arxiv_sum, 1e-9);
+  EXPECT_NEAR(arxiv.MassInRange(65536, 262144), 0.0, 1e-9);
+
+  const auto github = MakeGithubDistribution();
+  const double github_sum = 0.34 + 0.095 + 0.104 + 0.107 + 0.102 + 0.088 + 0.064 + 0.045;
+  EXPECT_NEAR(github.MassInRange(1024, 2048), 0.34 / github_sum, 1e-9);
+  EXPECT_NEAR(github.MassInRange(131072, 262144), 0.045 / github_sum, 1e-9);
+
+  const auto prolong = MakeProlong64kDistribution();
+  const double prolong_sum = 0.231 + 0.042 + 0.021 + 0.012 + 0.013 + 0.008 + 0.673;
+  EXPECT_NEAR(prolong.MassInRange(32768, 65536), 0.673 / prolong_sum, 1e-9);
+  EXPECT_NEAR(prolong.MassInRange(0, 1024), 0.231 / prolong_sum, 1e-9);
+}
+
+TEST(DatasetsTest, GithubHasTheLongestTail) {
+  EXPECT_EQ(MakeGithubDistribution().MaxLength(), 262143);
+  EXPECT_EQ(MakeArxivDistribution().MaxLength(), 65535);
+}
+
+TEST(DatasetsTest, WebCorporaAreShortDominated) {
+  for (const auto& name : {"fineweb", "fineweb_edu", "openwebmath", "stackexchange"}) {
+    const auto dist = DatasetByName(name);
+    EXPECT_GT(dist.MassInRange(0, 4096), 0.8) << name;
+  }
+}
+
+TEST(DatasetsTest, LookupByNameRoundTrips) {
+  for (const auto& dist : AllDatasets()) {
+    EXPECT_EQ(DatasetByName(dist.name()).name(), dist.name());
+  }
+}
+
+TEST(DistributionTest, MeanLengthOrdering) {
+  // ProLong64k (73% mass in 32-64k) has a much larger mean than
+  // StackExchange (78% below 1k).
+  EXPECT_GT(MakeProlong64kDistribution().MeanLength(),
+            10 * MakeStackExchangeDistribution().MeanLength());
+}
+
+TEST(DistributionTest, BinLabels) {
+  EXPECT_EQ(BinLabel(0, 1024), "<1k");
+  EXPECT_EQ(BinLabel(16384, 32768), "16-32k");
+}
+
+}  // namespace
+}  // namespace zeppelin

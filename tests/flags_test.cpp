@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace zeppelin {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+TEST(FlagsTest, StringIntDouble) {
+  const Flags f = Make({"--model=7B", "--nodes=4", "--ratio=0.5"});
+  EXPECT_EQ(f.GetString("model", "x"), "7B");
+  EXPECT_EQ(f.GetInt("nodes", 0), 4);
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio", 0), 0.5);
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const Flags f = Make({});
+  EXPECT_EQ(f.GetString("model", "3B"), "3B");
+  EXPECT_EQ(f.GetInt("nodes", 7), 7);
+  EXPECT_FALSE(f.GetBool("quick"));
+}
+
+TEST(FlagsTest, BoolForms) {
+  const Flags f = Make({"--quick", "--verbose=true", "--color=0", "--x=yes"});
+  EXPECT_TRUE(f.GetBool("quick"));
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("color"));
+  EXPECT_TRUE(f.GetBool("x"));
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  const Flags f = Make({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags f = Make({"run", "--n=1", "file.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "file.txt");
+}
+
+TEST(FlagsTest, UnusedFlagDetection) {
+  const Flags f = Make({"--used=1", "--typo=2"});
+  EXPECT_EQ(f.GetInt("used", 0), 1);
+  const auto unused = f.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, HasDistinguishesPresence) {
+  const Flags f = Make({"--a"});
+  EXPECT_TRUE(f.Has("a"));
+  EXPECT_FALSE(f.Has("b"));
+}
+
+}  // namespace
+}  // namespace zeppelin

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/mcmf.h"
+#include "src/solver/transport.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(MinCostFlowTest, SimpleMaxFlow) {
+  MinCostFlow net(4);
+  net.AddEdge(0, 1, 10, 1.0);
+  net.AddEdge(0, 2, 5, 1.0);
+  net.AddEdge(1, 3, 7, 1.0);
+  net.AddEdge(2, 3, 9, 1.0);
+  const auto result = net.Solve(0, 3);
+  EXPECT_EQ(result.max_flow, 12);
+}
+
+TEST(MinCostFlowTest, PrefersCheapPath) {
+  MinCostFlow net(4);
+  const int cheap = net.AddEdge(0, 1, 10, 1.0);
+  const int pricey = net.AddEdge(0, 2, 10, 5.0);
+  net.AddEdge(1, 3, 10, 0.0);
+  net.AddEdge(2, 3, 10, 0.0);
+  const auto result = net.Solve(0, 3);
+  EXPECT_EQ(result.max_flow, 20);
+  EXPECT_EQ(net.Flow(cheap), 10);
+  EXPECT_EQ(net.Flow(pricey), 10);
+  EXPECT_DOUBLE_EQ(result.total_cost, 10 * 1.0 + 10 * 5.0);
+}
+
+TEST(MinCostFlowTest, ZeroCapacityEdgeUnused) {
+  MinCostFlow net(3);
+  const int e = net.AddEdge(0, 1, 0, 1.0);
+  net.AddEdge(0, 2, 5, 1.0);
+  const auto result = net.Solve(0, 2);
+  EXPECT_EQ(result.max_flow, 5);
+  EXPECT_EQ(net.Flow(e), 0);
+}
+
+TEST(MinCostFlowTest, DisconnectedGraphHasZeroFlow) {
+  MinCostFlow net(4);
+  net.AddEdge(0, 1, 10, 1.0);
+  net.AddEdge(2, 3, 10, 1.0);
+  const auto result = net.Solve(0, 3);
+  EXPECT_EQ(result.max_flow, 0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 0);
+}
+
+TEST(MinCostFlowTest, ChoosesCheaperOfTwoRoutes) {
+  // Flow of 10 must split: capacity 6 on the cheap route forces 4 through
+  // the expensive one.
+  MinCostFlow net(4);
+  net.AddEdge(0, 1, 10, 0.0);
+  const int cheap = net.AddEdge(1, 2, 6, 1.0);
+  const int pricey = net.AddEdge(1, 3, 10, 3.0);
+  net.AddEdge(2, 3, 10, 0.0);
+  const auto result = net.Solve(0, 3);
+  EXPECT_EQ(result.max_flow, 10);
+  EXPECT_EQ(net.Flow(cheap), 6);
+  EXPECT_EQ(net.Flow(pricey), 4);
+  EXPECT_DOUBLE_EQ(result.total_cost, 6 * 1.0 + 4 * 3.0);
+}
+
+TEST(TransportTest, TrivialSingleCell) {
+  TransportProblem tp;
+  tp.supply = {5};
+  tp.demand = {5};
+  tp.cost = {{2.0}};
+  const auto sol = SolveTransportMinTotalCost(tp);
+  EXPECT_EQ(sol.flow[0][0], 5);
+  EXPECT_DOUBLE_EQ(sol.total_cost, 10.0);
+  EXPECT_DOUBLE_EQ(sol.max_row_cost, 10.0);
+}
+
+TEST(TransportTest, PicksCheapAssignments) {
+  TransportProblem tp;
+  tp.supply = {10, 10};
+  tp.demand = {10, 10};
+  // Source 0 is cheap to sink 1, source 1 cheap to sink 0.
+  tp.cost = {{5.0, 1.0}, {1.0, 5.0}};
+  const auto sol = SolveTransportMinTotalCost(tp);
+  EXPECT_EQ(sol.flow[0][1], 10);
+  EXPECT_EQ(sol.flow[1][0], 10);
+  EXPECT_DOUBLE_EQ(sol.total_cost, 20.0);
+}
+
+TEST(TransportTest, MatchesBruteForceOnSmallRandomInstances) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    TransportProblem tp;
+    tp.supply = {rng.NextInt(0, 4), rng.NextInt(0, 4)};
+    const int64_t total = tp.supply[0] + tp.supply[1];
+    const int64_t d0 = rng.NextInt(0, total);
+    tp.demand = {d0, total - d0};
+    tp.cost = {{static_cast<double>(rng.NextInt(1, 9)), static_cast<double>(rng.NextInt(1, 9))},
+               {static_cast<double>(rng.NextInt(1, 9)), static_cast<double>(rng.NextInt(1, 9))}};
+
+    // Brute force: only one degree of freedom (flow[0][0]).
+    double best = 1e18;
+    for (int64_t f00 = 0; f00 <= std::min(tp.supply[0], tp.demand[0]); ++f00) {
+      const int64_t f01 = tp.supply[0] - f00;
+      const int64_t f10 = tp.demand[0] - f00;
+      const int64_t f11 = tp.supply[1] - f10;
+      if (f01 < 0 || f10 < 0 || f11 < 0 || f01 > tp.demand[1]) {
+        continue;
+      }
+      const double cost = tp.cost[0][0] * f00 + tp.cost[0][1] * f01 + tp.cost[1][0] * f10 +
+                          tp.cost[1][1] * f11;
+      best = std::min(best, cost);
+    }
+    const auto sol = SolveTransportMinTotalCost(tp);
+    EXPECT_NEAR(sol.total_cost, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(TransportTest, EvaluateFlowValidates) {
+  TransportProblem tp;
+  tp.supply = {3, 2};
+  tp.demand = {4, 1};
+  tp.cost = {{1.0, 2.0}, {3.0, 4.0}};
+  const auto sol = EvaluateFlow(tp, {{3, 0}, {1, 1}});
+  EXPECT_DOUBLE_EQ(sol.total_cost, 3 * 1.0 + 1 * 3.0 + 1 * 4.0);
+  EXPECT_DOUBLE_EQ(sol.max_row_cost, 7.0);
+}
+
+}  // namespace
+}  // namespace zeppelin

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "src/model/memory.h"
+#include "src/model/transformer.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(MemoryTest, SevenBFitsOnA800WithHeadroom) {
+  const auto mem = ComputeMemoryBreakdown(MakeLlama7B(), MakeClusterA(2), 16);
+  EXPECT_GT(mem.available_for_activations, 0);
+  // Must comfortably hold the paper's 4k tokens/GPU working set.
+  EXPECT_GT(mem.token_capacity, 4096);
+}
+
+TEST(MemoryTest, LargerModelsHaveSmallerCapacity) {
+  const ClusterSpec cluster = MakeClusterA(4);
+  const int64_t cap7 = TokenCapacity(MakeLlama7B(), cluster, 32);
+  const int64_t cap13 = TokenCapacity(MakeLlama13B(), cluster, 32);
+  EXPECT_GT(cap7, cap13);
+}
+
+TEST(MemoryTest, ThirtyBNeedsTensorParallelOnA800) {
+  // 30B replicated per-rank does not fit an 80 GB GPU; with TP2 (160 GB
+  // logical) it does.
+  const ClusterSpec base = MakeClusterA(4);
+  EXPECT_EQ(TokenCapacity(MakeLlama30B(), base, 32), 0);
+  const ClusterSpec tp2 = ApplyTensorParallelism(base, 2);
+  EXPECT_GT(TokenCapacity(MakeLlama30B(), tp2, 16), 0);
+}
+
+TEST(MemoryTest, ZeroOneShardingScalesWithWorldSize) {
+  const ClusterSpec cluster = MakeClusterA(4);
+  const auto mem8 = ComputeMemoryBreakdown(MakeLlama7B(), cluster, 8);
+  const auto mem64 = ComputeMemoryBreakdown(MakeLlama7B(), cluster, 64);
+  EXPECT_GT(mem64.token_capacity, mem8.token_capacity);
+  EXPECT_LT(mem64.optimizer_bytes, mem8.optimizer_bytes);
+}
+
+TEST(MemoryTest, MoeActivationsCostMore) {
+  const ClusterSpec cluster = MakeClusterB(2);
+  const auto moe = ComputeMemoryBreakdown(MakeMoe8x550M(), cluster, 16);
+  TransformerConfig dense = MakeMoe8x550M();
+  dense.num_experts = 1;
+  dense.experts_per_token = 1;
+  const auto dense_mem = ComputeMemoryBreakdown(dense, cluster, 16);
+  EXPECT_GT(moe.per_token_bytes, dense_mem.per_token_bytes);
+}
+
+}  // namespace
+}  // namespace zeppelin

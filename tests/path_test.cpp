@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/topology/path.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(FabricTest, ResourceIdsAreDense) {
+  const FabricResources fabric(MakeClusterA(2));
+  // 16 GPUs * (compute + egress + ingress) + 8 NICs * (tx + rx).
+  EXPECT_EQ(fabric.num_resources(), 16 * 3 + 8 * 2);
+  std::set<ResourceId> ids;
+  for (int g = 0; g < 16; ++g) {
+    ids.insert(fabric.ComputeLane(g));
+    ids.insert(fabric.NvswitchEgress(g));
+    ids.insert(fabric.NvswitchIngress(g));
+  }
+  for (int n = 0; n < 2; ++n) {
+    for (int nic = 0; nic < 4; ++nic) {
+      ids.insert(fabric.NicTx(n, nic));
+      ids.insert(fabric.NicRx(n, nic));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), fabric.num_resources());
+}
+
+TEST(FabricTest, ResourceNamesAreDescriptive) {
+  const FabricResources fabric(MakeClusterA(2));
+  EXPECT_EQ(fabric.ResourceName(fabric.ComputeLane(0)), "n0.g0.compute");
+  EXPECT_EQ(fabric.ResourceName(fabric.NicTx(1, 2)), "n1.nic2.tx");
+  EXPECT_EQ(fabric.ResourceName(fabric.NvswitchIngress(9)), "n1.g1.nvl_in");
+}
+
+TEST(FabricTest, ResourceNodeAttribution) {
+  const FabricResources fabric(MakeClusterA(2));
+  EXPECT_EQ(fabric.ResourceNode(fabric.ComputeLane(3)), 0);
+  EXPECT_EQ(fabric.ResourceNode(fabric.ComputeLane(12)), 1);
+  EXPECT_EQ(fabric.ResourceNode(fabric.NicRx(1, 0)), 1);
+}
+
+TEST(FabricTest, SameGpuTransferIsFree) {
+  const FabricResources fabric(MakeClusterA(1));
+  const TransferPath p = fabric.Resolve(3, 3);
+  EXPECT_TRUE(p.resources.empty());
+  EXPECT_TRUE(std::isinf(p.bandwidth));
+  EXPECT_EQ(p.latency_us, 0);
+}
+
+TEST(FabricTest, IntraNodePathUsesNvswitch) {
+  const ClusterSpec spec = MakeClusterA(1);
+  const FabricResources fabric(spec);
+  const TransferPath p = fabric.Resolve(0, 5);
+  ASSERT_EQ(p.resources.size(), 2u);
+  EXPECT_EQ(p.resources[0], fabric.NvswitchEgress(0));
+  EXPECT_EQ(p.resources[1], fabric.NvswitchIngress(5));
+  EXPECT_DOUBLE_EQ(p.bandwidth, spec.nvswitch_bandwidth);
+  EXPECT_FALSE(p.crosses_node);
+}
+
+TEST(FabricTest, InterNodePathUsesAffinityNics) {
+  const ClusterSpec spec = MakeClusterA(2);
+  const FabricResources fabric(spec);
+  // GPU 3 (node 0, NIC 1) -> GPU 14 (node 1, local 6, NIC 3). Cross-node
+  // traffic reaches the NIC over PCIe, so only the NIC channels serialize.
+  const TransferPath p = fabric.Resolve(3, 14);
+  ASSERT_EQ(p.resources.size(), 2u);
+  EXPECT_EQ(p.resources[0], fabric.NicTx(0, 1));
+  EXPECT_EQ(p.resources[1], fabric.NicRx(1, 3));
+  EXPECT_DOUBLE_EQ(p.bandwidth, spec.nic_bandwidth);
+  EXPECT_TRUE(p.crosses_node);
+  EXPECT_EQ(p.latency_us, spec.inter_latency_us);
+}
+
+TEST(FabricTest, NicOverrideSelectsChannels) {
+  const FabricResources fabric(MakeClusterA(2));
+  const TransferPath p = fabric.Resolve(0, 8, /*src_nic=*/3, /*dst_nic=*/2);
+  EXPECT_EQ(p.resources[0], fabric.NicTx(0, 3));
+  EXPECT_EQ(p.resources[1], fabric.NicRx(1, 2));
+}
+
+TEST(FabricTest, SharedNicMeansSharedChannel) {
+  const FabricResources fabric(MakeClusterA(2));
+  // GPUs 0 and 1 share NIC 0: their cross-node default paths hit the same tx.
+  const TransferPath p0 = fabric.Resolve(0, 8);
+  const TransferPath p1 = fabric.Resolve(1, 8);
+  EXPECT_EQ(p0.resources[0], p1.resources[0]);
+}
+
+TEST(FabricTest, InterNodePathDoesNotTouchNvswitch) {
+  const FabricResources fabric(MakeClusterA(2));
+  const TransferPath p = fabric.Resolve(0, 8);
+  for (ResourceId r : p.resources) {
+    EXPECT_NE(r, fabric.NvswitchEgress(0));
+    EXPECT_NE(r, fabric.NvswitchIngress(8));
+  }
+}
+
+}  // namespace
+}  // namespace zeppelin

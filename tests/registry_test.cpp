@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/core/trainer.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(RegistryTest, AllKnownNamesConstruct) {
+  for (const std::string& name : KnownStrategyNames()) {
+    const auto strategy = MakeStrategyByName(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    EXPECT_FALSE(strategy->name().empty());
+  }
+}
+
+TEST(RegistryTest, BaseNamesMapToExpectedSystems) {
+  EXPECT_EQ(MakeStrategyByName("te-cp")->name(), "TE-CP");
+  EXPECT_EQ(MakeStrategyByName("te-cp+routing")->name(), "TE-CP[+routing]");
+  EXPECT_EQ(MakeStrategyByName("llama-cp")->name(), "LLaMA-CP");
+  EXPECT_EQ(MakeStrategyByName("hybrid-dp")->name(), "Hybrid-DP");
+  EXPECT_EQ(MakeStrategyByName("pack-ulysses")->name(), "Pack+Ulysses");
+  EXPECT_EQ(MakeStrategyByName("zeppelin")->name(), "Zeppelin");
+}
+
+TEST(RegistryTest, ZeppelinModifiersApply) {
+  EXPECT_EQ(MakeStrategyByName("zeppelin-routing")->name(), "Zeppelin[-routing]");
+  EXPECT_EQ(MakeStrategyByName("zeppelin-remap")->name(), "Zeppelin[-remap]");
+  EXPECT_EQ(MakeStrategyByName("zeppelin-partition")->name(), "Zeppelin[global-ring]");
+  EXPECT_EQ(MakeStrategyByName("zeppelin-routing-remap")->name(),
+            "Zeppelin[-routing][-remap]");
+}
+
+TEST(RegistryTest, ModifiedStrategiesRun) {
+  const ClusterSpec cluster = MakeClusterA(2);
+  const FabricResources fabric(cluster);
+  const CostModel cost_model(MakeLlama3B(), cluster);
+  Batch batch;
+  batch.seq_lens = {32768, 16384, 8192, 8192};
+  for (const char* spec : {"zeppelin+zones", "zeppelin+striped", "zeppelin+contiguous",
+                           "zeppelin+localfirst", "te-cp+routing"}) {
+    auto strategy = MakeStrategyByName(spec);
+    strategy->Plan(batch, cost_model, fabric);
+    TaskGraph g;
+    strategy->EmitLayer(g, Direction::kForward);
+    EXPECT_GT(g.size(), 0) << spec;
+  }
+}
+
+TEST(RegistryTest, UnknownSpecAborts) {
+  EXPECT_DEATH(MakeStrategyByName("megatron"), "unknown strategy");
+  EXPECT_DEATH(MakeStrategyByName("zeppelin+warp"), "unknown zeppelin modifier");
+}
+
+TEST(RegistryTest, ClusterPresets) {
+  EXPECT_EQ(MakeClusterByName("A", 2).nics_per_node, 4);
+  EXPECT_EQ(MakeClusterByName("b", 2).nics_per_node, 8);
+  EXPECT_EQ(MakeClusterByName("C", 3).num_nodes, 3);
+  EXPECT_DEATH(MakeClusterByName("D", 1), "unknown cluster");
+}
+
+}  // namespace
+}  // namespace zeppelin

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/remapping.h"
+#include "src/model/transformer.h"
+#include "src/sim/engine.h"
+
+namespace zeppelin {
+namespace {
+
+class RemappingTest : public ::testing::Test {
+ protected:
+  RemappingTest()
+      : fabric_(MakeClusterA(2)),
+        cost_model_(MakeLlama7B(), fabric_.cluster()),
+        engine_(fabric_) {}
+
+  FabricResources fabric_;
+  CostModel cost_model_;
+  Engine engine_;
+};
+
+TEST_F(RemappingTest, PlanBalancesTokens) {
+  const RemappingLayer layer(cost_model_, fabric_, {});
+  std::vector<int64_t> tokens(16, 4096);
+  tokens[0] = 8192;
+  tokens[1] = 0;
+  const RemapSolution sol = layer.Plan(tokens);
+  // Rank 0 ships 4096 tokens to rank 1 (same node => intra cost).
+  EXPECT_EQ(sol.transfer[0][1], 4096);
+  EXPECT_GT(sol.max_row_cost, 0);
+}
+
+TEST_F(RemappingTest, EmitConservesTokens) {
+  const RemappingLayer layer(cost_model_, fabric_, {});
+  std::vector<int64_t> tokens(16, 0);
+  tokens[0] = 32768;
+  tokens[8] = 32768;
+  const RemapSolution sol = layer.Plan(tokens);
+  TaskGraph g;
+  const auto result = layer.Emit(g, tokens, sol, /*inverse=*/false, {}, "remap");
+  EXPECT_EQ(std::accumulate(result.new_tokens.begin(), result.new_tokens.end(), int64_t{0}),
+            65536);
+  for (int64_t t : result.new_tokens) {
+    EXPECT_EQ(t, 4096);  // Balanced target.
+  }
+  const SimResult sim = engine_.Run(g);
+  EXPECT_GT(sim.CategoryBusy(TaskCategory::kRemapComm), 0);
+}
+
+TEST_F(RemappingTest, InverseRestoresOriginalLayout) {
+  const RemappingLayer layer(cost_model_, fabric_, {});
+  std::vector<int64_t> tokens = {9000, 100, 4000, 4096, 4096, 4096, 4096, 4096,
+                                 4096, 4096, 4096, 4096, 4096, 4096, 4096, 7480};
+  const RemapSolution sol = layer.Plan(tokens);
+  TaskGraph g;
+  const auto forward = layer.Emit(g, tokens, sol, /*inverse=*/false, {}, "in");
+  const auto backward = layer.Emit(g, forward.new_tokens, sol, /*inverse=*/true, {}, "out");
+  EXPECT_EQ(backward.new_tokens, tokens);
+}
+
+TEST_F(RemappingTest, DisabledLayerIsPassthrough) {
+  const RemappingLayer layer(cost_model_, fabric_, {.enabled = false});
+  std::vector<int64_t> tokens(16, 1000);
+  tokens[3] = 5000;
+  TaskGraph g;
+  RemapSolution empty;
+  empty.transfer.assign(16, std::vector<int64_t>(16, 0));
+  const auto result = layer.Emit(g, tokens, empty, false, {}, "noop");
+  EXPECT_EQ(result.new_tokens, tokens);
+  const SimResult sim = engine_.Run(g);
+  EXPECT_DOUBLE_EQ(sim.makespan_us, 0.0);
+}
+
+TEST_F(RemappingTest, EmittedBytesMatchSolutionVolume) {
+  const RemappingLayer layer(cost_model_, fabric_, {});
+  std::vector<int64_t> tokens(16, 4096);
+  tokens[0] += 2000;
+  tokens[9] -= 2000;
+  const RemapSolution sol = layer.Plan(tokens);
+  TaskGraph g;
+  layer.Emit(g, tokens, sol, false, {}, "remap");
+  int64_t moved_tokens = 0;
+  for (const auto& row : sol.transfer) {
+    for (int64_t f : row) {
+      moved_tokens += f;
+    }
+  }
+  int64_t emitted_bytes = 0;
+  for (const Task& t : g.tasks()) {
+    if (t.category == TaskCategory::kRemapComm) {
+      emitted_bytes += t.bytes;
+    }
+  }
+  EXPECT_EQ(emitted_bytes, moved_tokens * cost_model_.HiddenBytesPerToken());
+}
+
+TEST_F(RemappingTest, MinimaxOptionChangesObjective) {
+  // A node-internal imbalance with a heavily loaded rank: minimax spreads
+  // the cross-node exports, greedy min-total does not care.
+  std::vector<int64_t> tokens(16, 4096);
+  tokens[0] = 4096 + 3000;
+  tokens[1] = 4096 + 3000;
+  tokens[8] = 4096 - 3000;
+  tokens[9] = 4096 - 3000;
+  const RemappingLayer minimax(cost_model_, fabric_, {.enabled = true, .minimax = true});
+  const RemappingLayer greedy(cost_model_, fabric_, {.enabled = true, .minimax = false});
+  EXPECT_LE(minimax.Plan(tokens).max_row_cost, greedy.Plan(tokens).max_row_cost + 1e-9);
+}
+
+TEST_F(RemappingTest, AlreadyBalancedEmitsNoTraffic) {
+  const RemappingLayer layer(cost_model_, fabric_, {});
+  const std::vector<int64_t> tokens(16, 4096);
+  const RemapSolution sol = layer.Plan(tokens);
+  TaskGraph g;
+  layer.Emit(g, tokens, sol, false, {}, "noop");
+  const SimResult sim = engine_.Run(g);
+  EXPECT_DOUBLE_EQ(sim.CategoryBusy(TaskCategory::kRemapComm), 0.0);
+}
+
+}  // namespace
+}  // namespace zeppelin

@@ -1,0 +1,125 @@
+// Property sweeps over the routing layer: Eq. 1 behaviour across proxy
+// counts, clusters, and transfer sizes; byte conservation; legality.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/routing.h"
+#include "src/model/transformer.h"
+#include "src/sim/validate.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(RoutingPropertyTest, Eq1MonotoneDecreasingInProxies) {
+  const CostModel cm(MakeLlama7B(), MakeClusterA(2));
+  const int64_t n = 64 << 20;
+  double prev = 1e18;
+  for (int x = 1; x <= 8; ++x) {
+    const double cost = RoutingLayer::RoutedCostUs(cm, n, x, x);
+    EXPECT_LT(cost, prev) << "x=" << x;
+    prev = cost;
+  }
+}
+
+TEST(RoutingPropertyTest, Eq1AsymmetricProxiesBottleneckOnMin) {
+  const CostModel cm(MakeLlama7B(), MakeClusterA(2));
+  const int64_t n = 16 << 20;
+  // The inter term is max(n/x1, n/x2): scaling only one side saturates.
+  const double c44 = RoutingLayer::RoutedCostUs(cm, n, 4, 4);
+  const double c48 = RoutingLayer::RoutedCostUs(cm, n, 4, 8);
+  const double c84 = RoutingLayer::RoutedCostUs(cm, n, 8, 4);
+  EXPECT_GT(c48, c44 * 0.99);  // No inter-term gain from extra receivers...
+  EXPECT_NEAR(c48, c84, 1e-9);  // ...and the formula is symmetric here.
+}
+
+TEST(RoutingPropertyTest, RoutedWinsExactlyWhenGapLargeEnough) {
+  // Eq. 1 < direct iff b_intra * (x-1)/x * 2 + b_inter / x < b_inter,
+  // i.e. b_inter / b_intra > 2 (for large x). Verify both regimes.
+  ClusterSpec narrow_gap = MakeClusterA(2);
+  narrow_gap.nvswitch_bandwidth = narrow_gap.nic_bandwidth * 1.5;  // Gap 1.5x.
+  const CostModel cm_narrow(MakeLlama7B(), narrow_gap);
+  const int64_t n = 32 << 20;
+  EXPECT_GT(RoutingLayer::RoutedCostUs(cm_narrow, n, 4, 4),
+            RoutingLayer::DirectCostUs(cm_narrow, n));
+
+  const CostModel cm_wide(MakeLlama7B(), MakeClusterA(2));  // Gap ~6.7x.
+  EXPECT_LT(RoutingLayer::RoutedCostUs(cm_wide, n, 4, 4),
+            RoutingLayer::DirectCostUs(cm_wide, n));
+}
+
+class RoutingFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutingFuzzTest, ConservationAndLegalityAcrossClusters) {
+  Rng rng(GetParam());
+  const int cluster_pick = static_cast<int>(rng.NextBounded(3));
+  const ClusterSpec spec = cluster_pick == 0   ? MakeClusterA(2)
+                           : cluster_pick == 1 ? MakeClusterB(2)
+                                               : MakeClusterC(3);
+  const FabricResources fabric(spec);
+  const RoutingLayer layer(fabric, {});
+  const Engine engine(fabric);
+
+  const int src = static_cast<int>(rng.NextBounded(spec.gpus_per_node));
+  const int dst_node = 1 + static_cast<int>(rng.NextBounded(spec.num_nodes - 1));
+  const int dst = spec.GlobalRank(dst_node, static_cast<int>(rng.NextBounded(spec.gpus_per_node)));
+  const int64_t bytes = 1 + static_cast<int64_t>(rng.NextBounded(64 << 20));
+
+  TaskGraph g;
+  layer.EmitTransfer(g, src, dst, bytes, {}, "t");
+  int64_t inter_bytes = 0;
+  for (const Task& t : g.tasks()) {
+    if (t.category == TaskCategory::kInterComm) {
+      inter_bytes += t.bytes;
+    }
+  }
+  EXPECT_EQ(inter_bytes, bytes);  // Everything crosses exactly once.
+
+  const SimResult sim = engine.Run(g);
+  EXPECT_TRUE(IsLegalSchedule(g, sim, fabric.num_resources()));
+  EXPECT_GT(sim.makespan_us, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingFuzzTest, ::testing::Range(1, 26));
+
+TEST(RoutingPropertyTest, ClusterBUsesAllEightNics) {
+  const FabricResources fabric(MakeClusterB(2));
+  const RoutingLayer layer(fabric, {});
+  const Engine engine(fabric);
+  TaskGraph g;
+  layer.EmitTransfer(g, 0, 8, 64 << 20, {}, "t");
+  const SimResult sim = engine.Run(g);
+  int busy_nics = 0;
+  for (int nic = 0; nic < 8; ++nic) {
+    busy_nics += sim.ResourceBusy(fabric.NicTx(0, nic)) > 0;
+  }
+  EXPECT_EQ(busy_nics, 8);
+}
+
+TEST(RoutingPropertyTest, TinyTransferStillCorrect) {
+  const FabricResources fabric(MakeClusterA(2));
+  const RoutingLayer layer(fabric, {});
+  const Engine engine(fabric);
+  TaskGraph g;
+  // Fewer bytes than proxies: some slices are empty, none negative.
+  layer.EmitTransfer(g, 0, 8, 3, {}, "t");
+  int64_t total = 0;
+  for (const Task& t : g.tasks()) {
+    EXPECT_GE(t.bytes, 0);
+    if (t.category == TaskCategory::kInterComm) {
+      total += t.bytes;
+    }
+  }
+  EXPECT_EQ(total, 3);
+  engine.Run(g);  // Must not deadlock.
+}
+
+TEST(RoutingPropertyTest, RecvProxiesAnchorOnDestination) {
+  const FabricResources fabric(MakeClusterA(2));
+  const RoutingLayer layer(fabric, {});
+  const auto proxies = layer.RecvProxies(/*dst_gpu=*/13, /*src_node=*/0);
+  ASSERT_FALSE(proxies.empty());
+  EXPECT_EQ(proxies[0], 13);  // Destination's own slice skips the combine hop.
+}
+
+}  // namespace
+}  // namespace zeppelin

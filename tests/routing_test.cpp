@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/routing.h"
+#include "src/model/transformer.h"
+#include "src/sim/engine.h"
+#include "src/sim/trace.h"
+
+namespace zeppelin {
+namespace {
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest()
+      : fabric_(MakeClusterA(2)),
+        cost_model_(MakeLlama7B(), fabric_.cluster()),
+        engine_(fabric_) {}
+
+  FabricResources fabric_;
+  CostModel cost_model_;
+  Engine engine_;
+};
+
+TEST_F(RoutingTest, Eq1FormulaExact) {
+  const int64_t n = 1 << 20;
+  const double cost = RoutingLayer::RoutedCostUs(cost_model_, n, 4, 4);
+  const double expected = cost_model_.b_intra() * n * 3.0 / 4.0 +
+                          cost_model_.b_inter() * n / 4.0 +
+                          cost_model_.b_intra() * n * 3.0 / 4.0;
+  EXPECT_NEAR(cost, expected, 1e-9);
+}
+
+TEST_F(RoutingTest, RoutedBeatsDirectWithTypicalGap) {
+  // With a ~7x intra/inter gap, 4 proxies cut the cost substantially.
+  const int64_t n = 64 << 20;
+  EXPECT_LT(RoutingLayer::RoutedCostUs(cost_model_, n, 4, 4),
+            0.6 * RoutingLayer::DirectCostUs(cost_model_, n));
+}
+
+TEST_F(RoutingTest, OneProxyEqualsDirect) {
+  const int64_t n = 1 << 20;
+  EXPECT_DOUBLE_EQ(RoutingLayer::RoutedCostUs(cost_model_, n, 1, 1),
+                   RoutingLayer::DirectCostUs(cost_model_, n));
+}
+
+TEST_F(RoutingTest, SendProxiesCoverDistinctNics) {
+  const RoutingLayer layer(fabric_, {});
+  const std::vector<int> proxies = layer.SendProxies(/*src_gpu=*/3, /*dst_node=*/1);
+  EXPECT_EQ(proxies.size(), 4u);  // Cluster A: 4 NICs.
+  std::set<int> nics;
+  for (int p : proxies) {
+    nics.insert(fabric_.cluster().NicOf(p));
+  }
+  EXPECT_EQ(nics.size(), 4u);
+  // The anchor GPU is always its own proxy.
+  EXPECT_EQ(proxies[0], 3);
+}
+
+TEST_F(RoutingTest, MaxProxiesCapRespected) {
+  const RoutingLayer layer(fabric_, {.enabled = true, .max_proxies = 2});
+  EXPECT_EQ(layer.SendProxies(0, 1).size(), 2u);
+}
+
+TEST_F(RoutingTest, EmitUsesAllNicsOfTheNode) {
+  const RoutingLayer layer(fabric_, {});
+  TaskGraph g;
+  layer.EmitTransfer(g, /*src=*/0, /*dst=*/8, 32 << 20, {}, "kv");
+  const SimResult sim = engine_.Run(g);
+  // All four NIC tx channels on node 0 saw traffic.
+  for (int nic = 0; nic < 4; ++nic) {
+    EXPECT_GT(sim.ResourceBusy(fabric_.NicTx(0, nic)), 0) << "nic " << nic;
+  }
+}
+
+TEST_F(RoutingTest, RoutedFasterThanDirectInSimulation) {
+  const int64_t bytes = 64 << 20;
+  TaskGraph direct_graph;
+  const RoutingLayer disabled(fabric_, {.enabled = false});
+  disabled.EmitTransfer(direct_graph, 0, 8, bytes, {}, "direct");
+  const double direct_time = engine_.Run(direct_graph).makespan_us;
+
+  TaskGraph routed_graph;
+  const RoutingLayer enabled(fabric_, {});
+  enabled.EmitTransfer(routed_graph, 0, 8, bytes, {}, "routed");
+  const double routed_time = engine_.Run(routed_graph).makespan_us;
+
+  EXPECT_LT(routed_time, 0.6 * direct_time);
+}
+
+TEST_F(RoutingTest, IntraNodeTransfersBypassRouting) {
+  const RoutingLayer layer(fabric_, {});
+  TaskGraph g;
+  layer.EmitTransfer(g, 0, 5, 1 << 20, {}, "local");
+  // Single direct transfer, no dispatch/combine tasks.
+  int dispatch = 0;
+  for (const Task& t : g.tasks()) {
+    if (t.category == TaskCategory::kDispatchComm ||
+        t.category == TaskCategory::kCombineComm) {
+      ++dispatch;
+    }
+  }
+  EXPECT_EQ(dispatch, 0);
+}
+
+TEST_F(RoutingTest, StepStructureIsDispatchTransferCombine) {
+  const RoutingLayer layer(fabric_, {});
+  TaskGraph g;
+  layer.EmitTransfer(g, 0, 8, 32 << 20, {}, "kv");
+  int dispatch = 0;
+  int inter = 0;
+  int combine = 0;
+  for (const Task& t : g.tasks()) {
+    switch (t.category) {
+      case TaskCategory::kDispatchComm:
+        ++dispatch;
+        break;
+      case TaskCategory::kInterComm:
+        ++inter;
+        break;
+      case TaskCategory::kCombineComm:
+        ++combine;
+        break;
+      default:
+        break;
+    }
+  }
+  // 4 proxies: src is its own proxy (3 dispatches), dst its own (3 combines).
+  EXPECT_EQ(dispatch, 3);
+  EXPECT_EQ(inter, 4);
+  EXPECT_EQ(combine, 3);
+}
+
+TEST_F(RoutingTest, ByteConservationThroughSteps) {
+  const RoutingLayer layer(fabric_, {});
+  TaskGraph g;
+  const int64_t bytes = (32 << 20) + 12345;  // Non-divisible on purpose.
+  layer.EmitTransfer(g, 0, 8, bytes, {}, "kv");
+  int64_t inter_bytes = 0;
+  for (const Task& t : g.tasks()) {
+    if (t.category == TaskCategory::kInterComm) {
+      inter_bytes += t.bytes;
+    }
+  }
+  EXPECT_EQ(inter_bytes, bytes);
+}
+
+TEST_F(RoutingTest, SingleNicClusterFallsBackToDirect) {
+  // A cluster with one NIC has only one proxy pair: routing degenerates.
+  ClusterSpec spec = MakeClusterA(2);
+  spec.nics_per_node = 1;
+  spec.gpu_to_nic = {0, 0, 0, 0, 0, 0, 0, 0};
+  const FabricResources fabric(spec);
+  const RoutingLayer layer(fabric, {});
+  TaskGraph g;
+  layer.EmitTransfer(g, 0, 8, 1 << 20, {}, "kv");
+  EXPECT_EQ(g.size(), 1);  // One direct transfer, no barrier scaffolding.
+}
+
+}  // namespace
+}  // namespace zeppelin

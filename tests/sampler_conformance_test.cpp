@@ -1,0 +1,103 @@
+// Statistical conformance: sampled workloads must actually follow the
+// distributions the benches claim to reproduce. Catches silent sampler
+// regressions that would skew every experiment downstream.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/data/datasets.h"
+#include "src/data/mixture.h"
+#include "src/data/sampler.h"
+
+namespace zeppelin {
+namespace {
+
+// Empirical per-bin frequency over many raw draws (not batch-truncated).
+std::vector<double> EmpiricalBinFrequencies(const LengthDistribution& dist, int draws,
+                                            uint64_t seed) {
+  const auto edges = StandardBinEdges();
+  std::vector<double> counts(edges.size() - 1, 0.0);
+  Rng rng(seed);
+  for (int i = 0; i < draws; ++i) {
+    const int64_t len = dist.Sample(rng);
+    for (size_t b = 0; b + 1 < edges.size(); ++b) {
+      if (len >= edges[b] && len < edges[b + 1]) {
+        counts[b] += 1;
+        break;
+      }
+    }
+  }
+  for (auto& c : counts) {
+    c /= draws;
+  }
+  return counts;
+}
+
+class ConformanceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConformanceTest, EmpiricalFrequenciesMatchBinMasses) {
+  const LengthDistribution dist = DatasetByName(GetParam());
+  const auto empirical = EmpiricalBinFrequencies(dist, 20000, 12345);
+  const auto edges = StandardBinEdges();
+  for (size_t b = 0; b + 1 < edges.size(); ++b) {
+    const double expected = dist.MassInRange(edges[b], edges[b + 1]);
+    // Binomial standard error at n = 20000 is < 0.4pp; allow 4 sigma + eps.
+    EXPECT_NEAR(empirical[b], expected, 0.016)
+        << GetParam() << " bin " << BinLabel(edges[b], edges[b + 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, ConformanceTest,
+                         ::testing::Values("arxiv", "github", "prolong64k", "fineweb",
+                                           "stackexchange"));
+
+TEST(ConformanceTest, BatchTruncationBiasIsBounded) {
+  // Batch sampling trims the last sequence to hit the token target, which
+  // slightly over-represents short lengths. The effect must stay small for
+  // the batch sizes the benches use (>= 64k tokens).
+  const LengthDistribution dist = MakeArxivDistribution();
+  BatchSampler sampler(dist, 131072, 77);
+  std::map<bool, int64_t> tokens_by_origin;
+  double truncated = 0;
+  double total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Batch batch = sampler.NextBatch();
+    total += batch.size();
+    ++truncated;  // Exactly one (the last) sequence per batch may be cut.
+  }
+  EXPECT_LT(truncated / total, 0.15);  // < 15% of sequences affected.
+}
+
+TEST(ConformanceTest, MixtureEmpiricalMatchesComponents) {
+  const LengthDistribution mix = MakePretrainMixture();
+  const auto empirical = EmpiricalBinFrequencies(mix, 20000, 99);
+  const auto edges = StandardBinEdges();
+  for (size_t b = 0; b + 1 < edges.size(); ++b) {
+    EXPECT_NEAR(empirical[b], mix.MassInRange(edges[b], edges[b + 1]), 0.016);
+  }
+}
+
+TEST(ConformanceTest, SampleMeanTracksAnalyticMean) {
+  // Log-uniform within-bin sampling pulls the mean below the bin midpoint;
+  // the analytic MeanLength uses midpoints, so allow a generous band but
+  // require the right order of magnitude and ordering between datasets.
+  Rng rng(5);
+  const auto arxiv = MakeArxivDistribution();
+  const auto stack = MakeStackExchangeDistribution();
+  double arxiv_mean = 0;
+  double stack_mean = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    arxiv_mean += static_cast<double>(arxiv.Sample(rng));
+    stack_mean += static_cast<double>(stack.Sample(rng));
+  }
+  arxiv_mean /= n;
+  stack_mean /= n;
+  EXPECT_GT(arxiv_mean, 3 * stack_mean);
+  EXPECT_GT(arxiv_mean, 0.3 * arxiv.MeanLength());
+  EXPECT_LT(arxiv_mean, 1.2 * arxiv.MeanLength());
+}
+
+}  // namespace
+}  // namespace zeppelin

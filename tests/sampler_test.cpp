@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(SamplerTest, BatchesHitExactTokenTarget) {
+  BatchSampler sampler(MakeArxivDistribution(), 65536, /*seed=*/1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sampler.NextBatch().total_tokens(), 65536);
+  }
+}
+
+TEST(SamplerTest, DeterministicAcrossInstances) {
+  BatchSampler a(MakeGithubDistribution(), 131072, 99);
+  BatchSampler b(MakeGithubDistribution(), 131072, 99);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.NextBatch().seq_lens, b.NextBatch().seq_lens);
+  }
+}
+
+TEST(SamplerTest, SeedsProduceDifferentBatches) {
+  BatchSampler a(MakeGithubDistribution(), 131072, 1);
+  BatchSampler b(MakeGithubDistribution(), 131072, 2);
+  EXPECT_NE(a.NextBatch().seq_lens, b.NextBatch().seq_lens);
+}
+
+TEST(SamplerTest, ProlongBatchesContainLongSequences) {
+  BatchSampler sampler(MakeProlong64kDistribution(), 262144, 7);
+  int64_t max_seen = 0;
+  for (int i = 0; i < 10; ++i) {
+    max_seen = std::max(max_seen, sampler.NextBatch().max_len());
+  }
+  EXPECT_GT(max_seen, 32768);  // 67% of mass in 32-64k.
+}
+
+TEST(SamplerTest, BalancedBatchCoversScales) {
+  const Batch b = MakeBalancedBatch(131072);
+  EXPECT_EQ(b.total_tokens(), 131072);
+  EXPECT_GT(b.size(), 3);
+}
+
+TEST(SamplerTest, SkewedBatchHasDominantSequence) {
+  const Batch b = MakeSkewedBatch(131072);
+  EXPECT_EQ(b.total_tokens(), 131072);
+  EXPECT_EQ(b.max_len(), 131072 / 4 * 3);
+  EXPECT_GT(b.size(), 10);  // Plus many 1k fillers.
+}
+
+TEST(SamplerTest, DescribeBatchCompact) {
+  Batch b;
+  b.seq_lens = {4096, 1024, 1024};
+  EXPECT_EQ(DescribeBatch(b), "1x4096 + 2x1024");
+}
+
+}  // namespace
+}  // namespace zeppelin

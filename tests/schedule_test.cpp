@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/te_cp.h"
+#include "src/core/trainer.h"
+#include "src/core/zeppelin.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(ScheduleTest, AveragesOverMeasuredWindowOnly) {
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+  ZeppelinStrategy zep;
+  BatchSampler sampler(MakeArxivDistribution(), 65536, 5);
+  const auto result = trainer.RunSchedule(zep, sampler, /*total_steps=*/12, /*warmup_steps=*/4);
+  EXPECT_EQ(result.per_step_tokens_per_second.size(), 8u);
+  EXPECT_GT(result.mean_tokens_per_second, 0);
+  EXPECT_LE(result.min_tokens_per_second, result.mean_tokens_per_second);
+  EXPECT_GE(result.max_tokens_per_second, result.mean_tokens_per_second);
+  EXPECT_GT(result.total_simulated_seconds, 0);
+}
+
+TEST(ScheduleTest, DeterministicForSameSeed) {
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+  ZeppelinStrategy a;
+  ZeppelinStrategy b;
+  BatchSampler sampler_a(MakeGithubDistribution(), 65536, 9);
+  BatchSampler sampler_b(MakeGithubDistribution(), 65536, 9);
+  const auto ra = trainer.RunSchedule(a, sampler_a, 6, 2);
+  const auto rb = trainer.RunSchedule(b, sampler_b, 6, 2);
+  EXPECT_EQ(ra.per_step_tokens_per_second, rb.per_step_tokens_per_second);
+}
+
+TEST(ScheduleTest, VarianceReflectsWorkloadSpread) {
+  // ProLong's bimodal lengths produce spikier iterations than ArXiv's.
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+  TeCpStrategy te_a;
+  TeCpStrategy te_b;
+  BatchSampler arxiv(MakeArxivDistribution(), 65536, 7);
+  BatchSampler prolong(MakeProlong64kDistribution(), 65536, 7);
+  const auto ra = trainer.RunSchedule(te_a, arxiv, 15, 3);
+  const auto rp = trainer.RunSchedule(te_b, prolong, 15, 3);
+  // Both have nonzero spread; the relative spread of the mean is bounded.
+  EXPECT_GE(ra.stddev_tokens_per_second, 0);
+  EXPECT_GE(rp.stddev_tokens_per_second, 0);
+  EXPECT_LT(ra.stddev_tokens_per_second / ra.mean_tokens_per_second, 0.5);
+}
+
+TEST(ScheduleTest, ZeppelinWinsOnScheduleAverage) {
+  // The Fig. 8 measurement protocol end-to-end, at test scale.
+  const Trainer trainer(MakeLlama3B(), MakeClusterA(2));
+  TeCpStrategy te;
+  ZeppelinStrategy zep;
+  BatchSampler sampler_te(MakeGithubDistribution(), 65536, 21);
+  BatchSampler sampler_zep(MakeGithubDistribution(), 65536, 21);
+  const auto r_te = trainer.RunSchedule(te, sampler_te, 10, 2);
+  const auto r_zep = trainer.RunSchedule(zep, sampler_zep, 10, 2);
+  EXPECT_GT(r_zep.mean_tokens_per_second, 1.3 * r_te.mean_tokens_per_second);
+}
+
+}  // namespace
+}  // namespace zeppelin

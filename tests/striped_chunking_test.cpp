@@ -1,0 +1,120 @@
+// Tests for the striped (token-interleaved) chunking scheme and the unified
+// scheme dispatch layer.
+#include <gtest/gtest.h>
+
+#include "src/core/chunking.h"
+#include "src/model/transformer.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+namespace {
+
+CostModel Make7B() { return CostModel(MakeLlama7B(), MakeClusterA(2)); }
+
+// Brute-force striped pair count: queries of stripe k vs keys of stripe o.
+double BruteForceStripedPairs(int64_t s, int g, int k, int o) {
+  double pairs = 0;
+  for (int64_t q = k; q < s; q += g) {
+    for (int64_t key = o; key < s; key += g) {
+      if (key <= q) {
+        pairs += 1;
+      }
+    }
+  }
+  return pairs;
+}
+
+TEST(StripedTest, TokensPartitionTheSequence) {
+  for (const int64_t s : {1, 63, 64, 1000, 65536}) {
+    for (const int g : {1, 2, 3, 8, 16}) {
+      int64_t total = 0;
+      for (int k = 0; k < g; ++k) {
+        total += StripedTokens(s, g, k);
+      }
+      EXPECT_EQ(total, s) << "s=" << s << " g=" << g;
+    }
+  }
+}
+
+TEST(StripedTest, ClosedFormMatchesBruteForce) {
+  const CostModel cm = Make7B();
+  const double h_eff = 4.0 * cm.model().num_heads * cm.model().head_dim();
+  for (const int64_t s : {17, 100, 257}) {
+    for (const int g : {2, 3, 5, 8}) {
+      for (int k = 0; k < g; ++k) {
+        for (int r = 0; r < g; ++r) {
+          const int o = ((k - r) % g + g) % g;
+          const double expected = BruteForceStripedPairs(s, g, k, o) * h_eff;
+          EXPECT_DOUBLE_EQ(StripedRoundFlops(cm, s, g, k, r), expected)
+              << "s=" << s << " g=" << g << " k=" << k << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+class StripedConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StripedConservationTest, RoundsTileTheTriangle) {
+  const CostModel cm = Make7B();
+  const int g = GetParam();
+  for (const int64_t s : {512, 4097, 16384}) {
+    double total = 0;
+    for (int k = 0; k < g; ++k) {
+      total += StripedTotalFlops(cm, s, g, k);
+    }
+    EXPECT_NEAR(total / cm.CausalAttentionFlops(s), 1.0, 1e-9) << "g=" << g << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, StripedConservationTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+TEST(StripedTest, StripingIsWellBalanced) {
+  const CostModel cm = Make7B();
+  for (const int g : {4, 8, 16}) {
+    // Token-level interleaving balances even better than 2G chunk pairs.
+    EXPECT_LT(StripedImbalance(cm, 65536, g), 1.01) << "g=" << g;
+  }
+}
+
+TEST(SchemeDispatchTest, NamesAndConsistency) {
+  EXPECT_STREQ(ChunkSchemeName(ChunkScheme::kBalancedPairs), "balanced-pairs");
+  EXPECT_STREQ(ChunkSchemeName(ChunkScheme::kContiguous), "contiguous");
+  EXPECT_STREQ(ChunkSchemeName(ChunkScheme::kStriped), "striped");
+
+  const CostModel cm = Make7B();
+  const int64_t s = 8192;
+  const int g = 4;
+  // Dispatch must agree with the direct APIs.
+  EXPECT_DOUBLE_EQ(SchemeRoundFlops(cm, ChunkScheme::kStriped, s, g, 1, 2),
+                   StripedRoundFlops(cm, s, g, 1, 2));
+  EXPECT_EQ(SchemeTokens(ChunkScheme::kStriped, s, g, 3), StripedTokens(s, g, 3));
+  const auto pairs = BalancedChunkAssignment(s, g);
+  EXPECT_DOUBLE_EQ(SchemeRoundFlops(cm, ChunkScheme::kBalancedPairs, s, g, 1, 2),
+                   RingRoundFlops(cm, pairs, s, 1, 2));
+}
+
+TEST(SchemeDispatchTest, ImbalanceOrdering) {
+  const CostModel cm = Make7B();
+  const int64_t s = 65536;
+  const int g = 8;
+  const double striped = SchemeImbalance(cm, ChunkScheme::kStriped, s, g);
+  const double balanced = SchemeImbalance(cm, ChunkScheme::kBalancedPairs, s, g);
+  const double contiguous = SchemeImbalance(cm, ChunkScheme::kContiguous, s, g);
+  // Both causal-balanced schemes are within a hair of perfect; contiguous is
+  // badly skewed.
+  EXPECT_LT(striped, 1.001);
+  EXPECT_LT(balanced, 1.001);
+  EXPECT_GT(contiguous, 1.5);
+}
+
+TEST(StripedTest, DegenerateGroups) {
+  const CostModel cm = Make7B();
+  EXPECT_DOUBLE_EQ(StripedTotalFlops(cm, 5000, 1, 0), cm.CausalAttentionFlops(5000));
+  EXPECT_EQ(StripedTokens(3, 8, 5), 0);  // More ranks than tokens.
+  EXPECT_EQ(StripedTokens(3, 8, 2), 1);
+}
+
+}  // namespace
+}  // namespace zeppelin

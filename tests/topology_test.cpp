@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(ClusterTest, RankMath) {
+  const ClusterSpec spec = MakeClusterA(3);
+  EXPECT_EQ(spec.world_size(), 24);
+  EXPECT_EQ(spec.NodeOf(0), 0);
+  EXPECT_EQ(spec.NodeOf(7), 0);
+  EXPECT_EQ(spec.NodeOf(8), 1);
+  EXPECT_EQ(spec.LocalOf(13), 5);
+  EXPECT_EQ(spec.GlobalRank(2, 3), 19);
+  for (int r = 0; r < spec.world_size(); ++r) {
+    EXPECT_EQ(spec.GlobalRank(spec.NodeOf(r), spec.LocalOf(r)), r);
+  }
+}
+
+TEST(ClusterTest, ClusterANicSharing) {
+  const ClusterSpec spec = MakeClusterA(1);
+  EXPECT_EQ(spec.nics_per_node, 4);
+  // GPUs 0 and 1 share NIC 0.
+  EXPECT_EQ(spec.NicOf(0), 0);
+  EXPECT_EQ(spec.NicOf(1), 0);
+  EXPECT_EQ(spec.NicOf(7), 3);
+  EXPECT_EQ(spec.RanksOnNic(0, 0), (std::vector<int>{0, 1}));
+}
+
+TEST(ClusterTest, ClusterBAndCOneToOneAffinity) {
+  for (const ClusterSpec& spec : {MakeClusterB(2), MakeClusterC(2)}) {
+    EXPECT_EQ(spec.nics_per_node, 8);
+    for (int local = 0; local < spec.gpus_per_node; ++local) {
+      EXPECT_EQ(spec.gpu_to_nic[local], local);
+      EXPECT_EQ(spec.RanksOnNic(1, local).size(), 1u);
+    }
+  }
+}
+
+TEST(ClusterTest, ClusterCHasHigherCrossNodeBandwidth) {
+  const ClusterSpec a = MakeClusterA(1);
+  const ClusterSpec c = MakeClusterC(1);
+  EXPECT_GT(c.nic_bandwidth * c.nics_per_node, 2 * a.nic_bandwidth * a.nics_per_node);
+}
+
+TEST(ClusterTest, InterIntraBandwidthGapRoughlyTenX) {
+  // The paper's motivating ratio: intra-node is ~an order of magnitude
+  // faster than one NIC.
+  const ClusterSpec a = MakeClusterA(1);
+  const double ratio = a.nvswitch_bandwidth / a.nic_bandwidth;
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(ClusterTest, FlopsPerUs) {
+  ClusterSpec spec = MakeClusterA(1);
+  spec.gpu_effective_tflops = 100.0;
+  EXPECT_DOUBLE_EQ(spec.flops_per_us(), 1e8);
+}
+
+TEST(ClusterTest, DescribeMentionsName) {
+  const std::string d = DescribeCluster(MakeClusterB(4));
+  EXPECT_NE(d.find("ClusterB"), std::string::npos);
+  EXPECT_NE(d.find("4 nodes"), std::string::npos);
+}
+
+TEST(TensorParallelTest, Tp1IsIdentity) {
+  const ClusterSpec spec = MakeClusterA(2);
+  const ClusterSpec derived = ApplyTensorParallelism(spec, 1);
+  EXPECT_EQ(derived.gpus_per_node, spec.gpus_per_node);
+  EXPECT_EQ(derived.name, spec.name);
+}
+
+TEST(TensorParallelTest, Tp2FusesDevices) {
+  const ClusterSpec spec = MakeClusterA(2);
+  const ClusterSpec derived = ApplyTensorParallelism(spec, 2);
+  EXPECT_EQ(derived.gpus_per_node, 4);
+  EXPECT_EQ(derived.world_size(), 8);
+  EXPECT_DOUBLE_EQ(derived.gpu_effective_tflops, 2 * spec.gpu_effective_tflops);
+  EXPECT_DOUBLE_EQ(derived.nvswitch_bandwidth, 2 * spec.nvswitch_bandwidth);
+}
+
+TEST(TensorParallelTest, Tp2OnClusterARemovesNicSharing) {
+  // Two GPUs per NIC + TP2 => one logical rank per NIC (the paper's 13B
+  // observation).
+  const ClusterSpec derived = ApplyTensorParallelism(MakeClusterA(1), 2);
+  for (int l = 0; l < derived.gpus_per_node; ++l) {
+    EXPECT_EQ(derived.gpu_to_nic[l], l);
+    EXPECT_EQ(derived.RanksOnNic(0, l).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace zeppelin

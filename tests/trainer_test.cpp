@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/te_cp.h"
+#include "src/common/trace_json.h"
+#include "src/core/trainer.h"
+#include "src/core/zeppelin.h"
+#include "src/data/datasets.h"
+#include "src/model/transformer.h"
+
+namespace zeppelin {
+namespace {
+
+Batch FixedBatch() {
+  Batch b;
+  b.seq_lens = {32768, 16384, 8192, 4096, 2048, 1024, 512, 512};
+  return b;
+}
+
+TEST(TrainerTest, IterationComposition) {
+  const Trainer trainer(MakeLlama7B(), MakeClusterA(2));
+  ZeppelinStrategy zep;
+  const IterationResult r = trainer.Run(zep, FixedBatch());
+  EXPECT_GT(r.layer_forward_us, 0);
+  EXPECT_GT(r.layer_backward_us, r.layer_forward_us);
+  EXPECT_GT(r.fixed_us, 0);
+  EXPECT_NEAR(r.iteration_us,
+              32 * (r.layer_forward_us + r.layer_backward_us) + r.fixed_us, 1e-6);
+  EXPECT_GT(r.tokens_per_second, 0);
+}
+
+TEST(TrainerTest, ThroughputDefinition) {
+  const Trainer trainer(MakeLlama7B(), MakeClusterA(2));
+  TeCpStrategy te;
+  const Batch batch = FixedBatch();
+  const IterationResult r = trainer.Run(te, batch);
+  EXPECT_NEAR(r.tokens_per_second,
+              batch.total_tokens() / (r.iteration_us / 1e6), 1e-6);
+}
+
+TEST(TrainerTest, FixedCostsCanBeDisabled) {
+  const Trainer with(MakeLlama7B(), MakeClusterA(2), {.include_fixed_costs = true});
+  const Trainer without(MakeLlama7B(), MakeClusterA(2), {.include_fixed_costs = false});
+  EXPECT_GT(with.FixedCostUs(65536), 0);
+  EXPECT_DOUBLE_EQ(without.FixedCostUs(65536), 0);
+}
+
+TEST(TrainerTest, BreakdownCategoriesPopulated) {
+  const Trainer trainer(MakeLlama7B(), MakeClusterA(2));
+  ZeppelinStrategy zep;
+  const IterationResult r = trainer.Run(zep, FixedBatch());
+  EXPECT_GT(r.attention_compute_us, 0);
+  EXPECT_GT(r.linear_compute_us, 0);
+  // This mixed batch fits within nodes, so Zeppelin leaves the NICs idle —
+  // the whole point of the hierarchy. A single 64k sequence must span nodes
+  // and light them up.
+  EXPECT_DOUBLE_EQ(r.nic_utilization, 0);
+  Batch long_batch;
+  long_batch.seq_lens = {65536};
+  ZeppelinStrategy zep_long;
+  const IterationResult r2 = trainer.Run(zep_long, long_batch);
+  EXPECT_GT(r2.nic_utilization, 0);
+  EXPECT_GT(r2.inter_comm_us, 0);
+}
+
+TEST(TrainerTest, TensorParallelShrinksWorldSize) {
+  const Trainer tp2(MakeLlama13B(), MakeClusterA(4), {.tensor_parallel = 2});
+  EXPECT_EQ(tp2.fabric().cluster().world_size(), 16);
+  ZeppelinStrategy zep;
+  const IterationResult r = tp2.Run(zep, FixedBatch());
+  EXPECT_GT(r.tokens_per_second, 0);
+}
+
+TEST(TrainerTest, TraceCaptureWorks) {
+  const Trainer trainer(MakeLlama7B(), MakeClusterA(2));
+  ZeppelinStrategy zep;
+  ChromeTraceWriter fwd;
+  ChromeTraceWriter bwd;
+  trainer.Run(zep, FixedBatch(), &fwd, &bwd);
+  EXPECT_GT(fwd.event_count(), 0u);
+  EXPECT_GT(bwd.event_count(), 0u);
+}
+
+TEST(TrainerTest, MoreComputeMeansMoreThroughput) {
+  ZeppelinStrategy a;
+  ZeppelinStrategy b;
+  const Trainer slow(MakeLlama7B(), MakeClusterA(2));
+  const Trainer fast(MakeLlama7B(), MakeClusterC(2));
+  const double slow_tput = slow.Run(a, FixedBatch()).tokens_per_second;
+  const double fast_tput = fast.Run(b, FixedBatch()).tokens_per_second;
+  EXPECT_GT(fast_tput, slow_tput);
+}
+
+TEST(TrainerTest, DeterministicAcrossRuns) {
+  const Trainer trainer(MakeLlama7B(), MakeClusterA(2));
+  ZeppelinStrategy zep;
+  const double a = trainer.Run(zep, FixedBatch()).tokens_per_second;
+  const double b = trainer.Run(zep, FixedBatch()).tokens_per_second;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace zeppelin

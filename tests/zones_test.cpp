@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "src/core/zones.h"
+#include "src/model/transformer.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(ZonesTest, BoundariesAreOrdered) {
+  const CostModel cm(MakeLlama7B(), MakeClusterA(2));
+  const ZoneClassifier classifier(cm);
+  const ZoneBoundaries b = classifier.Compute();
+  EXPECT_GT(b.local_max, 0);
+  EXPECT_LE(b.local_max, b.intra_max);
+}
+
+TEST(ZonesTest, ClassifyRespectsBoundaries) {
+  ZoneBoundaries b{.local_max = 1024, .intra_max = 8192};
+  EXPECT_EQ(ZoneClassifier::Classify(512, b), Zone::kLocal);
+  EXPECT_EQ(ZoneClassifier::Classify(1024, b), Zone::kLocal);
+  EXPECT_EQ(ZoneClassifier::Classify(4096, b), Zone::kIntraNode);
+  EXPECT_EQ(ZoneClassifier::Classify(65536, b), Zone::kInterNode);
+}
+
+TEST(ZonesTest, CostCurvesCrossAsInFig5) {
+  // Attention compute is quadratic, send-recv linear: below the crossover
+  // communication dominates, above it computation does.
+  const CostModel cm(MakeLlama7B(), MakeClusterA(2));
+  const ZoneClassifier classifier(cm);
+  EXPECT_LT(classifier.AttentionComputeUs(256), classifier.InterSendRecvUs(256));
+  EXPECT_GT(classifier.AttentionComputeUs(131072), classifier.InterSendRecvUs(131072));
+  EXPECT_LT(classifier.IntraSendRecvUs(8192), classifier.InterSendRecvUs(8192));
+}
+
+TEST(ZonesTest, FasterNicsShrinkTheInterNodeThreshold) {
+  // With everything else fixed, doubling NIC bandwidth lets shorter
+  // sequences hide inter-node communication: the intra-node zone shrinks.
+  ClusterSpec slow_nic = MakeClusterA(2);
+  ClusterSpec fast_nic = slow_nic;
+  fast_nic.nic_bandwidth *= 2;
+  const ZoneBoundaries bs = ZoneClassifier(CostModel(MakeLlama7B(), slow_nic)).Compute();
+  const ZoneBoundaries bf = ZoneClassifier(CostModel(MakeLlama7B(), fast_nic)).Compute();
+  EXPECT_LE(bf.intra_max, bs.intra_max);
+  EXPECT_LT(bf.intra_max, bs.intra_max + 1);
+}
+
+TEST(ZonesTest, FasterGpuGrowsZones) {
+  // More compute throughput means less time to hide communication behind:
+  // zones shift upward.
+  ClusterSpec slow = MakeClusterA(2);
+  ClusterSpec fast = slow;
+  fast.gpu_effective_tflops *= 4;
+  const ZoneBoundaries bs = ZoneClassifier(CostModel(MakeLlama7B(), slow)).Compute();
+  const ZoneBoundaries bf = ZoneClassifier(CostModel(MakeLlama7B(), fast)).Compute();
+  EXPECT_GE(bf.intra_max, bs.intra_max);
+  EXPECT_GE(bf.local_max, bs.local_max);
+}
+
+TEST(ZonesTest, ZoneNames) {
+  EXPECT_STREQ(ZoneName(Zone::kLocal), "local");
+  EXPECT_STREQ(ZoneName(Zone::kIntraNode), "intra-node");
+  EXPECT_STREQ(ZoneName(Zone::kInterNode), "inter-node");
+}
+
+}  // namespace
+}  // namespace zeppelin
