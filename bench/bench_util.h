@@ -54,6 +54,121 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+// Minimal streaming JSON emitter for machine-readable BENCH_*.json outputs.
+// Handles nesting and comma placement; callers are responsible for pairing
+// Begin*/End* and for calling Key() before values inside objects.
+//
+//   JsonEmitter json;
+//   json.BeginObject();
+//   json.Key("bench"); json.Value("planner_scaling");
+//   json.Key("points"); json.BeginArray();
+//   ... per-point objects ...
+//   json.EndArray();
+//   json.EndObject();
+//   json.WriteFile("BENCH_planner.json");
+class JsonEmitter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const std::string& name) {
+    Separate();
+    out_ += '"';
+    AppendEscaped(name);
+    out_ += "\":";
+    pending_key_ = true;
+  }
+
+  void Value(const std::string& v) {
+    Separate();
+    out_ += '"';
+    AppendEscaped(v);
+    out_ += '"';
+  }
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(bool v) {
+    Separate();
+    out_ += v ? "true" : "false";
+  }
+  void Value(int64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+  }
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(double v) {
+    Separate();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    const size_t written = std::fwrite(out_.data(), 1, out_.size(), f);
+    return std::fclose(f) == 0 && written == out_.size();
+  }
+
+ private:
+  void Separate() {
+    if (pending_key_) {
+      pending_key_ = false;  // Value directly follows its key.
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) {
+        out_ += ',';
+      }
+      first_.back() = false;
+    }
+  }
+  void Open(char c) {
+    Separate();
+    out_ += c;
+    first_.push_back(true);
+  }
+  void Close(char c) {
+    first_.pop_back();
+    out_ += c;
+  }
+  void AppendEscaped(const std::string& s) {
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_;  // Per nesting level: no element emitted yet.
+  bool pending_key_ = false;
+};
+
 }  // namespace zeppelin::bench
 
 #endif  // BENCH_BENCH_UTIL_H_

@@ -36,13 +36,14 @@ void AttentionEngine::EmitRingSequence(TaskGraph& graph, const RingSequence& rin
   ZCHECK_GT(g, 1) << "rings of size 1 are local sequences";
   const double scale = DirectionScale(direction);
   const ChunkScheme scheme = options_.chunk_scheme;
-  // For the range-based schemes the assignment is materialized once; the
-  // striped scheme is closed-form and needs no per-ring state.
-  std::vector<ChunkPair> assignment;
+  // For the range-based schemes the assignment is materialized once into the
+  // recycled scratch; the striped scheme is closed-form and needs no
+  // per-ring state.
+  std::vector<ChunkPair>& assignment = chunk_scratch_;
   if (scheme == ChunkScheme::kBalancedPairs) {
-    assignment = BalancedChunkAssignment(ring.length, g);
+    BalancedChunkAssignmentInto(ring.length, g, &assignment);
   } else if (scheme == ChunkScheme::kContiguous) {
-    assignment = ContiguousChunkAssignment(ring.length, g);
+    ContiguousChunkAssignmentInto(ring.length, g, &assignment);
   }
   auto round_flops = [&](int k, int r) {
     if (scheme == ChunkScheme::kStriped) {

@@ -74,6 +74,9 @@ class AttentionEngine {
   const FabricResources* fabric_;
   const RoutingLayer* routing_;
   AttentionEngineOptions options_;
+  // Per-ring chunk-assignment workspace, recycled across EmitRingSequence
+  // calls (Emit is logically const; the scratch holds no observable state).
+  mutable std::vector<ChunkPair> chunk_scratch_;
 };
 
 }  // namespace zeppelin

@@ -7,44 +7,48 @@
 namespace zeppelin {
 namespace {
 
-// Chunk boundaries dividing [0, s) into `parts` nearly equal pieces.
-std::vector<int64_t> SplitBoundaries(int64_t s, int parts) {
-  std::vector<int64_t> edges(parts + 1);
-  for (int i = 0; i <= parts; ++i) {
-    edges[i] = s * i / parts;
-  }
-  return edges;
-}
+// Boundary i of [0, s) divided into `parts` nearly equal pieces.
+int64_t SplitEdge(int64_t s, int parts, int i) { return s * i / parts; }
 
 }  // namespace
 
-std::vector<ChunkPair> BalancedChunkAssignment(int64_t s, int group_size) {
+void BalancedChunkAssignmentInto(int64_t s, int group_size, std::vector<ChunkPair>* out) {
   ZCHECK_GT(group_size, 0);
   ZCHECK_GE(s, 0);
   const int g = group_size;
-  const std::vector<int64_t> edges = SplitBoundaries(s, 2 * g);
-  std::vector<ChunkPair> assignment(g);
+  out->resize(g);
   for (int i = 0; i < g; ++i) {
-    assignment[i].lo_begin = edges[i];
-    assignment[i].lo_end = edges[i + 1];
-    assignment[i].hi_begin = edges[2 * g - 1 - i];
-    assignment[i].hi_end = edges[2 * g - i];
+    ChunkPair& pair = (*out)[i];
+    pair.lo_begin = SplitEdge(s, 2 * g, i);
+    pair.lo_end = SplitEdge(s, 2 * g, i + 1);
+    pair.hi_begin = SplitEdge(s, 2 * g, 2 * g - 1 - i);
+    pair.hi_end = SplitEdge(s, 2 * g, 2 * g - i);
   }
+}
+
+void ContiguousChunkAssignmentInto(int64_t s, int group_size, std::vector<ChunkPair>* out) {
+  ZCHECK_GT(group_size, 0);
+  ZCHECK_GE(s, 0);
+  out->resize(group_size);
+  for (int i = 0; i < group_size; ++i) {
+    ChunkPair& pair = (*out)[i];
+    pair.lo_begin = SplitEdge(s, group_size, i);
+    pair.lo_end = SplitEdge(s, group_size, i + 1);
+    // hi chunk empty.
+    pair.hi_begin = pair.lo_end;
+    pair.hi_end = pair.lo_end;
+  }
+}
+
+std::vector<ChunkPair> BalancedChunkAssignment(int64_t s, int group_size) {
+  std::vector<ChunkPair> assignment;
+  BalancedChunkAssignmentInto(s, group_size, &assignment);
   return assignment;
 }
 
 std::vector<ChunkPair> ContiguousChunkAssignment(int64_t s, int group_size) {
-  ZCHECK_GT(group_size, 0);
-  ZCHECK_GE(s, 0);
-  const std::vector<int64_t> edges = SplitBoundaries(s, group_size);
-  std::vector<ChunkPair> assignment(group_size);
-  for (int i = 0; i < group_size; ++i) {
-    assignment[i].lo_begin = edges[i];
-    assignment[i].lo_end = edges[i + 1];
-    // hi chunk empty.
-    assignment[i].hi_begin = edges[i + 1];
-    assignment[i].hi_end = edges[i + 1];
-  }
+  std::vector<ChunkPair> assignment;
+  ContiguousChunkAssignmentInto(s, group_size, &assignment);
   return assignment;
 }
 

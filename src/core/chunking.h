@@ -36,6 +36,12 @@ std::vector<ChunkPair> BalancedChunkAssignment(int64_t s, int group_size);
 // point for design ablation D3.
 std::vector<ChunkPair> ContiguousChunkAssignment(int64_t s, int group_size);
 
+// Allocation-hoisted forms for per-ring hot paths: `out` is resized, not
+// reallocated in steady state, and the boundary math is done in closed form
+// with no intermediate edge array.
+void BalancedChunkAssignmentInto(int64_t s, int group_size, std::vector<ChunkPair>* out);
+void ContiguousChunkAssignmentInto(int64_t s, int group_size, std::vector<ChunkPair>* out);
+
 // Forward FLOPs rank `k` executes in ring round `r` for a sequence of length
 // `s` split across `group_size` ranks with the given assignment: its query
 // chunks against the KV chunks originally owned by rank (k - r) mod G,

@@ -25,6 +25,11 @@ SequencePartitioner::SequencePartitioner(const ClusterSpec& cluster, Options opt
   ZCHECK_GT(options_.token_capacity, 0);
 }
 
+void SequencePartitioner::set_options(Options options) {
+  options_ = options;
+  ZCHECK_GT(options_.token_capacity, 0);
+}
+
 namespace {
 
 // Index of the least-loaded bucket (ties -> lowest index, deterministic).
@@ -38,31 +43,128 @@ int ArgMinLoad(const std::vector<int64_t>& loads) {
   return best;
 }
 
-// Indices of the k least-loaded buckets, ascending by (load, index).
+// Indices of the k least-loaded buckets, ascending by (load, index); the
+// final order is node-ascending to keep rings node-ordered. Selection only
+// needs a partial sort; the explicit (load, index) comparator reproduces
+// what the seed's stable full sort by load alone would select.
 std::vector<int> LeastLoaded(const std::vector<int64_t>& loads, int k) {
   std::vector<int> order(loads.size());
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](int a, int b) { return loads[a] < loads[b]; });
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int a, int b) { return loads[a] != loads[b] ? loads[a] < loads[b] : a < b; });
   order.resize(k);
   std::sort(order.begin(), order.end());  // Keep ring order node-ascending.
   return order;
 }
 
+// Sequence ids by length, descending (Alg. 1 line 1 / Alg. 2 inherited order).
+void BuildDescendingOrder(const Batch& batch, std::vector<int>* order) {
+  order->resize(batch.seq_lens.size());
+  std::iota(order->begin(), order->end(), 0);
+  std::stable_sort(order->begin(), order->end(), [&](int a, int b) {
+    return batch.seq_lens[a] > batch.seq_lens[b];
+  });
+}
+
+// Same order, computed by a stable LSD radix sort on the bitwise complement
+// of the length (complement-ascending == length-descending, and stability
+// gives the same tie-break as the stable comparison sort). O(S) per 16-bit
+// digit, with only as many passes as the longest sequence needs — at
+// training-realistic lengths (< 4G tokens) that is at most two passes, well
+// under the comparison sort's S log S.
+void BuildDescendingOrderRadix(const Batch& batch, PlannerScratch* s) {
+  const int n = batch.size();
+  s->order.resize(n);
+  std::iota(s->order.begin(), s->order.end(), 0);
+
+  int64_t max_len = 0;
+  for (int64_t len : batch.seq_lens) {
+    ZCHECK_GE(len, 0);
+    max_len = std::max(max_len, len);
+  }
+  constexpr int kDigitBits = 16;
+  constexpr int64_t kDigitMask = (int64_t{1} << kDigitBits) - 1;
+  s->radix_tmp.resize(n);
+  s->radix_count.resize(size_t{1} << kDigitBits);
+  // Keys only differ below bit_width(max_len); higher complement bits are
+  // identical across all keys and need no pass.
+  for (int shift = 0; (max_len >> shift) > 0; shift += kDigitBits) {
+    std::fill(s->radix_count.begin(), s->radix_count.end(), 0);
+    for (int id : s->order) {
+      ++s->radix_count[(~batch.seq_lens[id] >> shift) & kDigitMask];
+    }
+    int running = 0;
+    for (int& count : s->radix_count) {
+      const int c = count;
+      count = running;
+      running += c;
+    }
+    for (int id : s->order) {
+      s->radix_tmp[s->radix_count[(~batch.seq_lens[id] >> shift) & kDigitMask]++] = id;
+    }
+    s->order.swap(s->radix_tmp);
+  }
+}
+
+// First position in the length-descending `order` whose length drops below
+// `threshold` — the zone boundary index. O(log |order|).
+int ZoneBoundary(const Batch& batch, const std::vector<int>& order, int64_t threshold) {
+  return static_cast<int>(
+      std::partition_point(order.begin(), order.end(),
+                           [&](int id) { return batch.seq_lens[id] >= threshold; }) -
+      order.begin());
+}
+
+void ResetAssignments(int num_nodes, std::vector<NodeAssignment>* assignments) {
+  assignments->resize(num_nodes);
+  for (NodeAssignment& a : *assignments) {
+    a.inter_chunks.clear();
+    a.sequences.clear();
+  }
+}
+
+// Cursor-based slot reuse for ring vectors: instead of clear() + push_back
+// (which frees and reallocates every ring's rank storage), rings are
+// overwritten in place and the vector trimmed once at the end. The returned
+// slot has cleared ranks but retains their capacity.
+RingSequence& NextRing(std::vector<RingSequence>* rings, size_t* count) {
+  if (*count == rings->size()) {
+    rings->emplace_back();
+  }
+  RingSequence& ring = (*rings)[(*count)++];
+  ring.ranks.clear();
+  return ring;
+}
+
+// Number of node buckets a z2 sequence is chunked over (Alg. 1 line 8).
+int InterNodeChunkCount(int64_t len, double s_avg, int num_nodes) {
+  int k = static_cast<int>(std::ceil(static_cast<double>(len) / std::max(s_avg, 1.0)));
+  return std::clamp(k, 1, num_nodes);
+}
+
+// Number of fragments a z1 sequence is split into (Alg. 2 line 9).
+int IntraNodeFragmentCount(double len, double c_avg, int p) {
+  int fragments = static_cast<int>(std::ceil(len * len / std::max(c_avg, 1.0)));
+  return std::clamp(fragments, 1, p);
+}
+
 }  // namespace
 
-std::vector<SequencePartitioner::NodeAssignment> SequencePartitioner::PartitionInterNode(
-    const Batch& batch, PartitionPlan* plan) const {
+// --- Inter-node stage (Alg. 1), reference greedy ------------------------------
+//
+// Structurally the seed implementation: fresh workspaces per pass, zone
+// re-splits, and whole-stage restarts on overflow. Kept verbatim (modulo the
+// partial-sort LeastLoaded) as the equivalence oracle and the bench baseline.
+
+void SequencePartitioner::PartitionInterNodeNaive(const Batch& batch, PartitionPlan* plan,
+                                                  PlannerScratch* s) const {
   const int num_nodes = cluster_.num_nodes;
   const int p = cluster_.gpus_per_node;
   const int64_t node_capacity = static_cast<int64_t>(p) * options_.token_capacity;
 
   // Sort sequence ids by length, descending (Alg. 1 line 1).
-  std::vector<int> order(batch.seq_lens.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return batch.seq_lens[a] > batch.seq_lens[b];
-  });
+  std::vector<int> order;
+  BuildDescendingOrder(batch, &order);
 
   int64_t total = batch.total_tokens();
   ZCHECK_LE(total, static_cast<int64_t>(num_nodes) * node_capacity)
@@ -72,10 +174,9 @@ std::vector<SequencePartitioner::NodeAssignment> SequencePartitioner::PartitionI
   if (options_.max_inter_threshold > 0) {
     s1 = std::min(s1, options_.max_inter_threshold);
   }
-  std::vector<NodeAssignment> assignments;
   for (bool retry = true; retry;) {
     retry = false;
-    assignments.assign(num_nodes, NodeAssignment{});
+    s->assignments.assign(num_nodes, NodeAssignment{});
     plan->inter_node.clear();
     plan->intra_node.clear();  // May hold single-node z2 rings from a retry.
     std::vector<int64_t> node_loads(num_nodes, 0);
@@ -97,9 +198,7 @@ std::vector<SequencePartitioner::NodeAssignment> SequencePartitioner::PartitionI
       const double s_avg = static_cast<double>(z2_total) / num_nodes;
       for (int id : z2) {
         const int64_t len = batch.seq_lens[id];
-        int k = static_cast<int>(
-            std::ceil(static_cast<double>(len) / std::max(s_avg, 1.0)));
-        k = std::clamp(k, 1, num_nodes);
+        const int k = InterNodeChunkCount(len, s_avg, num_nodes);
         const std::vector<int> nodes = LeastLoaded(node_loads, k);
 
         RingSequence ring;
@@ -117,7 +216,7 @@ std::vector<SequencePartitioner::NodeAssignment> SequencePartitioner::PartitionI
         // Record per-node chunk loads (even split across the k nodes).
         for (int c = 0; c < k; ++c) {
           const int64_t chunk = len * (c + 1) / k - len * c / k;
-          assignments[nodes[c]].inter_chunks.emplace_back(id, chunk);
+          s->assignments[nodes[c]].inter_chunks.emplace_back(id, chunk);
           node_loads[nodes[c]] += chunk;
         }
         if (ring.zone == Zone::kInterNode) {
@@ -139,16 +238,207 @@ std::vector<SequencePartitioner::NodeAssignment> SequencePartitioner::PartitionI
         break;
       }
       node_loads[idx] += len;
-      assignments[idx].sequences.push_back(id);
+      s->assignments[idx].sequences.push_back(id);
     }
   }
   plan->threshold_s1 = s1;
-  return assignments;
 }
 
-void SequencePartitioner::PartitionIntraNode(const Batch& batch, int node,
-                                             const NodeAssignment& assignment,
-                                             PartitionPlan* plan) const {
+// --- Inter-node stage (Alg. 1), heap fast path --------------------------------
+
+void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPlan* plan,
+                                                 PlannerScratch* s) const {
+  const int num_nodes = cluster_.num_nodes;
+  const int p = cluster_.gpus_per_node;
+  const int64_t node_capacity = static_cast<int64_t>(p) * options_.token_capacity;
+  const int n = batch.size();
+
+  BuildDescendingOrderRadix(batch, s);
+  s->prefix_lens.resize(n + 1);
+  s->prefix_lens[0] = 0;
+  for (int i = 0; i < n; ++i) {
+    s->prefix_lens[i + 1] = s->prefix_lens[i] + batch.seq_lens[s->order[i]];
+  }
+  s->placed_node.resize(n);
+
+  // Rank-list template per node: every single-node ring over node b is the
+  // identical [b*p, (b+1)*p) span, so rings copy it instead of recomputing.
+  s->node_ranks.resize(num_nodes);
+  for (int node = 0; node < num_nodes; ++node) {
+    s->node_ranks[node].resize(p);
+    std::iota(s->node_ranks[node].begin(), s->node_ranks[node].end(), node * p);
+  }
+
+  ZCHECK_LE(s->prefix_lens[n], static_cast<int64_t>(num_nodes) * node_capacity)
+      << "batch does not fit the cluster at capacity L=" << options_.token_capacity;
+
+  int64_t s1 = node_capacity;  // Alg. 1 line 2.
+  if (options_.max_inter_threshold > 0) {
+    s1 = std::min(s1, options_.max_inter_threshold);
+  }
+  // Zone boundary: order[0..boundary) is z2, order[boundary..n) is z01. Kept
+  // incrementally across overflow restarts — a restart only advances it.
+  int boundary = ZoneBoundary(batch, s->order, s1);
+
+  // Records a chunk of `chunk` tokens on `node` in the aggregate form the
+  // intra stage consumes (whole shares + remainder histogram).
+  auto record_chunk = [&](int node, int64_t chunk) {
+    const int64_t q = chunk / p;
+    s->node_chunk_whole[node] += q;
+    ++s->node_chunk_rem[node * p + (chunk - q * p)];
+  };
+
+  // Emits the z2 ring + chunk bookkeeping for a sequence chunked over a
+  // single node bucket (never crosses the network: an intra-node ring).
+  auto emit_single_node = [&](int id, int64_t len, int node) {
+    RingSequence& ring = NextRing(&plan->intra_node, &s->intra_ring_count);
+    ring.seq_id = id;
+    ring.length = len;
+    ring.zone = Zone::kIntraNode;
+    ring.ranks = s->node_ranks[node];
+    record_chunk(node, len);
+  };
+
+  int restarts = 0;
+  // When the whole aborted pass was plain least-loaded packing (empty z2)
+  // and every promoted sequence still chunks to k == 1 under the new s_avg,
+  // the replay would reproduce the aborted pass placement for placement:
+  // the packing rule and the loads are identical. `continue_from` skips the
+  // replay in that case — the placements already made are only re-labelled
+  // (z01 bookkeeping -> single-node z2 rings), and placement resumes where
+  // the aborted pass stopped.
+  int continue_from = -1;
+  for (;;) {
+    const int64_t z2_total = s->prefix_lens[boundary];
+    const double s_avg = static_cast<double>(z2_total) / num_nodes;
+
+    int z2_start = 0;
+    if (continue_from >= 0) {
+      // Incremental restart: re-label positions [0, continue_from) in place.
+      // Ring order, per-node chunk order, and heap loads all match what a
+      // full replay would produce, because the aborted pass placed these
+      // very sequences with the same (load, index) rule.
+      for (int i = 0; i < continue_from; ++i) {
+        emit_single_node(s->order[i], batch.seq_lens[s->order[i]], s->placed_node[i]);
+      }
+      for (NodeAssignment& a : s->assignments) {
+        a.sequences.clear();
+      }
+      z2_start = continue_from;
+      continue_from = -1;
+    } else {
+      ResetAssignments(num_nodes, &s->assignments);
+      s->node_chunk_whole.assign(num_nodes, 0);
+      s->node_chunk_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
+      s->inter_ring_count = 0;
+      s->intra_ring_count = 0;  // May hold single-node z2 rings from a restart.
+      s->node_loads.Reset(num_nodes);
+    }
+
+    // Chunk placement for z2 (replayed from z2_start; a restart changes
+    // s_avg and with it every sequence's chunk count, except in the
+    // re-label case handled above).
+    for (int i = z2_start; i < boundary; ++i) {
+      const int id = s->order[i];
+      const int64_t len = batch.seq_lens[id];
+      const int k = InterNodeChunkCount(len, s_avg, num_nodes);
+
+      if (k == 1) {
+        emit_single_node(id, len, s->node_loads.add_min(len));
+        continue;
+      }
+
+      s->node_loads.k_least(k, &s->least);
+      std::sort(s->least.begin(), s->least.end());  // Keep ring order node-ascending.
+      RingSequence& ring = NextRing(&plan->inter_node, &s->inter_ring_count);
+      ring.seq_id = id;
+      ring.length = len;
+      ring.zone = Zone::kInterNode;
+      ring.ranks.reserve(static_cast<size_t>(k) * p);
+      for (int node : s->least) {
+        const int rank_base = node * p;
+        for (int local = 0; local < p; ++local) {
+          ring.ranks.push_back(rank_base + local);
+        }
+      }
+      // Per-node chunk loads (even split across the k nodes), one division
+      // per boundary instead of two.
+      int64_t prev_edge = 0;
+      for (int c = 0; c < k; ++c) {
+        const int64_t edge = len * (c + 1) / k;
+        const int64_t chunk = edge - prev_edge;
+        prev_edge = edge;
+        record_chunk(s->least[c], chunk);
+        s->node_loads.add(s->least[c], chunk);
+      }
+    }
+
+    // Pack z01 onto least-loaded nodes; each placement is one argmin + one
+    // heap update instead of an O(num_nodes) scan.
+    const int z01_start = boundary;
+    bool overflowed = false;
+    for (int i = z01_start; i < n; ++i) {
+      const int id = s->order[i];
+      const int64_t len = batch.seq_lens[id];
+      const int idx = s->node_loads.pack_min(len, node_capacity);
+      if (idx < 0) {
+        // Shrink s1 to max(z01) = len and promote every sequence of length
+        // >= len into z2: they form a contiguous block, so the boundary just
+        // advances past it (no re-sort, no zone re-split).
+        s1 = len;
+        int nb = i + 1;
+        while (nb < n && batch.seq_lens[s->order[nb]] >= len) {
+          ++nb;
+        }
+        // Incremental-continuation test: the aborted pass must have been
+        // pure z01 packing (z2 empty), and under the new s_avg every
+        // promoted sequence must still chunk to a single node (max promoted
+        // length = order[0]'s). Then the replay is a no-op re-labelling.
+        const double next_avg = static_cast<double>(s->prefix_lens[nb]) / num_nodes;
+        if (z01_start == 0 &&
+            static_cast<double>(batch.seq_lens[s->order[0]]) <= std::max(next_avg, 1.0)) {
+          continue_from = i;
+        }
+        boundary = nb;
+        overflowed = true;
+        break;
+      }
+      s->placed_node[i] = idx;
+      s->assignments[idx].sequences.push_back(id);
+    }
+    if (!overflowed) {
+      break;
+    }
+    // The boundary strictly advances on every restart, so more than n
+    // restarts means a broken invariant; fall back to the reference greedy
+    // once rather than looping.
+    if (++restarts > n) {
+      ZCHECK(options_.naive_fallback) << "fast-path restart chain exceeded its bound";
+      plan->inter_node.resize(s->inter_ring_count);
+      plan->intra_node.resize(s->intra_ring_count);
+      PartitionInterNodeNaive(batch, plan, s);
+      s->inter_ring_count = plan->inter_node.size();
+      s->intra_ring_count = plan->intra_node.size();
+      // Rebuild the chunk aggregates the fast intra stage reads.
+      s->node_chunk_whole.assign(num_nodes, 0);
+      s->node_chunk_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
+      for (int node = 0; node < num_nodes; ++node) {
+        for (const auto& [seq_id, chunk] : s->assignments[node].inter_chunks) {
+          record_chunk(node, chunk);
+        }
+      }
+      return;
+    }
+  }
+  plan->threshold_s1 = s1;
+}
+
+// --- Intra-node stage (Alg. 2), reference greedy -------------------------------
+
+void SequencePartitioner::PartitionIntraNodeNaive(const Batch& batch, int node,
+                                                  const NodeAssignment& assignment,
+                                                  PartitionPlan* plan,
+                                                  PlannerScratch* /*scratch*/) const {
   const int p = cluster_.gpus_per_node;
   const int64_t capacity = options_.token_capacity;
 
@@ -196,20 +486,17 @@ void SequencePartitioner::PartitionIntraNode(const Batch& batch, int node,
     if (!z1.empty()) {
       const double c_avg = c_total / p;
       for (int id : z1) {
-        const double len = static_cast<double>(batch.seq_lens[id]);
-        int fragments =
-            static_cast<int>(std::ceil(len * len / std::max(c_avg, 1.0)));
-        fragments = std::clamp(fragments, 1, p);
+        const int64_t len = batch.seq_lens[id];
+        const int fragments = IntraNodeFragmentCount(static_cast<double>(len), c_avg, p);
 
         RingSequence ring;
         ring.seq_id = id;
-        ring.length = batch.seq_lens[id];
+        ring.length = len;
         ring.zone = Zone::kIntraNode;
         for (int f = 0; f < fragments; ++f) {
           const int device = (cursor + f) % p;
           ring.ranks.push_back(cluster_.GlobalRank(node, device));
-          device_loads[device] +=
-              ring.length * (f + 1) / fragments - ring.length * f / fragments;
+          device_loads[device] += len * (f + 1) / fragments - len * f / fragments;
         }
         cursor = (cursor + fragments) % p;
         intra_rings.push_back(std::move(ring));
@@ -230,16 +517,15 @@ void SequencePartitioner::PartitionIntraNode(const Batch& batch, int node,
     }
   }
 
-  // Size-1 "rings" need no communication: execute as local kernels.
-  for (auto& ring : intra_rings) {
+  // Size-1 "rings" need no communication: they execute as local kernels,
+  // after this node's z0 locals.
+  plan->local.insert(plan->local.end(), locals.begin(), locals.end());
+  for (RingSequence& ring : intra_rings) {
     if (ring.group_size() == 1) {
-      locals.push_back({ring.seq_id, ring.length, ring.ranks[0]});
+      plan->local.push_back({ring.seq_id, ring.length, ring.ranks[0]});
     } else {
       plan->intra_node.push_back(std::move(ring));
     }
-  }
-  for (auto& local : locals) {
-    plan->local.push_back(local);
   }
   for (int d = 0; d < p; ++d) {
     plan->tokens_per_rank[cluster_.GlobalRank(node, d)] += device_loads[d];
@@ -247,20 +533,190 @@ void SequencePartitioner::PartitionIntraNode(const Batch& batch, int node,
   plan->threshold_s0[node] = s0;
 }
 
-PartitionPlan SequencePartitioner::Partition(const Batch& batch) const {
-  ZCHECK_GT(batch.size(), 0);
-  PartitionPlan plan;
-  plan.tokens_per_rank.assign(cluster_.world_size(), 0);
-  plan.threshold_s0.assign(cluster_.num_nodes, 0);
+// --- Intra-node stage (Alg. 2), heap fast path ---------------------------------
 
-  const std::vector<NodeAssignment> assignments = PartitionInterNode(batch, &plan);
-  for (int node = 0; node < cluster_.num_nodes; ++node) {
-    PartitionIntraNode(batch, node, assignments[node], &plan);
+void SequencePartitioner::PartitionIntraNodeFast(const Batch& batch, int node,
+                                                 const NodeAssignment& assignment,
+                                                 PartitionPlan* plan, PlannerScratch* s) const {
+  const int p = cluster_.gpus_per_node;
+  const int rank_base = node * p;
+  const int64_t capacity = options_.token_capacity;
+
+  // The inter-node stage packs z01 sequences in length-descending order, so
+  // each node's list arrives already sorted the way Alg. 2 wants it — the
+  // reference path's per-node re-sort is a structural no-op.
+  const std::vector<int>& seqs = assignment.sequences;
+  const int n = static_cast<int>(seqs.size());
+
+  int64_t s0 = capacity;  // Alg. 2 line 1.
+  if (options_.max_local_threshold > 0) {
+    s0 = std::min(s0, options_.max_local_threshold);
+  }
+  int boundary = ZoneBoundary(batch, seqs, s0);
+
+  // Inter-node chunk spreading (lines 4-6) is zone-independent: hoist it out
+  // of the restart loop. The per-device share of a chunk q*p + r is
+  // q + (floor((d+1)r/p) - floor(dr/p)), so the aggregates the inter stage
+  // recorded (whole-share sum + remainder histogram) expand to the exact
+  // per-device loads in O(p^2) small-integer steps — no chunk list at all.
+  std::vector<int64_t>& chunk_base = s->device_base;
+  chunk_base.resize(p);
+  for (int d = 0; d < p; ++d) {
+    int64_t share = s->node_chunk_whole[node];
+    for (int r = 1; r < p; ++r) {
+      share += s->node_chunk_rem[node * p + r] * ((d + 1) * r / p - d * r / p);
+    }
+    chunk_base[d] = share;
   }
 
-  ZCHECK_EQ(plan.total_tokens(), batch.total_tokens())
-      << "partitioner must conserve tokens";
+  // z0 locals go straight into the plan; a restart truncates back to here.
+  const size_t local_base = plan->local.size();
+
+  int restarts = 0;
+  for (;;) {
+    s->scratch_ring_count = 0;
+    s->locals.clear();  // Pending single-fragment z1 sequences.
+    plan->local.resize(local_base);
+    // Checkpointed chunk loads seed the heap; z1 fragments and z0 packing
+    // are replayed on top (a restart changes c_avg, invalidating them).
+    s->device_loads.Assign(chunk_base);
+
+    // Quadratic-balanced fragmentation of intra-node sequences (lines 8-12).
+    double c_total = 0;
+    for (int i = 0; i < boundary; ++i) {
+      const double len = static_cast<double>(batch.seq_lens[seqs[i]]);
+      c_total += len * len;
+    }
+    int cursor = 0;  // Round-robin start for fragment placement.
+    if (boundary > 0) {
+      const double c_avg = c_total / p;
+      for (int i = 0; i < boundary; ++i) {
+        const int id = seqs[i];
+        const int64_t len = batch.seq_lens[id];
+        const int fragments = IntraNodeFragmentCount(static_cast<double>(len), c_avg, p);
+
+        if (fragments == 1) {
+          // A single-fragment "ring" is a local kernel; record it directly
+          // (it lands after this node's z0 locals, like the reference path's
+          // size-1 ring conversion).
+          s->locals.push_back({id, len, rank_base + cursor});
+          s->device_loads.add(cursor, len);
+          cursor = (cursor + 1) % p;
+          continue;
+        }
+
+        RingSequence& ring = NextRing(&s->intra_rings, &s->scratch_ring_count);
+        ring.seq_id = id;
+        ring.length = len;
+        ring.zone = Zone::kIntraNode;
+        int64_t prev_edge = 0;
+        for (int f = 0; f < fragments; ++f) {
+          const int device = (cursor + f) % p;
+          ring.ranks.push_back(rank_base + device);
+          const int64_t edge = len * (f + 1) / fragments;
+          s->device_loads.add(device, edge - prev_edge);
+          prev_edge = edge;
+        }
+        cursor = (cursor + fragments) % p;
+      }
+    }
+
+    // Local sequences onto least-loaded devices (lines 13-21).
+    bool overflowed = false;
+    for (int i = boundary; i < n; ++i) {
+      const int id = seqs[i];
+      const int64_t len = batch.seq_lens[id];
+      const int idx = s->device_loads.pack_min(len, capacity);
+      if (idx < 0) {
+        // Shrink s0 to max(z0) = len; promoted sequences form a contiguous
+        // block, so the boundary just advances.
+        s0 = len;
+        int nb = i + 1;
+        while (nb < n && batch.seq_lens[seqs[nb]] >= len) {
+          ++nb;
+        }
+        boundary = nb;
+        overflowed = true;
+        break;
+      }
+      plan->local.push_back({id, len, rank_base + idx});
+    }
+    if (!overflowed) {
+      break;
+    }
+    // The boundary strictly advances on every restart, so the chain is
+    // bounded by the node's sequence count.
+    ZCHECK_LE(++restarts, n) << "intra-node restart chain exceeded its bound";
+  }
+
+  // Pending single-fragment z1 sequences land after this node's z0 locals
+  // (matching the reference path's ring-conversion order), multi-fragment
+  // rings are copied into recycled plan slots, and final per-device loads
+  // are read back off the heap.
+  plan->local.insert(plan->local.end(), s->locals.begin(), s->locals.end());
+  for (size_t i = 0; i < s->scratch_ring_count; ++i) {
+    const RingSequence& src = s->intra_rings[i];
+    RingSequence& dst = NextRing(&plan->intra_node, &s->intra_ring_count);
+    dst.seq_id = src.seq_id;
+    dst.length = src.length;
+    dst.zone = src.zone;
+    dst.ranks.assign(src.ranks.begin(), src.ranks.end());
+  }
+  for (int d = 0; d < p; ++d) {
+    plan->tokens_per_rank[rank_base + d] += s->device_loads.load(d);
+  }
+  plan->threshold_s0[node] = s0;
+}
+
+// --- Driver -----------------------------------------------------------------
+
+PartitionPlan SequencePartitioner::Partition(const Batch& batch) const {
+  PlannerScratch scratch;
+  return Partition(batch, &scratch);
+}
+
+PartitionPlan SequencePartitioner::Partition(const Batch& batch, PlannerScratch* scratch) const {
+  PartitionPlan plan;
+  Partition(batch, scratch, &plan);
   return plan;
+}
+
+void SequencePartitioner::Partition(const Batch& batch, PlannerScratch* scratch,
+                                    PartitionPlan* plan) const {
+  ZCHECK_GT(batch.size(), 0);
+  ZCHECK(scratch != nullptr);
+  ZCHECK(plan != nullptr);
+  scratch->node_loads.ResetOps();
+  scratch->device_loads.ResetOps();
+
+  plan->local.clear();
+  plan->tokens_per_rank.assign(cluster_.world_size(), 0);
+  plan->threshold_s0.assign(cluster_.num_nodes, 0);
+  plan->threshold_s1 = 0;
+
+  if (options_.fast_path) {
+    // Ring vectors are cursor-managed (storage recycled), then trimmed.
+    scratch->inter_ring_count = 0;
+    scratch->intra_ring_count = 0;
+    PartitionInterNodeFast(batch, plan, scratch);
+    for (int node = 0; node < cluster_.num_nodes; ++node) {
+      PartitionIntraNodeFast(batch, node, scratch->assignments[node], plan, scratch);
+    }
+    plan->inter_node.resize(scratch->inter_ring_count);
+    plan->intra_node.resize(scratch->intra_ring_count);
+  } else {
+    // The reference path rebuilds plan storage from scratch, like the seed.
+    std::vector<RingSequence>().swap(plan->inter_node);
+    std::vector<RingSequence>().swap(plan->intra_node);
+    std::vector<LocalSequence>().swap(plan->local);
+    PartitionInterNodeNaive(batch, plan, scratch);
+    for (int node = 0; node < cluster_.num_nodes; ++node) {
+      PartitionIntraNodeNaive(batch, node, scratch->assignments[node], plan, scratch);
+    }
+  }
+
+  ZCHECK_EQ(plan->total_tokens(), batch.total_tokens())
+      << "partitioner must conserve tokens";
 }
 
 }  // namespace zeppelin

@@ -19,12 +19,33 @@
 //
 // The output plan lists, per zone, each sequence's ring group (the ordered
 // ranks that share it) — exactly what the attention engine (§3.2) executes.
+//
+// Two execution paths produce bit-identical plans:
+//
+//   Fast path (default): packing queries go through an addressable min-heap
+//   (LoadTracker), so each placement costs O(log P) instead of an O(P) scan
+//   or an O(P log P) sort, and overflow restarts are incremental — the
+//   length-descending order, its prefix sums, and the zone boundary index are
+//   kept across restarts, so a restart only replays placements (which the
+//   boundary shift invalidates wholesale, because s_avg / c_avg change)
+//   without re-sorting, re-splitting zones, or reallocating. One full pass is
+//   O((S + P) log P).
+//
+//   Naive path: the reference linear-scan/partial-sort greedy, structurally
+//   the seed algorithm. Kept both as the equivalence oracle for tests and as
+//   a one-shot fallback should the fast path's restart chain ever exceed its
+//   worst-case bound.
+//
+// Both paths break packing ties identically: lowest load, then lowest bucket
+// index.
 #ifndef SRC_CORE_PARTITIONER_H_
 #define SRC_CORE_PARTITIONER_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "src/common/load_tracker.h"
 #include "src/core/zones.h"
 #include "src/data/sampler.h"
 #include "src/topology/cluster.h"
@@ -39,6 +60,8 @@ struct RingSequence {
   std::vector<int> ranks;  // Ring order; position i holds chunks i and 2G-1-i.
 
   int group_size() const { return static_cast<int>(ranks.size()); }
+
+  bool operator==(const RingSequence&) const = default;
 };
 
 // A sequence processed entirely on one device (local zone).
@@ -46,6 +69,8 @@ struct LocalSequence {
   int seq_id = 0;
   int64_t length = 0;
   int rank = 0;
+
+  bool operator==(const LocalSequence&) const = default;
 };
 
 struct PartitionPlan {
@@ -63,6 +88,57 @@ struct PartitionPlan {
   int64_t total_tokens() const;
   // max/mean of tokens_per_rank (1.0 = perfectly token-balanced).
   double TokenImbalance() const;
+
+  // Byte-identity across planner paths (the fast-path equivalence contract).
+  bool operator==(const PartitionPlan&) const = default;
+};
+
+// Per-node output of the inter-node stage, input to the intra-node stage.
+struct NodeAssignment {
+  // (seq_id, chunk length at this node) for inter-node sequences.
+  std::vector<std::pair<int, int64_t>> inter_chunks;
+  // Ids (into batch) of z01 sequences packed on this node, length-descending
+  // (the packing order of Alg. 1).
+  std::vector<int> sequences;
+};
+
+// Reusable planning workspace. A planner that keeps one of these across
+// iterations (see ZeppelinStrategy) runs Partition() without steady-state
+// heap allocations: every intermediate lives here and only grows. The
+// contents are meaningless between calls.
+struct PlannerScratch {
+  // Inter-node stage.
+  std::vector<int> order;            // Sequence ids, length-descending.
+  std::vector<int> radix_tmp;        // Fast-path radix-sort scatter buffer.
+  std::vector<int> radix_count;      // Fast-path radix-sort digit counts.
+  std::vector<int64_t> prefix_lens;  // prefix_lens[i] = sum of first i lens.
+  LoadTracker node_loads;
+  std::vector<int> least;            // k_least() output.
+  std::vector<NodeAssignment> assignments;
+  std::vector<int> placed_node;      // placed_node[i]: node of z01 seq order[i].
+  std::vector<std::vector<int>> node_ranks;  // Per node: its global ranks.
+  // Fast-path aggregate of each node's inter-node chunks: the intra stage
+  // only needs the per-device spread, which is fully determined by the sum
+  // of whole shares floor(chunk/p) and a histogram of remainders chunk%p —
+  // so chunks are never materialized as (id, len) lists on the fast path.
+  std::vector<int64_t> node_chunk_whole;  // Per node: sum of floor(chunk/p).
+  std::vector<int64_t> node_chunk_rem;    // Flat [node*p + r]: count of chunks with chunk%p == r.
+
+  // Intra-node stage.
+  LoadTracker device_loads;
+  std::vector<int64_t> device_base;  // Chunk loads before z1/z0 packing.
+  std::vector<RingSequence> intra_rings;
+  std::vector<LocalSequence> locals;
+
+  // Fast-path ring cursors: plan ring vectors are overwritten in place and
+  // trimmed once at the end, so ring rank storage survives restarts and
+  // whole Partition() calls instead of being freed and reallocated.
+  size_t inter_ring_count = 0;
+  size_t intra_ring_count = 0;
+  size_t scratch_ring_count = 0;
+
+  // Total LoadTracker ops of the last Partition() (regression guard).
+  int64_t heap_ops() const { return node_loads.ops() + device_loads.ops(); }
 };
 
 class SequencePartitioner {
@@ -77,27 +153,44 @@ class SequencePartitioner {
     // iterative refinement still only ever shrinks the thresholds.
     int64_t max_inter_threshold = 0;  // Caps s1.
     int64_t max_local_threshold = 0;  // Caps s0.
+    // Selects the O((S + P) log P) heap-based fast path. Plans are
+    // bit-identical either way; false forces the reference greedy.
+    bool fast_path = true;
+    // Escape hatch: if the fast path's incremental restart chain exceeds its
+    // worst-case bound (cannot happen unless the invariants are broken), run
+    // the naive path once instead of aborting.
+    bool naive_fallback = true;
   };
 
   SequencePartitioner(const ClusterSpec& cluster, Options options);
 
+  // Reuses `options`-compatible state; cheap enough to call per batch when
+  // the capacity changes (e.g. capacity derived from batch size).
+  void set_options(Options options);
+  const Options& options() const { return options_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+
   PartitionPlan Partition(const Batch& batch) const;
+  // Allocation-hoisted form: all intermediates live in `scratch`.
+  PartitionPlan Partition(const Batch& batch, PlannerScratch* scratch) const;
+  // Fully hoisted form: additionally recycles `plan`'s storage (pass the
+  // previous iteration's plan back in); `plan` is reset, not appended to.
+  void Partition(const Batch& batch, PlannerScratch* scratch, PartitionPlan* plan) const;
 
  private:
-  struct NodeAssignment {
-    // (seq_id, chunk length at this node) for inter-node sequences.
-    std::vector<std::pair<int, int64_t>> inter_chunks;
-    // Sequence ids (into batch) of z01 sequences packed on this node.
-    std::vector<int> sequences;
-  };
-
-  // Alg. 1. Fills `plan->inter_node` and returns per-node assignments.
-  std::vector<NodeAssignment> PartitionInterNode(const Batch& batch, PartitionPlan* plan) const;
+  // Alg. 1. Fills `plan->inter_node` / single-node rings and
+  // `scratch->assignments`.
+  void PartitionInterNodeFast(const Batch& batch, PartitionPlan* plan,
+                              PlannerScratch* scratch) const;
+  void PartitionInterNodeNaive(const Batch& batch, PartitionPlan* plan,
+                               PlannerScratch* scratch) const;
 
   // Alg. 2 for one node. Appends to plan->intra_node / plan->local and
   // accumulates plan->tokens_per_rank.
-  void PartitionIntraNode(const Batch& batch, int node, const NodeAssignment& assignment,
-                          PartitionPlan* plan) const;
+  void PartitionIntraNodeFast(const Batch& batch, int node, const NodeAssignment& assignment,
+                              PartitionPlan* plan, PlannerScratch* scratch) const;
+  void PartitionIntraNodeNaive(const Batch& batch, int node, const NodeAssignment& assignment,
+                               PartitionPlan* plan, PlannerScratch* scratch) const;
 
   ClusterSpec cluster_;
   Options options_;

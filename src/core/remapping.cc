@@ -10,11 +10,20 @@ RemappingLayer::RemappingLayer(const CostModel& cost_model, const FabricResource
     : cost_model_(&cost_model), fabric_(&fabric), options_(options) {}
 
 RemapSolution RemappingLayer::Plan(const std::vector<int64_t>& tokens_per_rank) const {
+  RemapScratch scratch;
+  RemapSolution solution;
+  Plan(tokens_per_rank, &scratch, &solution);
+  return solution;
+}
+
+void RemappingLayer::Plan(const std::vector<int64_t>& tokens_per_rank, RemapScratch* scratch,
+                          RemapSolution* solution) const {
   const ClusterSpec& spec = fabric_->cluster();
   ZCHECK_EQ(tokens_per_rank.size(), static_cast<size_t>(spec.world_size()));
 
-  RemapProblem problem;
-  problem.tokens = tokens_per_rank;
+  RemapProblem& problem = scratch->problem;
+  problem.tokens.assign(tokens_per_rank.begin(), tokens_per_rank.end());
+  problem.target.clear();
   problem.node_of.resize(spec.world_size());
   for (int r = 0; r < spec.world_size(); ++r) {
     problem.node_of[r] = spec.NodeOf(r);
@@ -22,7 +31,11 @@ RemapSolution RemappingLayer::Plan(const std::vector<int64_t>& tokens_per_rank) 
   const double bytes_per_token = static_cast<double>(cost_model_->HiddenBytesPerToken());
   problem.b_intra = cost_model_->b_intra() * bytes_per_token;
   problem.b_inter = cost_model_->b_inter() * bytes_per_token;
-  return options_.minimax ? SolveMinimaxRemap(problem) : SolveMinTotalRemap(problem);
+  if (options_.minimax) {
+    SolveMinimaxRemap(problem, scratch, solution);
+  } else {
+    *solution = SolveMinTotalRemap(problem);
+  }
 }
 
 RemappingLayer::EmitResult RemappingLayer::Emit(TaskGraph& graph,

@@ -37,6 +37,12 @@ class RemappingLayer {
   // Token counts are turned into bytes via the hidden-state activation size.
   RemapSolution Plan(const std::vector<int64_t>& tokens_per_rank) const;
 
+  // Allocation-hoisted form: the problem and all solver intermediates live in
+  // `scratch`, and `solution`'s transfer-matrix storage is recycled (pass the
+  // previous iteration's solution back in). Identical results.
+  void Plan(const std::vector<int64_t>& tokens_per_rank, RemapScratch* scratch,
+            RemapSolution* solution) const;
+
   struct EmitResult {
     std::vector<TaskId> done;          // Per rank.
     std::vector<int64_t> new_tokens;   // Token counts after remapping.

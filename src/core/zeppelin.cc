@@ -33,7 +33,7 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
   const ClusterSpec& spec = fabric.cluster();
   const int world = spec.world_size();
 
-  const auto start = std::chrono::steady_clock::now();
+  auto start = std::chrono::steady_clock::now();
 
   if (options_.hierarchical_partitioning) {
     int64_t capacity = options_.token_capacity;
@@ -50,14 +50,25 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
       }
       capacity = std::max(average, with_slack);
     }
-    SequencePartitioner::Options popts{.token_capacity = capacity};
+    SequencePartitioner::Options popts{.token_capacity = capacity,
+                                       .fast_path = options_.planner_fast_path};
     if (options_.zone_aware_thresholds) {
       const ZoneBoundaries zones = ZoneClassifier(cost_model).Compute();
       popts.max_inter_threshold = zones.intra_max;
       popts.max_local_threshold = zones.local_max;
     }
-    SequencePartitioner partitioner(spec, popts);
-    plan_ = partitioner.Partition(batch);
+    // Rebuild only when the topology actually changed (compared by value:
+    // a different fabric can reuse a freed fabric's address).
+    if (!partitioner_ || !(partitioner_->cluster() == spec)) {
+      partitioner_.emplace(spec, popts);
+    } else {
+      partitioner_->set_options(popts);
+    }
+    start = std::chrono::steady_clock::now();  // Time the partitioner itself.
+    partitioner_->Partition(batch, &planner_scratch_, &plan_);
+    partition_time_us_ = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
   } else {
     // Ablation baseline: every sequence on one global ring spanning all ranks
     // (the TE CP layout), so the only Zeppelin component in play is routing.
@@ -77,6 +88,9 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
       }
       plan_.inter_node.push_back(std::move(ring));
     }
+    partition_time_us_ = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
   }
 
   routing_.emplace(fabric, options_.routing);
@@ -84,7 +98,7 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
   remapping_.emplace(cost_model, fabric, options_.remapping);
 
   if (options_.remapping.enabled) {
-    remap_solution_ = remapping_->Plan(plan_.tokens_per_rank);
+    remapping_->Plan(plan_.tokens_per_rank, &remap_scratch_, &remap_solution_);
   } else {
     remap_solution_ = RemapSolution{};
     remap_solution_.transfer.assign(world, std::vector<int64_t>(world, 0));
@@ -99,10 +113,6 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
       }
     }
   }
-
-  partition_time_us_ = std::chrono::duration<double, std::micro>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
 }
 
 std::vector<TaskId> ZeppelinStrategy::EmitLayer(TaskGraph& graph, Direction direction) {

@@ -39,6 +39,11 @@ struct ZeppelinOptions {
   // so sequences whose communication cannot hide behind compute stay in
   // smaller rings even when memory would allow bigger ones.
   bool zone_aware_thresholds = false;
+
+  // Selects the O((S + P) log P) heap-based planner fast path (bit-identical
+  // plans); false forces the reference linear-scan greedy. Exposed so the
+  // planner-scaling bench can measure old-vs-new on the same code base.
+  bool planner_fast_path = true;
 };
 
 class ZeppelinStrategy : public Strategy {
@@ -54,6 +59,8 @@ class ZeppelinStrategy : public Strategy {
   // Planning artefacts (for tests, benches, and the Table 3 case study).
   const PartitionPlan& partition_plan() const { return plan_; }
   const RemapSolution& remap_solution() const { return remap_solution_; }
+  // Wall time of the sequence-partitioning step (Alg. 1/2) in the last
+  // Plan() call — the Table 3 "Sequence Partition" cost.
   double partition_time_us() const { return partition_time_us_; }
 
  private:
@@ -65,6 +72,13 @@ class ZeppelinStrategy : public Strategy {
   RemapSolution remap_solution_;
   std::vector<int64_t> linear_tokens_;
   double partition_time_us_ = 0;
+
+  // Reused across Plan() calls so steady-state planning stays free of
+  // intermediate allocations (the partitioner is rebuilt only when the
+  // fabric changes; options are refreshed per batch).
+  std::optional<SequencePartitioner> partitioner_;
+  PlannerScratch planner_scratch_;
+  RemapScratch remap_scratch_;
 
   std::optional<RoutingLayer> routing_;
   std::optional<AttentionEngine> engine_;

@@ -11,21 +11,6 @@
 namespace zeppelin {
 namespace {
 
-struct NodeImbalance {
-  std::vector<int> surplus_ranks;
-  std::vector<int> deficit_ranks;
-  int64_t surplus_total = 0;
-  int64_t deficit_total = 0;
-  int64_t export_tokens = 0;  // Cross-node tokens this node must send.
-  int64_t import_tokens = 0;  // Cross-node tokens this node must receive.
-};
-
-struct Imbalance {
-  std::vector<int64_t> surplus;  // Per rank, >= 0.
-  std::vector<int64_t> deficit;  // Per rank, >= 0.
-  std::vector<NodeImbalance> nodes;
-};
-
 void ValidateProblem(const RemapProblem& problem, const std::vector<int64_t>& target) {
   const size_t d = problem.tokens.size();
   ZCHECK_GT(d, 0u);
@@ -45,44 +30,74 @@ void ValidateProblem(const RemapProblem& problem, const std::vector<int64_t>& ta
   ZCHECK_EQ(total_tokens, total_target) << "target must conserve tokens";
 }
 
-Imbalance ComputeImbalance(const RemapProblem& problem, const std::vector<int64_t>& target) {
+// The balanced-target fill rule; the single definition both the value API
+// (BalancedTarget) and the scratch path share.
+void BalancedTargetInto(const std::vector<int64_t>& tokens, std::vector<int64_t>* target) {
+  ZCHECK(!tokens.empty());
+  const int d = static_cast<int>(tokens.size());
+  const int64_t total = std::accumulate(tokens.begin(), tokens.end(), int64_t{0});
+  target->assign(d, total / d);
+  const int64_t remainder = total % d;
+  for (int64_t i = 0; i < remainder; ++i) {
+    ++(*target)[i];
+  }
+}
+
+// Resolves the effective target into scratch->target (copy or balanced fill).
+const std::vector<int64_t>& ResolveTarget(const RemapProblem& problem, RemapScratch* scratch) {
+  if (!problem.target.empty()) {
+    return problem.target;
+  }
+  BalancedTargetInto(problem.tokens, &scratch->target);
+  return scratch->target;
+}
+
+// Fills scratch->{surplus, deficit, nodes} from tokens vs target.
+void ComputeImbalance(const RemapProblem& problem, const std::vector<int64_t>& target,
+                      RemapScratch* scratch) {
   const int d = static_cast<int>(problem.tokens.size());
   const int num_nodes = *std::max_element(problem.node_of.begin(), problem.node_of.end()) + 1;
 
-  Imbalance imb;
-  imb.surplus.assign(d, 0);
-  imb.deficit.assign(d, 0);
-  imb.nodes.assign(num_nodes, NodeImbalance{});
+  scratch->surplus.assign(d, 0);
+  scratch->deficit.assign(d, 0);
+  scratch->nodes.resize(num_nodes);
+  for (RemapNodeScratch& node : scratch->nodes) {
+    node.surplus_ranks.clear();
+    node.deficit_ranks.clear();
+    node.surplus_total = 0;
+    node.deficit_total = 0;
+    node.export_tokens = 0;
+    node.import_tokens = 0;
+  }
   for (int i = 0; i < d; ++i) {
     const int node = problem.node_of[i];
     const int64_t delta = problem.tokens[i] - target[i];
     if (delta > 0) {
-      imb.surplus[i] = delta;
-      imb.nodes[node].surplus_ranks.push_back(i);
-      imb.nodes[node].surplus_total += delta;
+      scratch->surplus[i] = delta;
+      scratch->nodes[node].surplus_ranks.push_back(i);
+      scratch->nodes[node].surplus_total += delta;
     } else if (delta < 0) {
-      imb.deficit[i] = -delta;
-      imb.nodes[node].deficit_ranks.push_back(i);
-      imb.nodes[node].deficit_total += -delta;
+      scratch->deficit[i] = -delta;
+      scratch->nodes[node].deficit_ranks.push_back(i);
+      scratch->nodes[node].deficit_total += -delta;
     }
   }
-  for (auto& node : imb.nodes) {
+  for (RemapNodeScratch& node : scratch->nodes) {
     const int64_t matched = std::min(node.surplus_total, node.deficit_total);
     node.export_tokens = node.surplus_total - matched;
     node.import_tokens = node.deficit_total - matched;
   }
-  return imb;
 }
 
 // Water-filling: distribute `export_total` among surplus ranks (capacities
-// s_i) to minimize max_i (b_intra * s_i + delta * e_i). Returns e_i.
+// s_i) to minimize max_i (b_intra * s_i + delta * e_i). Fills `exports`.
 // Continuous level + integral fix-up; exact up to one token per rank.
-std::vector<int64_t> WaterfillExports(const std::vector<int64_t>& surpluses, int64_t export_total,
-                                      double b_intra, double delta) {
+void WaterfillExports(const std::vector<int64_t>& surpluses, int64_t export_total,
+                      double b_intra, double delta, std::vector<int64_t>* exports) {
   const int n = static_cast<int>(surpluses.size());
-  std::vector<int64_t> exports(n, 0);
+  exports->assign(n, 0);
   if (export_total == 0) {
-    return exports;
+    return;
   }
   int64_t capacity = 0;
   for (int64_t s : surpluses) {
@@ -95,10 +110,10 @@ std::vector<int64_t> WaterfillExports(const std::vector<int64_t>& surpluses, int
     int64_t remaining = export_total;
     for (int i = 0; i < n && remaining > 0; ++i) {
       const int64_t take = std::min(surpluses[i], remaining);
-      exports[i] = take;
+      (*exports)[i] = take;
       remaining -= take;
     }
-    return exports;
+    return;
   }
 
   // Binary search the water level lambda such that
@@ -134,8 +149,8 @@ std::vector<int64_t> WaterfillExports(const std::vector<int64_t>& surpluses, int
   for (int i = 0; i < n; ++i) {
     const double base = b_intra * static_cast<double>(surpluses[i]);
     const double e = std::clamp((lambda - base) / delta, 0.0, static_cast<double>(surpluses[i]));
-    exports[i] = std::min<int64_t>(static_cast<int64_t>(e), surpluses[i]);
-    assigned += exports[i];
+    (*exports)[i] = std::min<int64_t>(static_cast<int64_t>(e), surpluses[i]);
+    assigned += (*exports)[i];
   }
   int64_t remainder = export_total - assigned;
   ZCHECK_GE(remainder, 0);
@@ -145,32 +160,42 @@ std::vector<int64_t> WaterfillExports(const std::vector<int64_t>& surpluses, int
     int best = -1;
     double best_cost = std::numeric_limits<double>::infinity();
     for (int i = 0; i < n; ++i) {
-      if (exports[i] >= surpluses[i]) {
+      if ((*exports)[i] >= surpluses[i]) {
         continue;
       }
       const double cost = b_intra * static_cast<double>(surpluses[i]) +
-                          delta * static_cast<double>(exports[i] + 1);
+                          delta * static_cast<double>((*exports)[i] + 1);
       if (cost < best_cost) {
         best_cost = cost;
         best = i;
       }
     }
     ZCHECK_GE(best, 0) << "waterfill ran out of capacity";
-    ++exports[best];
+    ++(*exports)[best];
     --remainder;
   }
-  return exports;
 }
 
-RemapSolution BuildSolutionMetrics(const RemapProblem& problem,
-                                   std::vector<std::vector<int64_t>> transfer) {
+// Resets `solution` for a d-rank problem, recycling the transfer matrix
+// storage when dimensions match (the steady-state planner case).
+void ResetSolution(int d, RemapSolution* solution) {
+  solution->transfer.resize(d);
+  for (std::vector<int64_t>& row : solution->transfer) {
+    row.assign(d, 0);
+  }
+  solution->max_row_cost = 0;
+  solution->total_cost = 0;
+}
+
+// Prices solution->transfer and fills the cost metrics.
+void ComputeSolutionMetrics(const RemapProblem& problem, RemapSolution* solution) {
   const int d = static_cast<int>(problem.tokens.size());
-  RemapSolution solution;
-  solution.transfer = std::move(transfer);
+  solution->max_row_cost = 0;
+  solution->total_cost = 0;
   for (int i = 0; i < d; ++i) {
     double row_cost = 0;
     for (int j = 0; j < d; ++j) {
-      const int64_t f = solution.transfer[i][j];
+      const int64_t f = solution->transfer[i][j];
       if (f == 0) {
         continue;
       }
@@ -178,67 +203,54 @@ RemapSolution BuildSolutionMetrics(const RemapProblem& problem,
           problem.node_of[i] == problem.node_of[j] ? problem.b_intra : problem.b_inter;
       row_cost += unit * static_cast<double>(f);
     }
-    solution.total_cost += row_cost;
-    solution.max_row_cost = std::max(solution.max_row_cost, row_cost);
+    solution->total_cost += row_cost;
+    solution->max_row_cost = std::max(solution->max_row_cost, row_cost);
   }
-  return solution;
 }
 
 }  // namespace
 
 std::vector<int64_t> BalancedTarget(const std::vector<int64_t>& tokens) {
-  ZCHECK(!tokens.empty());
-  const int d = static_cast<int>(tokens.size());
-  const int64_t total = std::accumulate(tokens.begin(), tokens.end(), int64_t{0});
-  std::vector<int64_t> target(d, total / d);
-  const int64_t remainder = total % d;
-  for (int64_t i = 0; i < remainder; ++i) {
-    ++target[i];
-  }
+  std::vector<int64_t> target;
+  BalancedTargetInto(tokens, &target);
   return target;
 }
 
-RemapSolution SolveMinimaxRemap(const RemapProblem& problem) {
-  const std::vector<int64_t> target =
-      problem.target.empty() ? BalancedTarget(problem.tokens) : problem.target;
+void SolveMinimaxRemap(const RemapProblem& problem, RemapScratch* scratch,
+                       RemapSolution* solution) {
+  const std::vector<int64_t>& target = ResolveTarget(problem, scratch);
   ValidateProblem(problem, target);
   const int d = static_cast<int>(problem.tokens.size());
   const double delta = problem.b_inter - problem.b_intra;
 
-  Imbalance imb = ComputeImbalance(problem, target);
-  std::vector<std::vector<int64_t>> transfer(d, std::vector<int64_t>(d, 0));
+  ComputeImbalance(problem, target, scratch);
+  ResetSolution(d, solution);
+  std::vector<std::vector<int64_t>>& transfer = solution->transfer;
 
   // Per-node: decide each surplus rank's cross-node share by water-filling,
   // then satisfy local deficits with the remaining (intra) share.
-  struct CrossSender {
-    int rank;
-    int64_t amount;
-  };
-  std::vector<CrossSender> cross_senders;
-  struct CrossReceiver {
-    int rank;
-    int64_t amount;
-  };
-  std::vector<CrossReceiver> cross_receivers;
+  scratch->cross_senders.clear();
+  scratch->cross_receivers.clear();
 
-  for (auto& node : imb.nodes) {
-    std::vector<int64_t> surpluses;
-    surpluses.reserve(node.surplus_ranks.size());
+  for (RemapNodeScratch& node : scratch->nodes) {
+    std::vector<int64_t>& surpluses = scratch->surpluses;
+    surpluses.clear();
     for (int r : node.surplus_ranks) {
-      surpluses.push_back(imb.surplus[r]);
+      surpluses.push_back(scratch->surplus[r]);
     }
-    const std::vector<int64_t> exports =
-        WaterfillExports(surpluses, node.export_tokens, problem.b_intra, delta);
+    WaterfillExports(surpluses, node.export_tokens, problem.b_intra, delta, &scratch->exports);
+    const std::vector<int64_t>& exports = scratch->exports;
 
     for (size_t k = 0; k < node.surplus_ranks.size(); ++k) {
       if (exports[k] > 0) {
-        cross_senders.push_back({node.surplus_ranks[k], exports[k]});
+        scratch->cross_senders.emplace_back(node.surplus_ranks[k], exports[k]);
       }
     }
 
     // Intra matching: remaining surplus shares -> node deficits, two-pointer.
     size_t di = 0;
-    int64_t deficit_left = node.deficit_ranks.empty() ? 0 : imb.deficit[node.deficit_ranks[0]];
+    int64_t deficit_left =
+        node.deficit_ranks.empty() ? 0 : scratch->deficit[node.deficit_ranks[0]];
     for (size_t k = 0; k < node.surplus_ranks.size(); ++k) {
       int64_t intra_left = surpluses[k] - exports[k];
       while (intra_left > 0) {
@@ -250,7 +262,7 @@ RemapSolution SolveMinimaxRemap(const RemapProblem& problem) {
         if (deficit_left == 0) {
           ++di;
           deficit_left =
-              di < node.deficit_ranks.size() ? imb.deficit[node.deficit_ranks[di]] : 0;
+              di < node.deficit_ranks.size() ? scratch->deficit[node.deficit_ranks[di]] : 0;
         }
       }
     }
@@ -258,63 +270,72 @@ RemapSolution SolveMinimaxRemap(const RemapProblem& problem) {
     // Whatever local deficit is left must be filled from remote nodes.
     while (di < node.deficit_ranks.size()) {
       if (deficit_left > 0) {
-        cross_receivers.push_back({node.deficit_ranks[di], deficit_left});
+        scratch->cross_receivers.emplace_back(node.deficit_ranks[di], deficit_left);
       }
       ++di;
-      deficit_left = di < node.deficit_ranks.size() ? imb.deficit[node.deficit_ranks[di]] : 0;
+      deficit_left = di < node.deficit_ranks.size() ? scratch->deficit[node.deficit_ranks[di]] : 0;
     }
   }
 
   // Cross-node matching: any pairing costs the sender b_inter per token, so a
   // two-pointer sweep is optimal.
   size_t ri = 0;
-  int64_t recv_left = cross_receivers.empty() ? 0 : cross_receivers[0].amount;
-  for (auto& sender : cross_senders) {
-    int64_t send_left = sender.amount;
+  int64_t recv_left = scratch->cross_receivers.empty() ? 0 : scratch->cross_receivers[0].second;
+  for (const auto& [sender_rank, amount] : scratch->cross_senders) {
+    int64_t send_left = amount;
     while (send_left > 0) {
-      ZCHECK_LT(ri, cross_receivers.size());
+      ZCHECK_LT(ri, scratch->cross_receivers.size());
       const int64_t moved = std::min(send_left, recv_left);
-      transfer[sender.rank][cross_receivers[ri].rank] += moved;
+      transfer[sender_rank][scratch->cross_receivers[ri].first] += moved;
       send_left -= moved;
       recv_left -= moved;
       if (recv_left == 0) {
         ++ri;
-        recv_left = ri < cross_receivers.size() ? cross_receivers[ri].amount : 0;
+        recv_left = ri < scratch->cross_receivers.size() ? scratch->cross_receivers[ri].second : 0;
       }
     }
   }
 
-  return BuildSolutionMetrics(problem, std::move(transfer));
+  ComputeSolutionMetrics(problem, solution);
+}
+
+RemapSolution SolveMinimaxRemap(const RemapProblem& problem) {
+  RemapScratch scratch;
+  RemapSolution solution;
+  SolveMinimaxRemap(problem, &scratch, &solution);
+  return solution;
 }
 
 RemapSolution SolveMinTotalRemap(const RemapProblem& problem) {
-  const std::vector<int64_t> target =
-      problem.target.empty() ? BalancedTarget(problem.tokens) : problem.target;
+  RemapScratch scratch;
+  const std::vector<int64_t>& target = ResolveTarget(problem, &scratch);
   ValidateProblem(problem, target);
   const int d = static_cast<int>(problem.tokens.size());
 
-  Imbalance imb = ComputeImbalance(problem, target);
+  ComputeImbalance(problem, target, &scratch);
   // Dense transport over surplus/deficit ranks only.
   std::vector<int> sources;
   std::vector<int> sinks;
   for (int i = 0; i < d; ++i) {
-    if (imb.surplus[i] > 0) {
+    if (scratch.surplus[i] > 0) {
       sources.push_back(i);
     }
-    if (imb.deficit[i] > 0) {
+    if (scratch.deficit[i] > 0) {
       sinks.push_back(i);
     }
   }
-  std::vector<std::vector<int64_t>> transfer(d, std::vector<int64_t>(d, 0));
+  RemapSolution solution;
+  ResetSolution(d, &solution);
   if (sources.empty()) {
-    return BuildSolutionMetrics(problem, std::move(transfer));
+    ComputeSolutionMetrics(problem, &solution);
+    return solution;
   }
   TransportProblem tp;
   for (int i : sources) {
-    tp.supply.push_back(imb.surplus[i]);
+    tp.supply.push_back(scratch.surplus[i]);
   }
   for (int j : sinks) {
-    tp.demand.push_back(imb.deficit[j]);
+    tp.demand.push_back(scratch.deficit[j]);
   }
   tp.cost.resize(sources.size(), std::vector<double>(sinks.size(), 0));
   for (size_t a = 0; a < sources.size(); ++a) {
@@ -327,42 +348,43 @@ RemapSolution SolveMinTotalRemap(const RemapProblem& problem) {
   const TransportSolution ts = SolveTransportMinTotalCost(tp);
   for (size_t a = 0; a < sources.size(); ++a) {
     for (size_t b = 0; b < sinks.size(); ++b) {
-      transfer[sources[a]][sinks[b]] = ts.flow[a][b];
+      solution.transfer[sources[a]][sinks[b]] = ts.flow[a][b];
     }
   }
-  return BuildSolutionMetrics(problem, std::move(transfer));
+  ComputeSolutionMetrics(problem, &solution);
+  return solution;
 }
 
 double MinimaxLowerBound(const RemapProblem& problem) {
-  const std::vector<int64_t> target =
-      problem.target.empty() ? BalancedTarget(problem.tokens) : problem.target;
+  RemapScratch scratch;
+  const std::vector<int64_t>& target = ResolveTarget(problem, &scratch);
   ValidateProblem(problem, target);
-  Imbalance imb = ComputeImbalance(problem, target);
+  ComputeImbalance(problem, target, &scratch);
   const double delta = problem.b_inter - problem.b_intra;
 
   double bound = 0;
   // Any sender pays at least b_intra per surplus token.
-  for (size_t i = 0; i < imb.surplus.size(); ++i) {
-    bound = std::max(bound, problem.b_intra * static_cast<double>(imb.surplus[i]));
+  for (size_t i = 0; i < scratch.surplus.size(); ++i) {
+    bound = std::max(bound, problem.b_intra * static_cast<double>(scratch.surplus[i]));
   }
   // Each node's mandatory export, distributed as favourably as possible,
   // forces at least the continuous water level.
-  for (auto& node : imb.nodes) {
+  for (RemapNodeScratch& node : scratch.nodes) {
     if (node.export_tokens == 0) {
       continue;
     }
-    std::vector<int64_t> surpluses;
+    std::vector<int64_t>& surpluses = scratch.surpluses;
+    surpluses.clear();
     for (int r : node.surplus_ranks) {
-      surpluses.push_back(imb.surplus[r]);
+      surpluses.push_back(scratch.surplus[r]);
     }
-    const std::vector<int64_t> exports =
-        WaterfillExports(surpluses, node.export_tokens, problem.b_intra, delta);
+    WaterfillExports(surpluses, node.export_tokens, problem.b_intra, delta, &scratch.exports);
     double level = 0;
     for (size_t k = 0; k < surpluses.size(); ++k) {
       // The *continuous* level is bounded below by the discrete one minus one
       // token; use the discrete assignment minus delta as a safe bound.
       const double cost = problem.b_intra * static_cast<double>(surpluses[k]) +
-                          delta * static_cast<double>(exports[k]);
+                          delta * static_cast<double>(scratch.exports[k]);
       level = std::max(level, cost - delta);
     }
     bound = std::max(bound, level);

@@ -22,6 +22,7 @@
 #define SRC_SOLVER_MINIMAX_REMAP_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace zeppelin {
@@ -40,12 +41,45 @@ struct RemapSolution {
   double total_cost = 0;
 };
 
+// Per-node imbalance workspace (internal to the solver; exposed only so a
+// RemapScratch can own and recycle the nested vectors).
+struct RemapNodeScratch {
+  std::vector<int> surplus_ranks;
+  std::vector<int> deficit_ranks;
+  int64_t surplus_total = 0;
+  int64_t deficit_total = 0;
+  int64_t export_tokens = 0;  // Cross-node tokens this node must send.
+  int64_t import_tokens = 0;  // Cross-node tokens this node must receive.
+};
+
+// Reusable solver workspace. A planner that calls SolveMinimaxRemap once per
+// iteration with the same scratch (and recycles the previous RemapSolution)
+// solves Eq. 2 without steady-state allocations. Contents are unspecified
+// between calls.
+struct RemapScratch {
+  RemapProblem problem;  // For callers that also rebuild the problem per call.
+  std::vector<int64_t> target;
+  std::vector<int64_t> surplus;   // Per rank, >= 0.
+  std::vector<int64_t> deficit;   // Per rank, >= 0.
+  std::vector<RemapNodeScratch> nodes;
+  std::vector<int64_t> surpluses;  // Water-filling inputs for one node.
+  std::vector<int64_t> exports;    // Water-filling outputs for one node.
+  std::vector<std::pair<int, int64_t>> cross_senders;    // (rank, amount).
+  std::vector<std::pair<int, int64_t>> cross_receivers;  // (rank, amount).
+};
+
 // Balanced target: floor(total/d) everywhere, the remainder spread over the
 // lowest-indexed ranks (keeps every |target_i - target_j| <= 1).
 std::vector<int64_t> BalancedTarget(const std::vector<int64_t>& tokens);
 
 // Exact minimax solution (water-filling construction above).
 RemapSolution SolveMinimaxRemap(const RemapProblem& problem);
+
+// Allocation-hoisted form: intermediates live in `scratch`, and the transfer
+// matrix reuses `solution`'s existing storage (pass the previous iteration's
+// solution back in to recycle it). Results are identical to the value form.
+void SolveMinimaxRemap(const RemapProblem& problem, RemapScratch* scratch,
+                       RemapSolution* solution);
 
 // Comparator: minimizes *total* cost instead (greedy intra-first); generally
 // worse on the minimax objective. Design-choice ablation D5.

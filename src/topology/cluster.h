@@ -61,6 +61,9 @@ struct ClusterSpec {
   // Validates invariants (positive sizes, affinity table shape). Aborts via
   // ZCHECK on violation; call after hand-constructing a spec.
   void Validate() const;
+
+  // Structural equality (used to detect topology changes between plans).
+  bool operator==(const ClusterSpec&) const = default;
 };
 
 // Human-readable one-line summary, e.g. for bench headers.
