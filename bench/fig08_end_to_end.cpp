@@ -3,6 +3,13 @@
 // with 4k tokens per GPU, comparing TE CP / LLaMA CP / Hybrid DP / Zeppelin.
 // 7B, 13B, 8x550M run on Cluster A (13B with TP=2); 30B runs on Cluster C
 // with TP=2, as in the paper.
+//
+// Besides the table, emits machine-readable BENCH_e2e.json:
+//   { "bench": "fig08_end_to_end", "quick": bool, "batches": int,
+//     "points": [ { "model", "context", "gpus", "cluster", "tp", "dataset",
+//                   "te_cp_tps", "llama_cp_tps", "hybrid_dp_tps",
+//                   "zeppelin_tps", "speedup_vs_te" } ],
+//     "average_speedup_vs_te": double }
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/model/transformer.h"
@@ -31,6 +38,18 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("Fig. 8 — end-to-end throughput (tokens/s; speedup vs TE CP)");
   Table table({"panel", "dataset", "TE CP", "LLaMA CP", "Hybrid DP", "Zeppelin", "zep/TE"});
+
+  bench::JsonEmitter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.Value("fig08_end_to_end");
+  json.Key("quick");
+  json.Value(quick);
+  json.Key("batches");
+  json.Value(batches);
+  json.Key("points");
+  json.BeginArray();
+
   double speedup_sum = 0;
   int speedup_count = 0;
   for (const auto& panel : panels) {
@@ -52,10 +71,47 @@ int main(int argc, char** argv) {
       table.AddRow({panel_name, dist.name(), Table::Cell(tput[0], 0), Table::Cell(tput[1], 0),
                     Table::Cell(tput[2], 0), Table::Cell(tput[3], 0),
                     Table::Cell(speedup, 2) + "x"});
+
+      json.BeginObject();
+      json.Key("model");
+      json.Value(panel.model);
+      json.Key("context");
+      json.Value(panel.context);
+      json.Key("gpus");
+      json.Value(panel.gpus);
+      json.Key("cluster");
+      json.Value(std::string(1, panel.cluster));
+      json.Key("tp");
+      json.Value(panel.tp);
+      json.Key("dataset");
+      json.Value(dist.name());
+      json.Key("te_cp_tps");
+      json.Value(tput[0]);
+      json.Key("llama_cp_tps");
+      json.Value(tput[1]);
+      json.Key("hybrid_dp_tps");
+      json.Value(tput[2]);
+      json.Key("zeppelin_tps");
+      json.Value(tput[3]);
+      json.Key("speedup_vs_te");
+      json.Value(speedup);
+      json.EndObject();
     }
   }
+  json.EndArray();
+  json.Key("average_speedup_vs_te");
+  json.Value(speedup_sum / speedup_count);
+  json.EndObject();
+
   table.Print();
-  std::printf("\nAverage Zeppelin speedup over TE CP: %.2fx (paper reports 2.80x average,\n",
+  const std::string out_path = "BENCH_e2e.json";
+  if (json.WriteFile(out_path)) {
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::printf("\nERROR: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("Average Zeppelin speedup over TE CP: %.2fx (paper reports 2.80x average,\n",
               speedup_sum / speedup_count);
   std::printf("up to 6.60x; expect the same ordering and a comparable band here).\n");
   return 0;

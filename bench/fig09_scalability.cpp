@@ -1,6 +1,12 @@
 // Reproduces Fig. 9: weak-scaling throughput of the LLaMA 3B model on
 // Cluster A, 16 -> 128 GPUs with 4k tokens per GPU, across the three
 // evaluation datasets.
+//
+// Besides the table, emits machine-readable BENCH_scalability.json:
+//   { "bench": "fig09_scalability", "quick": bool, "batches": int,
+//     "points": [ { "dataset", "gpus", "context", "te_cp_tps",
+//                   "llama_cp_tps", "hybrid_dp_tps", "zeppelin_tps",
+//                   "speedup_vs_te" } ] }
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/model/transformer.h"
@@ -14,6 +20,18 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("Fig. 9 — scalability (3B, Cluster A, 4k tokens/GPU)");
   Table table({"dataset", "GPUs", "TE CP", "LLaMA CP", "Hybrid DP", "Zeppelin", "zep/TE"});
+
+  bench::JsonEmitter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.Value("fig09_scalability");
+  json.Key("quick");
+  json.Value(quick);
+  json.Key("batches");
+  json.Value(batches);
+  json.Key("points");
+  json.BeginArray();
+
   for (const auto& dist : EvaluationDatasets()) {
     for (int gpus : gpu_counts) {
       const Trainer trainer(MakeLlama3B(), MakeClusterA(gpus / 8));
@@ -26,9 +44,38 @@ int main(int argc, char** argv) {
       table.AddRow({dist.name(), Table::Cell(static_cast<int64_t>(gpus)),
                     Table::Cell(tput[0], 0), Table::Cell(tput[1], 0), Table::Cell(tput[2], 0),
                     Table::Cell(tput[3], 0), Table::Cell(tput[3] / tput[0], 2) + "x"});
+
+      json.BeginObject();
+      json.Key("dataset");
+      json.Value(dist.name());
+      json.Key("gpus");
+      json.Value(gpus);
+      json.Key("context");
+      json.Value(context);
+      json.Key("te_cp_tps");
+      json.Value(tput[0]);
+      json.Key("llama_cp_tps");
+      json.Value(tput[1]);
+      json.Key("hybrid_dp_tps");
+      json.Value(tput[2]);
+      json.Key("zeppelin_tps");
+      json.Value(tput[3]);
+      json.Key("speedup_vs_te");
+      json.Value(tput[3] / tput[0]);
+      json.EndObject();
     }
   }
+  json.EndArray();
+  json.EndObject();
+
   table.Print();
+  const std::string out_path = "BENCH_scalability.json";
+  if (json.WriteFile(out_path)) {
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::printf("\nERROR: could not write %s\n", out_path.c_str());
+    return 1;
+  }
   std::printf(
       "\nExpected shape: TE CP stays nearly flat (inter-node ring bottleneck);\n"
       "LLaMA CP grows slowly (all-gather volume grows with context); Zeppelin\n"

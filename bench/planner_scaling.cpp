@@ -1,25 +1,35 @@
 // Planner-scaling bench: per-iteration Plan() cost of the hierarchical
-// partitioner, old vs new.
+// partitioner — reference greedy vs PR-1 heap fast path vs the
+// parallel/sharded engine across thread counts.
 //
 // The paper's premise (§3.1) is that two-level sequence partitioning is cheap
 // enough to run every iteration on the global batch. This harness sweeps the
 // batch size S and the cluster size P over the Table 2 length distributions
-// and times ZeppelinStrategy::Plan() (surfaced as partition_time_us) twice
-// per point: once with the reference linear-scan greedy ("naive", the seed
-// algorithm) and once with the heap-based O((S + P) log P) fast path. Plans
-// are verified bit-identical at every point.
+// and times ZeppelinStrategy::Plan() (surfaced as partition_time_us) per
+// engine: the reference linear-scan greedy ("naive", the seed algorithm), the
+// heap-based O((S + P) log P) serial fast path (PR-1, the baseline the
+// parallel speedup is measured against), and the sharded engine at
+// num_planner_threads in {1, 2, 4, 8}. Every plan of every arm is verified
+// bit-identical at every point — the determinism contract of partitioner.h.
 //
 // Output: a human-readable table plus machine-readable BENCH_planner.json:
 //   { "bench": "planner_scaling", "model": ..., "cluster": ...,
-//     "quick": bool, "reps": int,
+//     "quick": bool, "reps": int, "threads": [1, 2, 4, 8],
 //     "points": [ { "dataset", "num_seqs", "gpus", "total_tokens",
 //                   "naive_partition_time_us", "fast_partition_time_us",
-//                   "speedup", "plans_identical" } ] }
-// Times are the median over `reps` interleaved repetitions after one
-// untimed warmup (noise-robust and fair to both arms).
+//                   "speedup",
+//                   "parallel": [ { "threads", "parallel_partition_time_us",
+//                                   "parallel_speedup", "plans_identical" } ],
+//                   "plans_identical" } ],
+//     "all_plans_identical": bool }
+// Times are the median over `reps` interleaved repetitions after one untimed
+// warmup (noise-robust and fair to every arm). parallel_speedup compares the
+// sharded engine against the PR-1 serial fast path on the same point.
 #include <algorithm>
+#include <memory>
 
 #include "bench/bench_util.h"
+#include "src/common/flags.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
 #include "src/model/transformer.h"
@@ -28,14 +38,23 @@
 int main(int argc, char** argv) {
   using namespace zeppelin;
   const bool quick = bench::QuickMode(argc, argv);
+  const Flags flags(argc, argv);
   const int reps = quick ? 1 : 7;
   const std::vector<int> seq_counts = quick ? std::vector<int>{1024}
                                             : std::vector<int>{1024, 4096, 16384, 65536};
   const std::vector<int> gpu_counts = quick ? std::vector<int>{16, 64}
                                             : std::vector<int>{16, 64, 256, 512};
+  // Thread sweep for the sharded engine; --threads=N caps it (e.g. for a
+  // quick look at one setting), "--threads=auto" caps at the hardware.
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  const int max_threads = flags.GetThreadCount("threads", thread_counts.back());
+  while (thread_counts.size() > 1 && thread_counts.back() > max_threads) {
+    thread_counts.pop_back();
+  }
 
-  bench::PrintHeader("Planner scaling — naive vs heap fast path (3B, Cluster A)");
-  Table table({"dataset", "seqs", "GPUs", "naive us", "fast us", "speedup", "identical"});
+  bench::PrintHeader("Planner scaling — naive vs fast path vs sharded engine (3B, Cluster A)");
+  Table table({"dataset", "seqs", "GPUs", "naive us", "fast us", "par@1 us",
+               "par@" + std::to_string(thread_counts.back()) + " us", "par/fast", "identical"});
 
   bench::JsonEmitter json;
   json.BeginObject();
@@ -49,8 +68,19 @@ int main(int argc, char** argv) {
   json.Value(quick);
   json.Key("reps");
   json.Value(reps);
+  json.Key("threads");
+  json.BeginArray();
+  for (int t : thread_counts) {
+    json.Value(t);
+  }
+  json.EndArray();
   json.Key("points");
   json.BeginArray();
+
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
 
   bool all_identical = true;
   for (const auto& dist : EvaluationDatasets()) {
@@ -69,33 +99,59 @@ int main(int argc, char** argv) {
           batch.seq_lens.push_back(dist.Sample(rng));
         }
 
-        ZeppelinStrategy naive({.planner_fast_path = false});
-        ZeppelinStrategy fast({.planner_fast_path = true});
+        ZeppelinOptions naive_opts;
+        naive_opts.planner_fast_path = false;
+        ZeppelinStrategy naive(naive_opts);
+        // num_planner_threads = 0 pins the PR-1 serial fast path (the
+        // baseline); >= 1 runs the sharded engine on that many contexts.
+        ZeppelinOptions fast_opts;
+        fast_opts.num_planner_threads = 0;
+        ZeppelinStrategy fast(fast_opts);
+        std::vector<std::unique_ptr<ZeppelinStrategy>> parallel;
+        for (int t : thread_counts) {
+          ZeppelinOptions par_opts;
+          par_opts.num_planner_threads = t;
+          parallel.push_back(std::make_unique<ZeppelinStrategy>(par_opts));
+        }
+
         std::vector<double> naive_times;
         std::vector<double> fast_times;
+        std::vector<std::vector<double>> parallel_times(thread_counts.size());
         for (int r = 0; r < reps + 1; ++r) {
           naive.Plan(batch, trainer.cost_model(), trainer.fabric());
           fast.Plan(batch, trainer.cost_model(), trainer.fabric());
+          for (auto& arm : parallel) {
+            arm->Plan(batch, trainer.cost_model(), trainer.fabric());
+          }
           if (r == 0) {
-            continue;  // Warmup: both arms grow their buffers untimed.
+            continue;  // Warmup: every arm grows its buffers untimed.
           }
           naive_times.push_back(naive.partition_time_us());
           fast_times.push_back(fast.partition_time_us());
+          for (size_t t = 0; t < parallel.size(); ++t) {
+            parallel_times[t].push_back(parallel[t]->partition_time_us());
+          }
         }
-        auto median = [](std::vector<double> v) {
-          std::sort(v.begin(), v.end());
-          return v[v.size() / 2];
-        };
         const double naive_us = median(naive_times);
         const double fast_us = median(fast_times);
-        const bool identical = naive.partition_plan() == fast.partition_plan();
-        all_identical = all_identical && identical;
         const double speedup = fast_us > 0 ? naive_us / fast_us : 0;
+
+        bool point_identical = naive.partition_plan() == fast.partition_plan();
+        std::vector<double> par_us(parallel.size());
+        std::vector<bool> par_identical(parallel.size());
+        for (size_t t = 0; t < parallel.size(); ++t) {
+          par_us[t] = median(parallel_times[t]);
+          par_identical[t] = parallel[t]->partition_plan() == naive.partition_plan();
+          point_identical = point_identical && par_identical[t];
+        }
+        all_identical = all_identical && point_identical;
 
         table.AddRow({dist.name(), Table::Cell(static_cast<int64_t>(num_seqs)),
                       Table::Cell(static_cast<int64_t>(gpus)), Table::Cell(naive_us, 1),
-                      Table::Cell(fast_us, 1), Table::Cell(speedup, 2) + "x",
-                      identical ? "yes" : "NO"});
+                      Table::Cell(fast_us, 1), Table::Cell(par_us.front(), 1),
+                      Table::Cell(par_us.back(), 1),
+                      Table::Cell(par_us.back() > 0 ? fast_us / par_us.back() : 0, 2) + "x",
+                      point_identical ? "yes" : "NO"});
 
         json.BeginObject();
         json.Key("dataset");
@@ -112,8 +168,23 @@ int main(int argc, char** argv) {
         json.Value(fast_us);
         json.Key("speedup");
         json.Value(speedup);
+        json.Key("parallel");
+        json.BeginArray();
+        for (size_t t = 0; t < parallel.size(); ++t) {
+          json.BeginObject();
+          json.Key("threads");
+          json.Value(thread_counts[t]);
+          json.Key("parallel_partition_time_us");
+          json.Value(par_us[t]);
+          json.Key("parallel_speedup");
+          json.Value(par_us[t] > 0 ? fast_us / par_us[t] : 0);
+          json.Key("plans_identical");
+          json.Value(par_identical[t]);
+          json.EndObject();
+        }
+        json.EndArray();
         json.Key("plans_identical");
-        json.Value(identical);
+        json.Value(point_identical);
         json.EndObject();
       }
     }
@@ -132,11 +203,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!all_identical) {
-    std::printf("ERROR: fast-path plan diverged from the naive reference\n");
+    std::printf("ERROR: an engine's plan diverged from the naive reference\n");
     return 1;
   }
   std::printf(
-      "Expected shape: speedup grows with both S and P; the largest sweep\n"
-      "point (S=64k, P=512) is where the seed's O(S*P) scans hurt most.\n");
+      "Expected shape: fast/naive speedup grows with S and P; the sharded\n"
+      "engine wins most at large S (round-batched packing), can tie the fast\n"
+      "path on small or materialization-bound points, and its thread scaling\n"
+      "shows on multicore hosts at the largest sweep points.\n");
   return 0;
 }

@@ -37,7 +37,9 @@ void PrintUsage() {
       "  --seed=42             workload seed\n"
       "  --batch_file=path     replay a saved workload instead of sampling\n"
       "  --save_batches=path   save the sampled workload for replay\n"
-      "  --strategies=te-cp,zeppelin   comma-separated strategy specs\n");
+      "  --strategies=te-cp,zeppelin   comma-separated strategy specs\n"
+      "  --planner_threads=1   Zeppelin planner contexts (0 = serial fast\n"
+      "                        path, N = sharded engine on N threads, auto)\n");
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -93,6 +95,8 @@ int main(int argc, char** argv) {
 
   const std::string strategy_specs =
       flags.GetString("strategies", "te-cp,llama-cp,hybrid-dp,zeppelin");
+  StrategyDefaults strategy_defaults;
+  strategy_defaults.num_planner_threads = flags.GetThreadCount("planner_threads", 1);
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s (see --help)\n", unused.c_str());
   }
@@ -103,7 +107,7 @@ int main(int argc, char** argv) {
 
   Table table({"strategy", "mean tok/s", "min", "max", "NIC util", "iter ms"});
   for (const std::string& spec : SplitCommas(strategy_specs)) {
-    auto strategy = MakeStrategyByName(spec);
+    auto strategy = MakeStrategyByName(spec, strategy_defaults);
     RunningStats tput;
     RunningStats nic;
     RunningStats iter_ms;

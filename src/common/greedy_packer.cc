@@ -1,0 +1,63 @@
+#include "src/common/greedy_packer.h"
+
+#include <numeric>
+
+namespace zeppelin {
+
+void GreedyPacker::Reset(int n) {
+  ZCHECK(n >= 0 && static_cast<int64_t>(n) <= kIndexMask + 1) << "n=" << n;
+  num_buckets_ = n;
+  keys_.resize(n);
+  tmp_.resize(n);
+  // All loads equal: ascending index order is the sorted key order.
+  std::iota(keys_.begin(), keys_.end(), int64_t{0});
+  heap_mode_ = false;
+  ++ops_;
+}
+
+void GreedyPacker::Assign(const std::vector<int64_t>& loads) {
+  const int n = static_cast<int>(loads.size());
+  ZCHECK(static_cast<int64_t>(n) <= kIndexMask + 1) << "n=" << n;
+  num_buckets_ = n;
+  keys_.resize(n);
+  tmp_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    ZCHECK(loads[i] >= 0 && loads[i] < kMaxLoad) << "load=" << loads[i];
+    keys_[i] = (loads[i] << kIndexBits) | i;
+  }
+  std::sort(keys_.begin(), keys_.end());
+  heap_mode_ = false;
+  ops_ += n;
+}
+
+void GreedyPacker::Loads(std::vector<int64_t>* out) const {
+  out->resize(num_buckets_);
+  if (heap_mode_) {
+    // Only reachable after an overflow return mid-heap-stretch; the loads of
+    // every committed placement are still exact.
+    for (int i = 0; i < num_buckets_; ++i) {
+      (*out)[i] = heap_.load(i);
+    }
+    return;
+  }
+  for (int i = 0; i < num_buckets_; ++i) {
+    (*out)[keys_[i] & kIndexMask] = keys_[i] >> kIndexBits;
+  }
+}
+
+void GreedyPacker::EnterHeapMode() {
+  Loads(&loads_tmp_);  // heap_mode_ is false here: decodes from keys_.
+  heap_.Assign(loads_tmp_);
+  heap_mode_ = true;
+}
+
+void GreedyPacker::ExitHeapMode() {
+  for (int i = 0; i < num_buckets_; ++i) {
+    keys_[i] = (heap_.load(i) << kIndexBits) | i;
+  }
+  std::sort(keys_.begin(), keys_.end());
+  ops_ += num_buckets_;
+  heap_mode_ = false;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,140 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int contexts = std::clamp(num_threads, 1, kMaxContexts);
+  workers_.reserve(contexts - 1);
+  for (int c = 1; c < contexts; ++c) {
+    workers_.emplace_back([this, c] { WorkerLoop(c); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::RunBatchShare(const Batch& batch, int context) {
+  const int contexts = num_contexts();
+  for (int t = context; t < batch.num_tasks; t += contexts) {
+    (*batch.fn)(t, context);
+  }
+}
+
+void ThreadPool::RunTasks(int num_tasks, const std::function<void(int, int)>& fn) {
+  ZCHECK_GE(num_tasks, 0);
+  if (num_tasks == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    Batch batch{&fn, num_tasks};
+    RunBatchShare(batch, 0);
+    return;
+  }
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ZCHECK_EQ(batch_pending_, 0) << "RunTasks is not reentrant";
+    batch_.fn = &fn;
+    batch_.num_tasks = num_tasks;
+    batch_pending_ = num_contexts();
+    epoch = ++batch_epoch_;
+  }
+  work_cv_.notify_all();
+  RunBatchShare(batch_, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--batch_pending_ == 0) {
+    done_cv_.notify_all();
+  } else {
+    done_cv_.wait(lock, [this, epoch] {
+      return batch_pending_ == 0 && batch_epoch_ == epoch;
+    });
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int64_t, int)>& fn) {
+  ZCHECK_GE(n, 0);
+  if (n == 0) {
+    return;
+  }
+  const int64_t contexts = num_contexts();
+  const std::function<void(int, int)> slice_fn = [&](int t, int context) {
+    const int64_t begin = n * t / contexts;
+    const int64_t end = n * (t + 1) / contexts;
+    if (begin < end) {
+      fn(begin, end, context);
+    }
+  };
+  RunTasks(static_cast<int>(contexts), slice_fn);
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::DrainQueue(std::unique_lock<std::mutex>& lock) {
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++queue_running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    if (--queue_running_ == 0 && queue_.empty()) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  DrainQueue(lock);
+  done_cv_.wait(lock, [this] { return queue_.empty() && queue_running_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(int context) {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    work_cv_.wait(lock, [this, seen_epoch] {
+      return stop_ || batch_epoch_ != seen_epoch || !queue_.empty();
+    });
+    if (stop_) {
+      return;
+    }
+    if (batch_epoch_ != seen_epoch) {
+      seen_epoch = batch_epoch_;
+      const Batch batch = batch_;
+      lock.unlock();
+      RunBatchShare(batch, context);
+      lock.lock();
+      if (--batch_pending_ == 0) {
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    DrainQueue(lock);
+  }
+}
+
+}  // namespace zeppelin

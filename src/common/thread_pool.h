@@ -1,0 +1,109 @@
+// Fixed-size thread pool with deterministic work ownership — the planner's
+// parallel substrate.
+//
+// The pool exists for *deterministic* data parallelism: callers that must
+// produce bit-identical results at any thread count (the planner's contract)
+// cannot use work stealing, because stealing makes "which context computed
+// this" a race. Instead, both batch entry points use static ownership:
+//
+//   RunTasks(n, fn):    task t runs on context t % num_contexts(), tasks of a
+//                       context in increasing t order.
+//   ParallelFor(n, fn): [0, n) is cut into num_contexts() contiguous slices;
+//                       slice t runs on context t.
+//
+// Context 0 is always the calling thread (it participates instead of
+// blocking), contexts 1..T-1 are the pool's workers. A caller that indexes
+// per-context scratch slabs by the context id therefore gets stable slab
+// reuse, and any output written to slots derived from the task index alone is
+// byte-identical no matter how many threads execute or how they interleave.
+//
+// Submit()/WaitAll() queue ad-hoc task batches for work whose per-task cost
+// is too uneven for static slicing; scheduling of submitted tasks is
+// first-come (not deterministic), so submitted tasks must keep determinism
+// the same way: write only to slots they own.
+//
+// The pool is exception-free like the rest of the library (invariant
+// violations abort via ZCHECK); task callables must not throw. Batch calls
+// are not reentrant: tasks must not call RunTasks/ParallelFor/WaitAll on the
+// pool that is running them.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zeppelin {
+
+class ThreadPool {
+ public:
+  // `num_threads` is the total number of execution contexts INCLUDING the
+  // calling thread, clamped to [1, kMaxContexts]; num_threads - 1 workers are
+  // spawned. ThreadPool(1) spawns nothing and runs every batch inline. The
+  // upper clamp keeps a typo'd flag (--planner_threads=1000000) from driving
+  // std::thread construction into std::terminate; oversubscribing a host is
+  // still allowed (it is how determinism is exercised on small machines).
+  static constexpr int kMaxContexts = 256;
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_contexts() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // std::thread::hardware_concurrency with a floor of 1 (the standard allows
+  // it to report 0 when unknown).
+  static int HardwareThreads();
+
+  // Runs fn(task, context) for task in [0, num_tasks); task t executes on
+  // context t % num_contexts(). Blocks until every task has finished; the
+  // calling thread executes context 0's share.
+  void RunTasks(int num_tasks, const std::function<void(int task, int context)>& fn);
+
+  // Runs fn(begin, end, context) over num_contexts() contiguous slices of
+  // [0, n); slice t executes on context t. Blocks until done.
+  void ParallelFor(int64_t n, const std::function<void(int64_t begin, int64_t end, int context)>& fn);
+
+  // Queues one task of an ad-hoc batch. Queued tasks may start immediately on
+  // idle workers; WaitAll() drains the queue (the caller participates) and
+  // returns once every submitted task has completed.
+  void Submit(std::function<void()> fn);
+  void WaitAll();
+
+ private:
+  struct Batch {
+    const std::function<void(int, int)>* fn = nullptr;
+    int num_tasks = 0;
+  };
+
+  void WorkerLoop(int context);
+  void RunBatchShare(const Batch& batch, int context);
+  // Pops and runs queued tasks until the queue is empty. Returns with the
+  // lock re-held.
+  void DrainQueue(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers: new batch / queued task / stop.
+  std::condition_variable done_cv_;   // Caller: batch or queue fully done.
+
+  // Batch state (one batch in flight at a time; guarded by mu_).
+  Batch batch_;
+  uint64_t batch_epoch_ = 0;          // Bumped per RunTasks call.
+  int batch_pending_ = 0;             // Contexts that have not finished their share.
+
+  // Ad-hoc queue state (guarded by mu_).
+  std::deque<std::function<void()>> queue_;
+  int queue_running_ = 0;             // Queued tasks currently executing.
+
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

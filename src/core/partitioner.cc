@@ -7,8 +7,13 @@
 #include "src/common/check.h"
 #include "src/common/stats.h"
 #include "src/core/chunking.h"
+#include "src/core/partitioner_internal.h"
 
 namespace zeppelin {
+
+using planner_internal::InterNodeChunkCount;
+using planner_internal::IntraNodeFragmentCount;
+using planner_internal::NextRing;
 
 int64_t PartitionPlan::total_tokens() const {
   return std::accumulate(tokens_per_rank.begin(), tokens_per_rank.end(), int64_t{0});
@@ -121,31 +126,6 @@ void ResetAssignments(int num_nodes, std::vector<NodeAssignment>* assignments) {
     a.inter_chunks.clear();
     a.sequences.clear();
   }
-}
-
-// Cursor-based slot reuse for ring vectors: instead of clear() + push_back
-// (which frees and reallocates every ring's rank storage), rings are
-// overwritten in place and the vector trimmed once at the end. The returned
-// slot has cleared ranks but retains their capacity.
-RingSequence& NextRing(std::vector<RingSequence>* rings, size_t* count) {
-  if (*count == rings->size()) {
-    rings->emplace_back();
-  }
-  RingSequence& ring = (*rings)[(*count)++];
-  ring.ranks.clear();
-  return ring;
-}
-
-// Number of node buckets a z2 sequence is chunked over (Alg. 1 line 8).
-int InterNodeChunkCount(int64_t len, double s_avg, int num_nodes) {
-  int k = static_cast<int>(std::ceil(static_cast<double>(len) / std::max(s_avg, 1.0)));
-  return std::clamp(k, 1, num_nodes);
-}
-
-// Number of fragments a z1 sequence is split into (Alg. 2 line 9).
-int IntraNodeFragmentCount(double len, double c_avg, int p) {
-  int fragments = static_cast<int>(std::ceil(len * len / std::max(c_avg, 1.0)));
-  return std::clamp(fragments, 1, p);
 }
 
 }  // namespace
@@ -283,9 +263,8 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
   // Records a chunk of `chunk` tokens on `node` in the aggregate form the
   // intra stage consumes (whole shares + remainder histogram).
   auto record_chunk = [&](int node, int64_t chunk) {
-    const int64_t q = chunk / p;
-    s->node_chunk_whole[node] += q;
-    ++s->node_chunk_rem[node * p + (chunk - q * p)];
+    planner_internal::RecordChunkAggregate(node, chunk, p, &s->node_chunk_whole,
+                                           &s->node_chunk_rem);
   };
 
   // Emits the z2 ring + chunk bookkeeping for a sequence chunked over a
@@ -694,6 +673,13 @@ void SequencePartitioner::Partition(const Batch& batch, PlannerScratch* scratch,
   plan->threshold_s0.assign(cluster_.num_nodes, 0);
   plan->threshold_s1 = 0;
 
+  if (options_.fast_path && options_.pool != nullptr) {
+    PartitionParallel(batch, scratch, plan, options_.pool);
+    // The key-build pass already summed the batch; skip the O(S) re-sum.
+    ZCHECK_EQ(plan->total_tokens(), scratch->batch_total)
+        << "partitioner must conserve tokens";
+    return;
+  }
   if (options_.fast_path) {
     // Ring vectors are cursor-managed (storage recycled), then trimmed.
     scratch->inter_ring_count = 0;

@@ -20,24 +20,42 @@
 // The output plan lists, per zone, each sequence's ring group (the ordered
 // ranks that share it) — exactly what the attention engine (§3.2) executes.
 //
-// Two execution paths produce bit-identical plans:
+// Three execution paths produce bit-identical plans:
 //
-//   Fast path (default): packing queries go through an addressable min-heap
+//   Naive path: the reference linear-scan/partial-sort greedy, structurally
+//   the seed algorithm. Kept both as the equivalence oracle for tests and as
+//   a one-shot fallback should a fast path's restart chain ever exceed its
+//   worst-case bound.
+//
+//   Fast path: packing queries go through an addressable min-heap
 //   (LoadTracker), so each placement costs O(log P) instead of an O(P) scan
 //   or an O(P log P) sort, and overflow restarts are incremental — the
 //   length-descending order, its prefix sums, and the zone boundary index are
 //   kept across restarts, so a restart only replays placements (which the
 //   boundary shift invalidates wholesale, because s_avg / c_avg change)
 //   without re-sorting, re-splitting zones, or reallocating. One full pass is
-//   O((S + P) log P).
+//   O((S + P) log P). This is the PR-1 engine and the serial baseline the
+//   planner-scaling bench compares against.
 //
-//   Naive path: the reference linear-scan/partial-sort greedy, structurally
-//   the seed algorithm. Kept both as the equivalence oracle for tests and as
-//   a one-shot fallback should the fast path's restart chain ever exceed its
-//   worst-case bound.
+//   Parallel/sharded engine (Options::pool != nullptr): the same algorithm
+//   rearchitected for bulk work and a ThreadPool. Sequences are kept as
+//   packed (length, id) keys sorted by one value radix sort; the z01 packing
+//   runs through the round-batched GreedyPacker (bulk-committing blocks of
+//   placements instead of per-sequence heap walks) and shards its output
+//   directly into per-node key lists; the per-node intra-node stage (Alg. 2)
+//   is embarrassingly parallel and runs as one task per node on the pool with
+//   per-worker scratch slabs; plan materialization merges per-node results at
+//   precomputed offsets. The z01 *decision stream* itself stays sequential —
+//   greedy list scheduling is P-complete, so there is no exact parallel
+//   formulation — but everything around it (sorting, sharding, Alg. 2,
+//   merges) distributes across the pool.
 //
-// Both paths break packing ties identically: lowest load, then lowest bucket
-// index.
+// Determinism contract: all three paths break packing ties identically
+// (lowest load, then lowest bucket index), every pool phase uses static task
+// ownership and writes to slots derived from node/sequence indices alone, and
+// per-node results are merged in node order. Plans are therefore byte-
+// identical across paths AND across any thread count — the property
+// tests/planner_fastpath_test.cpp and tests/parallel_planner_test.cpp pin.
 #ifndef SRC_CORE_PARTITIONER_H_
 #define SRC_CORE_PARTITIONER_H_
 
@@ -45,12 +63,15 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/greedy_packer.h"
 #include "src/common/load_tracker.h"
 #include "src/core/zones.h"
 #include "src/data/sampler.h"
 #include "src/topology/cluster.h"
 
 namespace zeppelin {
+
+class ThreadPool;
 
 // A sequence executed as a ring across `ranks` (inter- or intra-node zone).
 struct RingSequence {
@@ -102,6 +123,31 @@ struct NodeAssignment {
   std::vector<int> sequences;
 };
 
+// Per-node output buffer of the parallel intra-node stage. Every node owns
+// exactly one of these, so pool tasks write without synchronization and the
+// merge pass concatenates them in node order (the determinism contract).
+struct NodeIntraResult {
+  std::vector<RingSequence> rings;  // Multi-fragment z1 rings (cursor-recycled).
+  size_t ring_count = 0;
+  std::vector<LocalSequence> locals;     // z0 locals (truncated on restart).
+  std::vector<LocalSequence> locals_z1;  // Single-fragment z1 locals.
+  std::vector<int64_t> device_loads;     // Final per-device token loads.
+  int64_t threshold_s0 = 0;
+};
+
+// Per-worker scratch slab for the parallel intra-node stage: context c of the
+// pool always uses slab c (static ownership), so slabs are reused across
+// Partition() calls without locking or steady-state allocation.
+struct IntraWorkerSlab {
+  GreedyPacker packer;              // z0 device packing.
+  std::vector<int64_t> loads;       // Plain per-device loads for the z1 phase.
+  std::vector<int64_t> chunk_base;  // Inter-node chunk spreading per device.
+  // Per-context partial chunk aggregates for the parallel re-label pass;
+  // merged (integer adds, order-free) into the global aggregates after.
+  std::vector<int64_t> relabel_whole;
+  std::vector<int64_t> relabel_rem;
+};
+
 // Reusable planning workspace. A planner that keeps one of these across
 // iterations (see ZeppelinStrategy) runs Partition() without steady-state
 // heap allocations: every intermediate lives here and only grows. The
@@ -137,8 +183,33 @@ struct PlannerScratch {
   size_t intra_ring_count = 0;
   size_t scratch_ring_count = 0;
 
+  // Parallel/sharded engine. Sequences travel as packed 64-bit keys
+  // ((kLenMask - len) << 20 | id): one value radix sort yields the
+  // length-descending, id-ascending order, and the keys themselves are what
+  // the z01 packing shards into per-node lists — no gather-heavy id
+  // indirection anywhere on the hot path.
+  std::vector<uint64_t> keys;            // Sorted ascending == length-descending.
+  std::vector<uint64_t> keys_tmp;        // Radix scatter buffer.
+  std::vector<int> key_count;            // Radix digit histogram.
+  GreedyPacker node_packer;              // z01 packing onto nodes.
+  std::vector<int64_t> node_loads_tmp;   // Heap -> packer seed buffer.
+  std::vector<std::vector<uint64_t>> node_items;  // Per node: its z01 keys.
+  std::vector<NodeIntraResult> intra_results;     // Per node: Alg. 2 output.
+  std::vector<IntraWorkerSlab> intra_slabs;       // Per pool context.
+  std::vector<size_t> local_offsets;     // Per node: slot in plan->local.
+  int64_t batch_total = 0;               // Total tokens, folded into key build.
+
   // Total LoadTracker ops of the last Partition() (regression guard).
   int64_t heap_ops() const { return node_loads.ops() + device_loads.ops(); }
+  // Same guard for the parallel engine's packers (bulk commits keep this
+  // near the sequence count instead of S log P).
+  int64_t packer_ops() const {
+    int64_t total = node_packer.ops();
+    for (const IntraWorkerSlab& slab : intra_slabs) {
+      total += slab.packer.ops();
+    }
+    return total;
+  }
 };
 
 class SequencePartitioner {
@@ -156,9 +227,16 @@ class SequencePartitioner {
     // Selects the O((S + P) log P) heap-based fast path. Plans are
     // bit-identical either way; false forces the reference greedy.
     bool fast_path = true;
-    // Escape hatch: if the fast path's incremental restart chain exceeds its
-    // worst-case bound (cannot happen unless the invariants are broken), run
-    // the naive path once instead of aborting.
+    // Non-owning. When set (and fast_path is true), Partition() runs the
+    // parallel/sharded engine on this pool: round-batched z01 packing, one
+    // intra-node task per node with per-context scratch slabs, and offset-
+    // merged plan materialization. A pool with a single context runs the same
+    // engine inline — plans are bit-identical at every thread count and to
+    // both serial paths. The pool must outlive the partitioner's calls.
+    ThreadPool* pool = nullptr;
+    // Escape hatch: if a fast path's restart chain exceeds its worst-case
+    // bound (cannot happen unless the invariants are broken), run the naive
+    // path once instead of aborting.
     bool naive_fallback = true;
   };
 
@@ -191,6 +269,18 @@ class SequencePartitioner {
                               PartitionPlan* plan, PlannerScratch* scratch) const;
   void PartitionIntraNodeNaive(const Batch& batch, int node, const NodeAssignment& assignment,
                                PartitionPlan* plan, PlannerScratch* scratch) const;
+
+  // Parallel/sharded engine (partitioner_parallel.cc). Same plan bytes as the
+  // serial paths at any pool size.
+  void PartitionParallel(const Batch& batch, PlannerScratch* scratch, PartitionPlan* plan,
+                         ThreadPool* pool) const;
+  // Alg. 1 with round-batched z01 packing sharded into scratch->node_items;
+  // the pool materializes re-labelled single-node rings in parallel.
+  void PartitionInterNodeSharded(const Batch& batch, PartitionPlan* plan,
+                                 PlannerScratch* scratch, ThreadPool* pool) const;
+  // Alg. 2 for one node into scratch->intra_results[node], using the scratch
+  // slab owned by pool context `context`.
+  void PartitionIntraNodeSharded(int node, int context, PlannerScratch* scratch) const;
 
   ClusterSpec cluster_;
   Options options_;

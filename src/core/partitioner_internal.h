@@ -1,0 +1,58 @@
+// Helpers shared by the serial (partitioner.cc) and parallel
+// (partitioner_parallel.cc) planner engines. The chunk/fragment count math
+// lives here so the engines cannot drift apart — the bit-identical-plans
+// contract depends on every path computing these identically.
+#ifndef SRC_CORE_PARTITIONER_INTERNAL_H_
+#define SRC_CORE_PARTITIONER_INTERNAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/partitioner.h"
+
+namespace zeppelin {
+namespace planner_internal {
+
+// Number of node buckets a z2 sequence is chunked over (Alg. 1 line 8).
+inline int InterNodeChunkCount(int64_t len, double s_avg, int num_nodes) {
+  int k = static_cast<int>(std::ceil(static_cast<double>(len) / std::max(s_avg, 1.0)));
+  return std::clamp(k, 1, num_nodes);
+}
+
+// Number of fragments a z1 sequence is split into (Alg. 2 line 9).
+inline int IntraNodeFragmentCount(double len, double c_avg, int p) {
+  int fragments = static_cast<int>(std::ceil(len * len / std::max(c_avg, 1.0)));
+  return std::clamp(fragments, 1, p);
+}
+
+// Records one inter-node chunk of `chunk` tokens on `node` in the aggregate
+// form the intra stage consumes: the sum of whole per-device shares
+// floor(chunk/p) and a histogram of remainders chunk % p. Both engines (and
+// the parallel re-label pass, via per-context partials) must encode chunks
+// identically or the bit-identical-plans contract breaks.
+inline void RecordChunkAggregate(int node, int64_t chunk, int p, std::vector<int64_t>* whole,
+                                 std::vector<int64_t>* rem) {
+  const int64_t q = chunk / p;
+  (*whole)[node] += q;
+  ++(*rem)[node * p + (chunk - q * p)];
+}
+
+// Cursor-based slot reuse for ring vectors: instead of clear() + push_back
+// (which frees and reallocates every ring's rank storage), rings are
+// overwritten in place and the vector trimmed once at the end. The returned
+// slot has cleared ranks but retains their capacity.
+inline RingSequence& NextRing(std::vector<RingSequence>* rings, size_t* count) {
+  if (*count == rings->size()) {
+    rings->emplace_back();
+  }
+  RingSequence& ring = (*rings)[(*count)++];
+  ring.ranks.clear();
+  return ring;
+}
+
+}  // namespace planner_internal
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_PARTITIONER_INTERNAL_H_

@@ -1,0 +1,508 @@
+// Parallel/sharded planner engine (see the header comment in partitioner.h).
+//
+// Layout of one Partition() call:
+//
+//   1. Key build + value radix sort (serial): sequences become packed
+//      ((kLenMask - len) << 20 | id) keys; sorting the values directly gives
+//      the length-descending, id-ascending order with zero gathers, and the
+//      granularity of the lengths (trailing zero bits shared by every length)
+//      narrows the digit range — quantized workloads sort in one pass.
+//   2. Inter-node stage (serial): Alg. 1. The z2 chunking reuses the
+//      LoadTracker (few, long sequences); the z01 packing runs through the
+//      round-batched GreedyPacker and emits each sequence's key straight into
+//      its node's list — the per-node lists ARE the shard handoff to stage 3.
+//      The decision stream is sequential on purpose: greedy list scheduling
+//      is P-complete, so an exact parallel z01 does not exist; batching, not
+//      threading, is what makes this stage cheap.
+//   3. Intra-node stage (parallel): Alg. 2 is independent per node — one pool
+//      task per node, per-context scratch slabs, results into per-node
+//      buffers. Static task ownership (node n on context n % T) keeps slab
+//      reuse deterministic.
+//   4. Merge (parallel over nodes for locals): per-node results concatenate
+//      into the plan at offsets computed from per-node counts, in node order
+//      — byte-identical to the serial engines' append order at any thread
+//      count.
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/core/partitioner.h"
+#include "src/core/partitioner_internal.h"
+
+namespace zeppelin {
+
+using planner_internal::InterNodeChunkCount;
+using planner_internal::IntraNodeFragmentCount;
+using planner_internal::NextRing;
+
+namespace {
+
+// Packed sequence key layout: high 43 bits (kLenMask - len), low 20 bits id.
+// Ascending key order == (length descending, id ascending) — the zone order
+// of Alg. 1 with the stable-sort tie-break.
+constexpr int kIdxBits = 20;
+constexpr uint64_t kIdxMask = (uint64_t{1} << kIdxBits) - 1;
+constexpr uint64_t kLenMask = (uint64_t{1} << 43) - 1;
+
+inline uint64_t PackKey(int64_t len, int id) {
+  return ((kLenMask - static_cast<uint64_t>(len)) << kIdxBits) | static_cast<uint64_t>(id);
+}
+inline int64_t KeyLen(uint64_t key) { return static_cast<int64_t>(kLenMask - (key >> kIdxBits)); }
+inline int KeyId(uint64_t key) { return static_cast<int>(key & kIdxMask); }
+
+// First position in the sorted key array whose length drops below
+// `threshold` — the zone boundary index. O(log n).
+int KeyBoundary(const std::vector<uint64_t>& keys, int64_t threshold) {
+  if (static_cast<uint64_t>(threshold) > kLenMask) {
+    return 0;  // No representable length reaches the threshold.
+  }
+  const uint64_t limit = ((kLenMask - static_cast<uint64_t>(threshold)) << kIdxBits) | kIdxMask;
+  return static_cast<int>(std::partition_point(keys.begin(), keys.end(),
+                                               [limit](uint64_t k) { return k <= limit; }) -
+                          keys.begin());
+}
+
+// Builds scratch->keys sorted ascending. Returns the batch's total tokens
+// (folded into the same pass over seq_lens). LSD radix over only the bits
+// that actually vary: bits below the common granularity and above
+// bit_width(max_len) are constant across all keys and need no pass.
+int64_t BuildSortedKeys(const Batch& batch, PlannerScratch* s) {
+  const int n = batch.size();
+  ZCHECK_LE(static_cast<uint64_t>(n), kIdxMask + 1) << "batch too large for packed keys";
+  s->keys.resize(n);
+  s->keys_tmp.resize(n);
+
+  int64_t total = 0;
+  int64_t max_len = 0;
+  uint64_t or_acc = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t len = batch.seq_lens[i];
+    total += len;
+    max_len = std::max(max_len, len);
+    or_acc |= static_cast<uint64_t>(len);
+    s->keys[i] = PackKey(len, i);
+  }
+  // One range check for the whole batch: a negative length sets the high bits
+  // of or_acc (two's complement), an oversized one exceeds the mask directly.
+  ZCHECK_LE(or_acc, kLenMask) << "sequence length out of key range";
+
+  const int lo = or_acc == 0 ? 0 : std::countr_zero(or_acc);
+  const int hi = std::bit_width(static_cast<uint64_t>(max_len));
+  for (int shift = lo; shift < hi;) {
+    const int digit_bits = std::min(16, hi - shift);
+    const uint64_t digit_mask = (uint64_t{1} << digit_bits) - 1;
+    const int key_shift = kIdxBits + shift;
+    s->key_count.assign(size_t{1} << digit_bits, 0);
+    for (uint64_t key : s->keys) {
+      ++s->key_count[(key >> key_shift) & digit_mask];
+    }
+    int running = 0;
+    for (int& count : s->key_count) {
+      const int c = count;
+      count = running;
+      running += c;
+    }
+    for (uint64_t key : s->keys) {
+      s->keys_tmp[s->key_count[(key >> key_shift) & digit_mask]++] = key;
+    }
+    s->keys.swap(s->keys_tmp);
+    shift += digit_bits;
+  }
+  return total;
+}
+
+}  // namespace
+
+// --- Inter-node stage (Alg. 1), sharded engine --------------------------------
+
+void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, PartitionPlan* plan,
+                                                    PlannerScratch* s, ThreadPool* pool) const {
+  const int num_nodes = cluster_.num_nodes;
+  const int p = cluster_.gpus_per_node;
+  const int64_t node_capacity = static_cast<int64_t>(p) * options_.token_capacity;
+  const int n = batch.size();
+
+  const int64_t total = BuildSortedKeys(batch, s);
+  s->batch_total = total;
+  ZCHECK_LE(total, static_cast<int64_t>(num_nodes) * node_capacity)
+      << "batch does not fit the cluster at capacity L=" << options_.token_capacity;
+
+  // Rank-list template per node (single-node rings copy it).
+  s->node_ranks.resize(num_nodes);
+  for (int node = 0; node < num_nodes; ++node) {
+    s->node_ranks[node].resize(p);
+    std::iota(s->node_ranks[node].begin(), s->node_ranks[node].end(), node * p);
+  }
+
+  int64_t s1 = node_capacity;  // Alg. 1 line 2.
+  if (options_.max_inter_threshold > 0) {
+    s1 = std::min(s1, options_.max_inter_threshold);
+  }
+  int boundary = KeyBoundary(s->keys, s1);
+  // Running sum of the first `boundary` lengths; a restart only advances the
+  // boundary, so the total decode work stays O(n) across all restarts.
+  int64_t z2_total = 0;
+  for (int i = 0; i < boundary; ++i) {
+    z2_total += KeyLen(s->keys[i]);
+  }
+  s->placed_node.resize(n);
+
+  auto record_chunk = [&](int node, int64_t chunk) {
+    planner_internal::RecordChunkAggregate(node, chunk, p, &s->node_chunk_whole,
+                                           &s->node_chunk_rem);
+  };
+  auto emit_single_node = [&](int id, int64_t len, int node) {
+    RingSequence& ring = NextRing(&plan->intra_node, &s->intra_ring_count);
+    ring.seq_id = id;
+    ring.length = len;
+    ring.zone = Zone::kIntraNode;
+    ring.ranks.resize(p);
+    std::memcpy(ring.ranks.data(), s->node_ranks[node].data(), sizeof(int) * p);
+    record_chunk(node, len);
+  };
+
+  int restarts = 0;
+  // Incremental-restart shortcut, mirroring the serial fast path: when the
+  // aborted pass was pure z01 packing (empty z2) and every promoted sequence
+  // still chunks to k == 1 under the new s_avg, a full replay would place
+  // those very sequences on the very same nodes — so the restart only
+  // re-labels them (shard lists -> single-node z2 rings, read back from
+  // placed_node) and resumes where the aborted pass stopped.
+  int continue_from = -1;
+  for (;;) {
+    int z2_start = 0;
+    if (continue_from >= 0) {
+      // Re-label [0, continue_from): ring order matches a replay (it is the
+      // key order), chunk aggregates rebuild from zero (z2 was empty), and
+      // the packer's loads carry over exactly. Every ring slot and its
+      // content derive from the sequence index alone, so the plan bytes are
+      // thread-count-invariant; the chunk aggregates accumulate through
+      // per-context partials merged with order-free integer adds.
+      while (plan->intra_node.size() < static_cast<size_t>(continue_from)) {
+        plan->intra_node.emplace_back();
+      }
+      const int contexts = pool->num_contexts();
+      for (int c = 0; c < contexts; ++c) {
+        s->intra_slabs[c].relabel_whole.assign(num_nodes, 0);
+        s->intra_slabs[c].relabel_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
+      }
+      pool->ParallelFor(continue_from, [&](int64_t begin, int64_t end, int context) {
+        IntraWorkerSlab& slab = s->intra_slabs[context];
+        for (int64_t i = begin; i < end; ++i) {
+          const uint64_t key = s->keys[i];
+          const int node = s->placed_node[i];
+          const int64_t len = KeyLen(key);
+          RingSequence& ring = plan->intra_node[i];
+          ring.seq_id = KeyId(key);
+          ring.length = len;
+          ring.zone = Zone::kIntraNode;
+          ring.ranks.resize(p);
+          std::memcpy(ring.ranks.data(), s->node_ranks[node].data(), sizeof(int) * p);
+          planner_internal::RecordChunkAggregate(node, len, p, &slab.relabel_whole,
+                                                 &slab.relabel_rem);
+        }
+      });
+      for (int c = 0; c < contexts; ++c) {
+        const IntraWorkerSlab& slab = s->intra_slabs[c];
+        for (int node = 0; node < num_nodes; ++node) {
+          s->node_chunk_whole[node] += slab.relabel_whole[node];
+        }
+        for (size_t r = 0; r < slab.relabel_rem.size(); ++r) {
+          s->node_chunk_rem[r] += slab.relabel_rem[r];
+        }
+      }
+      s->intra_ring_count = continue_from;
+      s->node_packer.Loads(&s->node_loads_tmp);
+      s->node_loads.Assign(s->node_loads_tmp);
+      z2_start = continue_from;
+      continue_from = -1;
+    } else {
+      s->node_chunk_whole.assign(num_nodes, 0);
+      s->node_chunk_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
+      s->inter_ring_count = 0;
+      s->intra_ring_count = 0;
+      s->node_loads.Reset(num_nodes);
+    }
+
+    // Chunk placement for z2 (lines 7-10), heap-based exactly like the
+    // serial fast path: z2 holds few, long sequences.
+    const double s_avg = static_cast<double>(z2_total) / num_nodes;
+    for (int i = z2_start; i < boundary; ++i) {
+      const uint64_t key = s->keys[i];
+      const int id = KeyId(key);
+      const int64_t len = KeyLen(key);
+      const int k = InterNodeChunkCount(len, s_avg, num_nodes);
+
+      if (k == 1) {
+        emit_single_node(id, len, s->node_loads.add_min(len));
+        continue;
+      }
+
+      s->node_loads.k_least(k, &s->least);
+      std::sort(s->least.begin(), s->least.end());  // Keep ring order node-ascending.
+      RingSequence& ring = NextRing(&plan->inter_node, &s->inter_ring_count);
+      ring.seq_id = id;
+      ring.length = len;
+      ring.zone = Zone::kInterNode;
+      ring.ranks.reserve(static_cast<size_t>(k) * p);
+      for (int node : s->least) {
+        const int rank_base = node * p;
+        for (int local = 0; local < p; ++local) {
+          ring.ranks.push_back(rank_base + local);
+        }
+      }
+      int64_t prev_edge = 0;
+      for (int c = 0; c < k; ++c) {
+        const int64_t edge = len * (c + 1) / k;
+        const int64_t chunk = edge - prev_edge;
+        prev_edge = edge;
+        record_chunk(s->least[c], chunk);
+        s->node_loads.add(s->least[c], chunk);
+      }
+    }
+
+    // Round-batched z01 packing (lines 11-19): bulk-committed placements,
+    // sharded straight into per-node key lists.
+    s->node_loads_tmp.resize(num_nodes);
+    for (int node = 0; node < num_nodes; ++node) {
+      s->node_loads_tmp[node] = s->node_loads.load(node);
+    }
+    s->node_packer.Assign(s->node_loads_tmp);
+    const uint64_t* z01 = s->keys.data() + boundary;
+    const int count = n - boundary;
+    // Packing writes only the placement stream (4 bytes per sequence); the
+    // per-node shard lists are built by one scatter pass after the pass
+    // succeeds, so an overflow-doomed pass never pays for them.
+    int* placed = s->placed_node.data() + boundary;
+    const int packed = s->node_packer.Pack(
+        count, node_capacity, [z01](int i) { return KeyLen(z01[i]); },
+        [&](int i, int node, int64_t /*len*/) { placed[i] = node; });
+    if (packed == count) {
+      for (int node = 0; node < num_nodes; ++node) {
+        s->node_items[node].clear();
+      }
+      for (int i = 0; i < count; ++i) {
+        s->node_items[placed[i]].push_back(z01[i]);
+      }
+      break;
+    }
+    // Overflow: shrink s1 to max(z01) = the overflowing length and promote
+    // every sequence of length >= it into z2 — a contiguous block, so the
+    // boundary just advances (no re-sort, no zone re-split).
+    s1 = KeyLen(z01[packed]);
+    int nb = boundary + packed + 1;
+    while (nb < n && KeyLen(s->keys[nb]) >= s1) {
+      ++nb;
+    }
+    for (int i = boundary; i < nb; ++i) {
+      z2_total += KeyLen(s->keys[i]);
+    }
+    // Incremental-continuation test (same as the serial fast path): the
+    // aborted pass must have been pure z01 packing, and under the new s_avg
+    // even the longest promoted sequence must chunk to a single node. Then
+    // the replay is a no-op re-labelling.
+    const double next_avg = static_cast<double>(z2_total) / num_nodes;
+    if (boundary == 0 &&
+        static_cast<double>(KeyLen(s->keys[0])) <= std::max(next_avg, 1.0)) {
+      continue_from = packed;
+    }
+    boundary = nb;
+    // The boundary strictly advances on every restart, so more than n
+    // restarts means a broken invariant; fall back to the reference greedy
+    // once rather than looping.
+    if (++restarts > n) {
+      ZCHECK(options_.naive_fallback) << "sharded restart chain exceeded its bound";
+      plan->inter_node.resize(s->inter_ring_count);
+      plan->intra_node.resize(s->intra_ring_count);
+      PartitionInterNodeNaive(batch, plan, s);
+      s->inter_ring_count = plan->inter_node.size();
+      s->intra_ring_count = plan->intra_node.size();
+      // Rebuild the shard lists and chunk aggregates the intra stage reads.
+      s->node_chunk_whole.assign(num_nodes, 0);
+      s->node_chunk_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
+      for (int node = 0; node < num_nodes; ++node) {
+        s->node_items[node].clear();
+        for (const auto& [seq_id, chunk] : s->assignments[node].inter_chunks) {
+          record_chunk(node, chunk);
+        }
+        for (int id : s->assignments[node].sequences) {
+          s->node_items[node].push_back(PackKey(batch.seq_lens[id], id));
+        }
+      }
+      return;
+    }
+  }
+  plan->threshold_s1 = s1;
+}
+
+// --- Intra-node stage (Alg. 2), sharded engine --------------------------------
+
+void SequencePartitioner::PartitionIntraNodeSharded(int node, int context,
+                                                    PlannerScratch* s) const {
+  const int p = cluster_.gpus_per_node;
+  const int rank_base = node * p;
+  const int64_t capacity = options_.token_capacity;
+  IntraWorkerSlab& slab = s->intra_slabs[context];
+  NodeIntraResult& res = s->intra_results[node];
+  const std::vector<uint64_t>& items = s->node_items[node];
+  const int n = static_cast<int>(items.size());
+
+  // Inter-node chunk spreading (lines 4-6) from the aggregates the inter
+  // stage recorded; zone-independent, so hoisted out of the restart loop.
+  slab.chunk_base.resize(p);
+  for (int d = 0; d < p; ++d) {
+    int64_t share = s->node_chunk_whole[node];
+    for (int r = 1; r < p; ++r) {
+      share += s->node_chunk_rem[node * p + r] * ((d + 1) * r / p - d * r / p);
+    }
+    slab.chunk_base[d] = share;
+  }
+
+  int64_t s0 = capacity;  // Alg. 2 line 1.
+  if (options_.max_local_threshold > 0) {
+    s0 = std::min(s0, options_.max_local_threshold);
+  }
+  int boundary = KeyBoundary(items, s0);
+
+  int restarts = 0;
+  for (;;) {
+    res.ring_count = 0;
+    res.locals.clear();
+    res.locals_z1.clear();
+    slab.loads = slab.chunk_base;
+
+    // Quadratic-balanced fragmentation of intra-node sequences (lines 8-12).
+    double c_total = 0;
+    for (int i = 0; i < boundary; ++i) {
+      const double len = static_cast<double>(KeyLen(items[i]));
+      c_total += len * len;
+    }
+    int cursor = 0;  // Round-robin start for fragment placement.
+    if (boundary > 0) {
+      const double c_avg = c_total / p;
+      for (int i = 0; i < boundary; ++i) {
+        const int id = KeyId(items[i]);
+        const int64_t len = KeyLen(items[i]);
+        const int fragments = IntraNodeFragmentCount(static_cast<double>(len), c_avg, p);
+
+        if (fragments == 1) {
+          // A single-fragment "ring" is a local kernel (lands after this
+          // node's z0 locals, like the reference path's ring conversion).
+          res.locals_z1.push_back({id, len, rank_base + cursor});
+          slab.loads[cursor] += len;
+          cursor = (cursor + 1) % p;
+          continue;
+        }
+
+        RingSequence& ring = NextRing(&res.rings, &res.ring_count);
+        ring.seq_id = id;
+        ring.length = len;
+        ring.zone = Zone::kIntraNode;
+        int64_t prev_edge = 0;
+        for (int f = 0; f < fragments; ++f) {
+          const int device = (cursor + f) % p;
+          ring.ranks.push_back(rank_base + device);
+          const int64_t edge = len * (f + 1) / fragments;
+          slab.loads[device] += edge - prev_edge;
+          prev_edge = edge;
+        }
+        cursor = (cursor + fragments) % p;
+      }
+    }
+
+    // Round-batched z0 packing onto least-loaded devices (lines 13-21).
+    slab.packer.Assign(slab.loads);
+    const uint64_t* z0 = items.data() + boundary;
+    const int count = n - boundary;
+    const int packed = slab.packer.Pack(
+        count, capacity, [z0](int i) { return KeyLen(z0[i]); },
+        [&](int i, int device, int64_t len) {
+          res.locals.push_back({KeyId(z0[i]), len, rank_base + device});
+        });
+    if (packed == count) {
+      break;
+    }
+    // Shrink s0 to max(z0) = the overflowing length; promoted sequences form
+    // a contiguous block, so the boundary just advances.
+    s0 = KeyLen(z0[packed]);
+    int nb = boundary + packed + 1;
+    while (nb < n && KeyLen(items[nb]) >= s0) {
+      ++nb;
+    }
+    boundary = nb;
+    // The boundary strictly advances on every restart, so the chain is
+    // bounded by the node's sequence count.
+    ZCHECK_LE(++restarts, n) << "intra-node restart chain exceeded its bound";
+  }
+
+  slab.packer.Loads(&res.device_loads);
+  res.threshold_s0 = s0;
+}
+
+// --- Driver -------------------------------------------------------------------
+
+void SequencePartitioner::PartitionParallel(const Batch& batch, PlannerScratch* scratch,
+                                            PartitionPlan* plan, ThreadPool* pool) const {
+  const int num_nodes = cluster_.num_nodes;
+  const int p = cluster_.gpus_per_node;
+  const int contexts = pool->num_contexts();
+
+  if (static_cast<int>(scratch->intra_slabs.size()) < contexts) {
+    scratch->intra_slabs.resize(contexts);
+  }
+  scratch->node_packer.ResetOps();
+  for (IntraWorkerSlab& slab : scratch->intra_slabs) {
+    slab.packer.ResetOps();
+  }
+  scratch->node_items.resize(num_nodes);
+  scratch->intra_results.resize(num_nodes);
+
+  PartitionInterNodeSharded(batch, plan, scratch, pool);
+
+  // Alg. 2: one task per node; task `node` always runs on context
+  // node % contexts, so slab reuse and results are thread-count-invariant.
+  pool->RunTasks(num_nodes,
+                 [&](int node, int context) { PartitionIntraNodeSharded(node, context, scratch); });
+
+  // Merge per-node results in node order — identical bytes to the serial
+  // engines' per-node append order.
+  scratch->local_offsets.resize(num_nodes + 1);
+  size_t total_locals = plan->local.size();
+  for (int node = 0; node < num_nodes; ++node) {
+    scratch->local_offsets[node] = total_locals;
+    total_locals += scratch->intra_results[node].locals.size() +
+                    scratch->intra_results[node].locals_z1.size();
+  }
+  scratch->local_offsets[num_nodes] = total_locals;
+  plan->local.resize(total_locals);
+  pool->RunTasks(num_nodes, [&](int node, int /*context*/) {
+    const NodeIntraResult& res = scratch->intra_results[node];
+    LocalSequence* dst = plan->local.data() + scratch->local_offsets[node];
+    dst = std::copy(res.locals.begin(), res.locals.end(), dst);
+    std::copy(res.locals_z1.begin(), res.locals_z1.end(), dst);
+  });
+
+  for (int node = 0; node < num_nodes; ++node) {
+    const NodeIntraResult& res = scratch->intra_results[node];
+    for (size_t i = 0; i < res.ring_count; ++i) {
+      const RingSequence& src = res.rings[i];
+      RingSequence& dst = NextRing(&plan->intra_node, &scratch->intra_ring_count);
+      dst.seq_id = src.seq_id;
+      dst.length = src.length;
+      dst.zone = src.zone;
+      dst.ranks.assign(src.ranks.begin(), src.ranks.end());
+    }
+    for (int d = 0; d < p; ++d) {
+      plan->tokens_per_rank[node * p + d] += res.device_loads[d];
+    }
+    plan->threshold_s0[node] = res.threshold_s0;
+  }
+
+  plan->inter_node.resize(scratch->inter_ring_count);
+  plan->intra_node.resize(scratch->intra_ring_count);
+}
+
+}  // namespace zeppelin

@@ -36,7 +36,8 @@ std::vector<std::string> SplitSpec(const std::string& spec) {
 
 }  // namespace
 
-std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec) {
+std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec,
+                                             const StrategyDefaults& defaults) {
   const std::vector<std::string> parts = SplitSpec(spec);
   ZCHECK(!parts.empty()) << "empty strategy spec";
   const std::string& base = parts[0];
@@ -67,6 +68,7 @@ std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec) {
   }
   if (base == "zeppelin") {
     ZeppelinOptions options;
+    options.num_planner_threads = defaults.num_planner_threads;
     for (size_t i = 1; i < parts.size(); ++i) {
       const std::string& mod = parts[i];
       if (mod == "-routing") {

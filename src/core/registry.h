@@ -26,8 +26,18 @@
 
 namespace zeppelin {
 
+// Knobs that tools pass alongside a spec string (typically straight from
+// command-line flags) and that apply across specs rather than naming a
+// variant — currently just the planner's thread count.
+struct StrategyDefaults {
+  // ZeppelinOptions::num_planner_threads for zeppelin specs: 0 = serial PR-1
+  // fast path, N >= 1 = sharded engine on N contexts. Ignored by baselines.
+  int num_planner_threads = 1;
+};
+
 // Creates a strategy from a spec string; aborts (ZCHECK) on unknown specs.
-std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec);
+std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec,
+                                             const StrategyDefaults& defaults = {});
 
 // All spec names the registry accepts (base names, without modifiers).
 std::vector<std::string> KnownStrategyNames();

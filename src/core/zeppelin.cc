@@ -52,6 +52,15 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
     }
     SequencePartitioner::Options popts{.token_capacity = capacity,
                                        .fast_path = options_.planner_fast_path};
+    if (options_.planner_fast_path && options_.num_planner_threads >= 1) {
+      // Compare against the pool's own clamp so an out-of-range knob does not
+      // rebuild the pool on every Plan() call.
+      const int contexts = std::clamp(options_.num_planner_threads, 1, ThreadPool::kMaxContexts);
+      if (!planner_pool_ || planner_pool_->num_contexts() != contexts) {
+        planner_pool_.emplace(contexts);
+      }
+      popts.pool = &*planner_pool_;
+    }
     if (options_.zone_aware_thresholds) {
       const ZoneBoundaries zones = ZoneClassifier(cost_model).Compute();
       popts.max_inter_threshold = zones.intra_max;

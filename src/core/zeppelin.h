@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/attention_engine.h"
 #include "src/core/partitioner.h"
 #include "src/core/remapping.h"
@@ -44,6 +45,15 @@ struct ZeppelinOptions {
   // plans); false forces the reference linear-scan greedy. Exposed so the
   // planner-scaling bench can measure old-vs-new on the same code base.
   bool planner_fast_path = true;
+
+  // Execution contexts for the parallel/sharded planner engine (including
+  // the calling thread): 1 runs the sharded engine inline (the default —
+  // typically 2-3x the serial fast path at bench scale, though
+  // materialization-bound points can tie it), N > 1 adds N-1 pool workers
+  // for the per-node intra stage and merges, and 0 opts out, forcing the
+  // PR-1 serial fast path (the bench baseline). Plans are bit-identical at
+  // every setting.
+  int num_planner_threads = 1;
 };
 
 class ZeppelinStrategy : public Strategy {
@@ -79,6 +89,8 @@ class ZeppelinStrategy : public Strategy {
   std::optional<SequencePartitioner> partitioner_;
   PlannerScratch planner_scratch_;
   RemapScratch remap_scratch_;
+  // Lazily built when num_planner_threads >= 1; rebuilt if the count changes.
+  std::optional<ThreadPool> planner_pool_;
 
   std::optional<RoutingLayer> routing_;
   std::optional<AttentionEngine> engine_;

@@ -345,7 +345,7 @@ RemapSolution SolveMinTotalRemap(const RemapProblem& problem) {
                           : problem.b_inter;
     }
   }
-  const TransportSolution ts = SolveTransportMinTotalCost(tp);
+  const TransportSolution ts = SolveTransportMinTotalCost(tp, &scratch.transport);
   for (size_t a = 0; a < sources.size(); ++a) {
     for (size_t b = 0; b < sinks.size(); ++b) {
       solution.transfer[sources[a]][sinks[b]] = ts.flow[a][b];

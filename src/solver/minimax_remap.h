@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/solver/transport.h"
+
 namespace zeppelin {
 
 struct RemapProblem {
@@ -66,6 +68,7 @@ struct RemapScratch {
   std::vector<int64_t> exports;    // Water-filling outputs for one node.
   std::vector<std::pair<int, int64_t>> cross_senders;    // (rank, amount).
   std::vector<std::pair<int, int64_t>> cross_receivers;  // (rank, amount).
+  TransportScratch transport;  // Edge bookkeeping for the min-total path (D5).
 };
 
 // Balanced target: floor(total/d) everywhere, the remainder spread over the

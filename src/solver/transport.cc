@@ -1,5 +1,7 @@
 #include "src/solver/transport.h"
 
+#include <utility>
+
 #include "src/common/check.h"
 #include "src/solver/mcmf.h"
 
@@ -26,57 +28,11 @@ void ValidateProblem(const TransportProblem& problem) {
   }
 }
 
-}  // namespace
-
-TransportSolution SolveTransportMinTotalCost(const TransportProblem& problem) {
-  ValidateProblem(problem);
-  const int ns = static_cast<int>(problem.supply.size());
-  const int nd = static_cast<int>(problem.demand.size());
-
-  // Node layout: 0 = source, 1..ns = supplies, ns+1..ns+nd = demands, last = sink.
-  MinCostFlow flow_net(ns + nd + 2);
-  const int source = 0;
-  const int sink = ns + nd + 1;
-  for (int i = 0; i < ns; ++i) {
-    flow_net.AddEdge(source, 1 + i, problem.supply[i], 0.0);
-  }
-  std::vector<std::vector<int>> handles(ns, std::vector<int>(nd, -1));
-  for (int i = 0; i < ns; ++i) {
-    if (problem.supply[i] == 0) {
-      continue;
-    }
-    for (int j = 0; j < nd; ++j) {
-      if (problem.demand[j] == 0) {
-        continue;
-      }
-      handles[i][j] = flow_net.AddEdge(1 + i, ns + 1 + j, problem.supply[i], problem.cost[i][j]);
-    }
-  }
-  for (int j = 0; j < nd; ++j) {
-    flow_net.AddEdge(ns + 1 + j, sink, problem.demand[j], 0.0);
-  }
-
-  const auto result = flow_net.Solve(source, sink);
-  int64_t total_supply = 0;
-  for (int64_t s : problem.supply) {
-    total_supply += s;
-  }
-  ZCHECK_EQ(result.max_flow, total_supply) << "transport problem infeasible";
-
-  std::vector<std::vector<int64_t>> flow(ns, std::vector<int64_t>(nd, 0));
-  for (int i = 0; i < ns; ++i) {
-    for (int j = 0; j < nd; ++j) {
-      if (handles[i][j] >= 0) {
-        flow[i][j] = flow_net.Flow(handles[i][j]);
-      }
-    }
-  }
-  return EvaluateFlow(problem, std::move(flow));
-}
-
-TransportSolution EvaluateFlow(const TransportProblem& problem,
-                               std::vector<std::vector<int64_t>> flow) {
-  ValidateProblem(problem);
+// Metric computation shared by EvaluateFlow (which validates a caller-made
+// problem first) and the solver (whose problem was just validated — no
+// second pass).
+TransportSolution BuildSolution(const TransportProblem& problem,
+                                std::vector<std::vector<int64_t>> flow) {
   const int ns = static_cast<int>(problem.supply.size());
   const int nd = static_cast<int>(problem.demand.size());
   ZCHECK_EQ(flow.size(), problem.supply.size());
@@ -103,6 +59,82 @@ TransportSolution EvaluateFlow(const TransportProblem& problem,
     ZCHECK_EQ(received[j], problem.demand[j]) << "column " << j << " violates demand";
   }
   return solution;
+}
+
+}  // namespace
+
+TransportSolution SolveTransportMinTotalCost(const TransportProblem& problem) {
+  TransportScratch scratch;
+  return SolveTransportMinTotalCost(problem, &scratch);
+}
+
+TransportSolution SolveTransportMinTotalCost(const TransportProblem& problem,
+                                             TransportScratch* scratch) {
+  ValidateProblem(problem);
+  const int ns = static_cast<int>(problem.supply.size());
+  const int nd = static_cast<int>(problem.demand.size());
+
+  // Compact away zero supplies/demands: they can carry no flow, so neither
+  // their source/sink edges nor their ns x nd pair edges need to exist.
+  scratch->sources.clear();
+  scratch->sinks.clear();
+  int64_t total_supply = 0;
+  for (int i = 0; i < ns; ++i) {
+    if (problem.supply[i] > 0) {
+      scratch->sources.push_back(i);
+      total_supply += problem.supply[i];
+    }
+  }
+  for (int j = 0; j < nd; ++j) {
+    if (problem.demand[j] > 0) {
+      scratch->sinks.push_back(j);
+    }
+  }
+
+  // Node layout: 0 = source, 1..ns = supplies, ns+1..ns+nd = demands, last =
+  // sink (kept dense — node ids are cheap, edges are not).
+  MinCostFlow flow_net(ns + nd + 2);
+  const int source = 0;
+  const int sink = ns + nd + 1;
+  for (int i : scratch->sources) {
+    flow_net.AddEdge(source, 1 + i, problem.supply[i], 0.0);
+  }
+  scratch->row_start.clear();
+  scratch->edge_sink.clear();
+  scratch->edge_handle.clear();
+  for (int i : scratch->sources) {
+    scratch->row_start.push_back(static_cast<int>(scratch->edge_handle.size()));
+    const double* cost_row = problem.cost[i].data();
+    for (int j : scratch->sinks) {
+      scratch->edge_sink.push_back(j);
+      scratch->edge_handle.push_back(
+          flow_net.AddEdge(1 + i, ns + 1 + j, problem.supply[i], cost_row[j]));
+    }
+  }
+  scratch->row_start.push_back(static_cast<int>(scratch->edge_handle.size()));
+  for (int j : scratch->sinks) {
+    flow_net.AddEdge(ns + 1 + j, sink, problem.demand[j], 0.0);
+  }
+
+  const auto result = flow_net.Solve(source, sink);
+  ZCHECK_EQ(result.max_flow, total_supply) << "transport problem infeasible";
+
+  std::vector<std::vector<int64_t>> flow(ns, std::vector<int64_t>(nd, 0));
+  for (size_t r = 0; r < scratch->sources.size(); ++r) {
+    std::vector<int64_t>& flow_row = flow[scratch->sources[r]];
+    for (int e = scratch->row_start[r]; e < scratch->row_start[r + 1]; ++e) {
+      flow_row[scratch->edge_sink[e]] = flow_net.Flow(scratch->edge_handle[e]);
+    }
+  }
+  // The problem was validated above; BuildSolution's flow checks double as
+  // solver postconditions.
+  return BuildSolution(problem, std::move(flow));
+}
+
+TransportSolution EvaluateFlow(const TransportProblem& problem,
+                               std::vector<std::vector<int64_t>> flow) {
+  ValidateProblem(problem);
+  return BuildSolution(problem, std::move(flow));
 }
 
 }  // namespace zeppelin

@@ -25,8 +25,29 @@ struct TransportSolution {
   double max_row_cost = 0;
 };
 
+// Reusable workspace for SolveTransportMinTotalCost (the RemapScratch idiom):
+// the sparse edge list and the compacted source/sink index sets live here and
+// only grow, so repeated solves (one per remap plan, e.g. ablation D5) stay
+// free of per-edge allocations. Contents are meaningless between calls.
+struct TransportScratch {
+  std::vector<int> sources;       // Indices with supply > 0.
+  std::vector<int> sinks;         // Indices with demand > 0.
+  // Flat CSR-style edge list over (nonzero supply) x (nonzero demand) pairs:
+  // row r covers handles [row_start[r], row_start[r+1]) in AddEdge order,
+  // with edge_sink[e] the demand index of edge e. Zero supply/demand pairs
+  // have no edge at all — the dense ns x nd handle matrix this replaces was
+  // the solver's dominant allocation on sparse instances.
+  std::vector<int> row_start;
+  std::vector<int> edge_sink;
+  std::vector<int> edge_handle;
+};
+
 // Exact minimum *total* cost solution (min-cost flow).
 TransportSolution SolveTransportMinTotalCost(const TransportProblem& problem);
+// Allocation-hoisted form: edge bookkeeping lives in `scratch`. Results are
+// identical to the value form.
+TransportSolution SolveTransportMinTotalCost(const TransportProblem& problem,
+                                             TransportScratch* scratch);
 
 // Recomputes solution metrics from a flow matrix (validation helper).
 TransportSolution EvaluateFlow(const TransportProblem& problem,

@@ -11,6 +11,7 @@
 
 #include "src/common/load_tracker.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/core/partitioner.h"
 #include "src/data/datasets.h"
 #include "src/data/sampler.h"
@@ -58,6 +59,16 @@ void CheckEquivalence(const ClusterSpec& cluster, const Batch& batch, int64_t ca
   PartitionPlan naive_plan;
   naive.Partition(batch, &scratch, &naive_plan);
   ExpectPlansIdentical(fast_plan, naive_plan, context);
+
+  // The parallel/sharded engine extends the same contract (exhaustive
+  // thread-count sweeps live in tests/parallel_planner_test.cpp).
+  ThreadPool pool(3);
+  SequencePartitioner::Options popts = FastOptions(capacity);
+  popts.pool = &pool;
+  SequencePartitioner parallel(cluster, popts);
+  PartitionPlan parallel_plan;
+  parallel.Partition(batch, &scratch, &parallel_plan);
+  ExpectPlansIdentical(parallel_plan, naive_plan, context + " [parallel]");
 }
 
 // --- Randomized equivalence across Table 2 distributions and clusters --------

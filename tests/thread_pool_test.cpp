@@ -1,0 +1,98 @@
+// ThreadPool unit behavior: deterministic static ownership, batch
+// completeness, ad-hoc Submit/WaitAll batches, and reuse across batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace zeppelin {
+namespace {
+
+TEST(ThreadPoolTest, RunTasksCoversEveryTaskExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(pool.num_contexts(), threads);
+    for (int num_tasks : {0, 1, 5, 64, 200}) {
+      std::vector<std::atomic<int>> hits(num_tasks);
+      pool.RunTasks(num_tasks, [&](int task, int /*context*/) { ++hits[task]; });
+      for (int t = 0; t < num_tasks; ++t) {
+        EXPECT_EQ(hits[t].load(), 1) << "threads=" << threads << " task=" << t;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunTasksOwnershipIsStatic) {
+  // Task t must run on context t % T — the contract per-context scratch
+  // slabs rely on. Recording the observed context per task slot is race-free
+  // because each slot has exactly one writer.
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    const int num_tasks = 97;
+    std::vector<int> context_of(num_tasks, -1);
+    pool.RunTasks(num_tasks, [&](int task, int context) { context_of[task] = context; });
+    for (int t = 0; t < num_tasks; ++t) {
+      EXPECT_EQ(context_of[t], t % threads) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunTasksRunsTasksOfAContextInOrder) {
+  ThreadPool pool(3);
+  const int num_tasks = 60;
+  std::vector<std::vector<int>> per_context(pool.num_contexts());
+  pool.RunTasks(num_tasks,
+                [&](int task, int context) { per_context[context].push_back(task); });
+  for (int c = 0; c < pool.num_contexts(); ++c) {
+    for (size_t i = 1; i < per_context[c].size(); ++i) {
+      EXPECT_LT(per_context[c][i - 1], per_context[c][i]) << "context " << c;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSlicesPartitionTheRange) {
+  for (int threads : {1, 2, 5}) {
+    ThreadPool pool(threads);
+    for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{3}, int64_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, [&](int64_t begin, int64_t end, int /*context*/) {
+        for (int64_t i = begin; i < end; ++i) {
+          ++hits[i];
+        }
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitWaitAllRunsEveryTask) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int64_t> sum{0};
+    const int batch = 100;
+    for (int t = 0; t < batch; ++t) {
+      pool.Submit([&sum, t] { sum += t; });
+    }
+    pool.WaitAll();
+    EXPECT_EQ(sum.load(), batch * (batch - 1) / 2);
+    // WaitAll with an empty queue returns immediately.
+    pool.WaitAll();
+  }
+}
+
+TEST(ThreadPoolTest, BatchesAreReusableBackToBack) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunTasks(17, [&](int task, int /*context*/) { total += task; });
+  }
+  EXPECT_EQ(total.load(), 50 * (17 * 16 / 2));
+}
+
+}  // namespace
+}  // namespace zeppelin
