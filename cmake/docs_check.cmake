@@ -1,0 +1,25 @@
+# Fails if the repo's first-class documentation set is missing. Run as
+#   cmake -DREPO_ROOT=<source dir> -P cmake/docs_check.cmake
+# (registered as the `docs_check` ctest). Keeps README/docs from silently
+# rotting out of the tree: they document the public plan format and the
+# determinism contract, which other tests only check behaviorally.
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "docs_check: pass -DREPO_ROOT=<repo root>")
+endif()
+
+set(required_docs
+    README.md
+    docs/ARCHITECTURE.md
+    docs/PLAN_FORMAT.md)
+
+foreach(doc ${required_docs})
+  if(NOT EXISTS "${REPO_ROOT}/${doc}")
+    message(FATAL_ERROR "docs_check: required documentation file missing: ${doc}")
+  endif()
+  file(SIZE "${REPO_ROOT}/${doc}" doc_size)
+  if(doc_size LESS 256)
+    message(FATAL_ERROR "docs_check: ${doc} is a stub (${doc_size} bytes)")
+  endif()
+endforeach()
+
+message(STATUS "docs_check: all required docs present")

@@ -1,0 +1,23 @@
+# Asserts that a BENCH_*.json emitted by a bench smoke run contains the
+# expected keys. Run as
+#   cmake -DJSON=<path> -DFIELDS=<key1,key2,...> -P cmake/json_fields_check.cmake
+# Guards the machine-readable bench trail: a field that silently disappears
+# from the schema breaks downstream consumers without failing the bench.
+if(NOT DEFINED JSON OR NOT DEFINED FIELDS)
+  message(FATAL_ERROR "json_fields_check: pass -DJSON=<file> -DFIELDS=<comma-separated keys>")
+endif()
+
+if(NOT EXISTS "${JSON}")
+  message(FATAL_ERROR "json_fields_check: ${JSON} does not exist (did the bench smoke run?)")
+endif()
+
+file(READ "${JSON}" content)
+string(REPLACE "," ";" field_list "${FIELDS}")
+foreach(field ${field_list})
+  string(FIND "${content}" "\"${field}\"" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "json_fields_check: ${JSON} is missing key \"${field}\"")
+  endif()
+endforeach()
+
+message(STATUS "json_fields_check: ${JSON} has all required keys")

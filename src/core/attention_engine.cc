@@ -27,7 +27,7 @@ double DirectionScale(Direction direction) {
 
 }  // namespace
 
-void AttentionEngine::EmitRingSequence(TaskGraph& graph, const RingSequence& ring,
+void AttentionEngine::EmitRingSequence(TaskGraph& graph, const RingView& ring,
                                        Direction direction,
                                        const std::vector<std::vector<TaskId>>& deps,
                                        const std::string& label,
@@ -153,7 +153,7 @@ std::vector<TaskId> AttentionEngine::Emit(TaskGraph& graph, const PartitionPlan&
 
   auto emit_inter = [&] {
     std::vector<std::vector<TaskId>> phase_last(world);
-    for (const auto& ring : plan.inter_node) {
+    for (RingView ring : plan.rings(plan.inter_node)) {
       EmitRingSequence(graph, ring, direction, gate,
                        label + ".inter.s" + std::to_string(ring.seq_id), &phase_last);
     }
@@ -161,7 +161,7 @@ std::vector<TaskId> AttentionEngine::Emit(TaskGraph& graph, const PartitionPlan&
   };
   auto emit_intra = [&] {
     std::vector<std::vector<TaskId>> phase_last(world);
-    for (const auto& ring : plan.intra_node) {
+    for (RingView ring : plan.rings(plan.intra_node)) {
       EmitRingSequence(graph, ring, direction, gate,
                        label + ".intra.s" + std::to_string(ring.seq_id), &phase_last);
     }

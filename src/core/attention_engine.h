@@ -58,9 +58,11 @@ class AttentionEngine {
                            const std::vector<std::vector<TaskId>>& deps,
                            const std::string& label) const;
 
-  // Emits one ring sequence; exposed for baselines and tests. Appends each
-  // participating rank's final compute task to last_task_per_rank.
-  void EmitRingSequence(TaskGraph& graph, const RingSequence& ring, Direction direction,
+  // Emits one ring sequence; exposed for baselines and tests. Takes a
+  // non-owning view: plan rings resolve via PartitionPlan::view()/rings(),
+  // owning RingSequences convert implicitly. Appends each participating
+  // rank's final compute task to last_task_per_rank.
+  void EmitRingSequence(TaskGraph& graph, const RingView& ring, Direction direction,
                         const std::vector<std::vector<TaskId>>& deps, const std::string& label,
                         std::vector<std::vector<TaskId>>* last_task_per_rank) const;
 

@@ -41,7 +41,7 @@ PlanMetrics ComputePlanMetrics(const PartitionPlan& plan, const CostModel& cost_
   metrics.inter_node_bytes_per_rank.assign(world, 0);
   const int64_t kv_bytes = cost_model.KvBytesPerToken();
 
-  auto add_ring = [&](const RingSequence& ring) {
+  auto add_ring = [&](const RingView& ring) {
     const int g = ring.group_size();
     const auto assignment = BalancedChunkAssignment(ring.length, g);
     for (int k = 0; k < g; ++k) {
@@ -59,10 +59,10 @@ PlanMetrics ComputePlanMetrics(const PartitionPlan& plan, const CostModel& cost_
       }
     }
   };
-  for (const auto& ring : plan.inter_node) {
+  for (RingView ring : plan.rings(plan.inter_node)) {
     add_ring(ring);
   }
-  for (const auto& ring : plan.intra_node) {
+  for (RingView ring : plan.rings(plan.intra_node)) {
     add_ring(ring);
   }
   for (const auto& seq : plan.local) {
@@ -85,7 +85,7 @@ std::string DescribePlan(const PartitionPlan& plan, const CostModel& cost_model)
   const PlanMetrics metrics = ComputePlanMetrics(plan, cost_model);
 
   Table zones({"zone", "sequences", "tokens", "ring sizes"});
-  auto ring_sizes = [](const std::vector<RingSequence>& rings) {
+  auto ring_sizes = [](const std::vector<RingRef>& rings) {
     std::ostringstream s;
     for (size_t i = 0; i < rings.size() && i < 8; ++i) {
       if (i > 0) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "src/common/check.h"
@@ -11,9 +12,9 @@
 
 namespace zeppelin {
 
+using planner_internal::EmitRing;
 using planner_internal::InterNodeChunkCount;
 using planner_internal::IntraNodeFragmentCount;
-using planner_internal::NextRing;
 
 int64_t PartitionPlan::total_tokens() const {
   return std::accumulate(tokens_per_rank.begin(), tokens_per_rank.end(), int64_t{0});
@@ -22,6 +23,23 @@ int64_t PartitionPlan::total_tokens() const {
 double PartitionPlan::TokenImbalance() const {
   std::vector<double> loads(tokens_per_rank.begin(), tokens_per_rank.end());
   return 1.0 + ImbalanceRatio(loads);
+}
+
+void PartitionPlan::AddRing(std::vector<RingRef>& queue, int seq_id, int64_t length, Zone zone,
+                            std::span<const int> ring_ranks) {
+  ZCHECK(&queue == &inter_node || &queue == &intra_node)
+      << "AddRing queue must belong to this plan";
+  RingRef& ring = queue.emplace_back();
+  ring.seq_id = seq_id;
+  ring.length = length;
+  ring.zone = zone;
+  ring.rank_offset = static_cast<uint32_t>(rank_arena.size());
+  ring.rank_count = static_cast<uint32_t>(ring_ranks.size());
+  rank_arena.insert(rank_arena.end(), ring_ranks.begin(), ring_ranks.end());
+}
+
+int* RingStore::Append(int seq_id, int64_t length, Zone zone, int count) {
+  return EmitRing(&refs, &ref_count, &arena, &rank_count, seq_id, length, zone, count);
 }
 
 SequencePartitioner::SequencePartitioner(const ClusterSpec& cluster, Options options)
@@ -133,8 +151,9 @@ void ResetAssignments(int num_nodes, std::vector<NodeAssignment>* assignments) {
 // --- Inter-node stage (Alg. 1), reference greedy ------------------------------
 //
 // Structurally the seed implementation: fresh workspaces per pass, zone
-// re-splits, and whole-stage restarts on overflow. Kept verbatim (modulo the
-// partial-sort LeastLoaded) as the equivalence oracle and the bench baseline.
+// re-splits, and whole-stage restarts on overflow. Kept (modulo the
+// partial-sort LeastLoaded and the flat-arena emission every engine shares)
+// as the equivalence oracle and the bench baseline.
 
 void SequencePartitioner::PartitionInterNodeNaive(const Batch& batch, PartitionPlan* plan,
                                                   PlannerScratch* s) const {
@@ -157,8 +176,11 @@ void SequencePartitioner::PartitionInterNodeNaive(const Batch& batch, PartitionP
   for (bool retry = true; retry;) {
     retry = false;
     s->assignments.assign(num_nodes, NodeAssignment{});
-    plan->inter_node.clear();
-    plan->intra_node.clear();  // May hold single-node z2 rings from a retry.
+    // A retry rewinds every ring emitted so far (including single-node z2
+    // rings routed to the intra queue): reset all three cursors.
+    s->inter_ring_count = 0;
+    s->intra_ring_count = 0;
+    s->arena_count = 0;
     std::vector<int64_t> node_loads(num_nodes, 0);
 
     // Zone split at the current threshold (lines 5-6).
@@ -181,16 +203,18 @@ void SequencePartitioner::PartitionInterNodeNaive(const Batch& batch, PartitionP
         const int k = InterNodeChunkCount(len, s_avg, num_nodes);
         const std::vector<int> nodes = LeastLoaded(node_loads, k);
 
-        RingSequence ring;
-        ring.seq_id = id;
-        ring.length = len;
         // A z2 sequence that lands in a single node bucket (k == 1, e.g. on
         // a one-node cluster) never crosses the network: it is an intra-node
         // ring over that node's devices, not an inter-node one.
-        ring.zone = nodes.size() > 1 ? Zone::kInterNode : Zone::kIntraNode;
-        for (int n : nodes) {
+        const bool inter = nodes.size() > 1;
+        int* out = inter ? EmitRing(&plan->inter_node, &s->inter_ring_count, &plan->rank_arena,
+                                    &s->arena_count, id, len, Zone::kInterNode,
+                                    static_cast<int>(nodes.size()) * p)
+                         : EmitRing(&plan->intra_node, &s->intra_ring_count, &plan->rank_arena,
+                                    &s->arena_count, id, len, Zone::kIntraNode, p);
+        for (int node : nodes) {
           for (int local = 0; local < p; ++local) {
-            ring.ranks.push_back(cluster_.GlobalRank(n, local));
+            *out++ = cluster_.GlobalRank(node, local);
           }
         }
         // Record per-node chunk loads (even split across the k nodes).
@@ -198,11 +222,6 @@ void SequencePartitioner::PartitionInterNodeNaive(const Batch& batch, PartitionP
           const int64_t chunk = len * (c + 1) / k - len * c / k;
           s->assignments[nodes[c]].inter_chunks.emplace_back(id, chunk);
           node_loads[nodes[c]] += chunk;
-        }
-        if (ring.zone == Zone::kInterNode) {
-          plan->inter_node.push_back(std::move(ring));
-        } else {
-          plan->intra_node.push_back(std::move(ring));
         }
       }
     }
@@ -242,7 +261,7 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
   s->placed_node.resize(n);
 
   // Rank-list template per node: every single-node ring over node b is the
-  // identical [b*p, (b+1)*p) span, so rings copy it instead of recomputing.
+  // identical [b*p, (b+1)*p) span, so rings memcpy it instead of recomputing.
   s->node_ranks.resize(num_nodes);
   for (int node = 0; node < num_nodes; ++node) {
     s->node_ranks[node].resize(p);
@@ -270,11 +289,9 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
   // Emits the z2 ring + chunk bookkeeping for a sequence chunked over a
   // single node bucket (never crosses the network: an intra-node ring).
   auto emit_single_node = [&](int id, int64_t len, int node) {
-    RingSequence& ring = NextRing(&plan->intra_node, &s->intra_ring_count);
-    ring.seq_id = id;
-    ring.length = len;
-    ring.zone = Zone::kIntraNode;
-    ring.ranks = s->node_ranks[node];
+    int* out = EmitRing(&plan->intra_node, &s->intra_ring_count, &plan->rank_arena,
+                        &s->arena_count, id, len, Zone::kIntraNode, p);
+    std::memcpy(out, s->node_ranks[node].data(), sizeof(int) * p);
     record_chunk(node, len);
   };
 
@@ -296,7 +313,9 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
       // Incremental restart: re-label positions [0, continue_from) in place.
       // Ring order, per-node chunk order, and heap loads all match what a
       // full replay would produce, because the aborted pass placed these
-      // very sequences with the same (load, index) rule.
+      // very sequences with the same (load, index) rule. The aborted pass
+      // emitted no rings (empty z2), so the arena cursor starts at zero and
+      // ring i's ranks land at arena slot i*p — exactly the replay layout.
       for (int i = 0; i < continue_from; ++i) {
         emit_single_node(s->order[i], batch.seq_lens[s->order[i]], s->placed_node[i]);
       }
@@ -309,8 +328,10 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
       ResetAssignments(num_nodes, &s->assignments);
       s->node_chunk_whole.assign(num_nodes, 0);
       s->node_chunk_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
+      // Rewind all ring emission (headers + arena slots are recycled).
       s->inter_ring_count = 0;
-      s->intra_ring_count = 0;  // May hold single-node z2 rings from a restart.
+      s->intra_ring_count = 0;
+      s->arena_count = 0;
       s->node_loads.Reset(num_nodes);
     }
 
@@ -329,15 +350,12 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
 
       s->node_loads.k_least(k, &s->least);
       std::sort(s->least.begin(), s->least.end());  // Keep ring order node-ascending.
-      RingSequence& ring = NextRing(&plan->inter_node, &s->inter_ring_count);
-      ring.seq_id = id;
-      ring.length = len;
-      ring.zone = Zone::kInterNode;
-      ring.ranks.reserve(static_cast<size_t>(k) * p);
+      int* out = EmitRing(&plan->inter_node, &s->inter_ring_count, &plan->rank_arena,
+                          &s->arena_count, id, len, Zone::kInterNode, k * p);
       for (int node : s->least) {
         const int rank_base = node * p;
         for (int local = 0; local < p; ++local) {
-          ring.ranks.push_back(rank_base + local);
+          *out++ = rank_base + local;
         }
       }
       // Per-node chunk loads (even split across the k nodes), one division
@@ -393,11 +411,9 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
     // once rather than looping.
     if (++restarts > n) {
       ZCHECK(options_.naive_fallback) << "fast-path restart chain exceeded its bound";
-      plan->inter_node.resize(s->inter_ring_count);
-      plan->intra_node.resize(s->intra_ring_count);
+      // The naive path rewinds the emission cursors itself and re-emits
+      // every ring into the recycled plan storage.
       PartitionInterNodeNaive(batch, plan, s);
-      s->inter_ring_count = plan->inter_node.size();
-      s->intra_ring_count = plan->intra_node.size();
       // Rebuild the chunk aggregates the fast intra stage reads.
       s->node_chunk_whole.assign(num_nodes, 0);
       s->node_chunk_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
@@ -417,7 +433,7 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
 void SequencePartitioner::PartitionIntraNodeNaive(const Batch& batch, int node,
                                                   const NodeAssignment& assignment,
                                                   PartitionPlan* plan,
-                                                  PlannerScratch* /*scratch*/) const {
+                                                  PlannerScratch* s) const {
   const int p = cluster_.gpus_per_node;
   const int64_t capacity = options_.token_capacity;
 
@@ -431,14 +447,21 @@ void SequencePartitioner::PartitionIntraNodeNaive(const Batch& batch, int node,
   if (options_.max_local_threshold > 0) {
     s0 = std::min(s0, options_.max_local_threshold);
   }
-  std::vector<RingSequence> intra_rings;
-  std::vector<LocalSequence> locals;
+  // Emission snapshots: a restart rewinds this node's rings (headers + arena
+  // slots), leaving earlier nodes' output untouched; locals buffer in the
+  // pass-local vectors below and only reach the plan after the final pass.
+  const size_t ring_base = s->intra_ring_count;
+  const size_t arena_base = s->arena_count;
+  std::vector<LocalSequence> locals;      // z0 locals of the current pass.
+  std::vector<LocalSequence> locals_z1;   // Single-fragment z1 conversions.
   std::vector<int64_t> device_loads;
 
   for (bool retry = true; retry;) {
     retry = false;
-    intra_rings.clear();
+    s->intra_ring_count = ring_base;
+    s->arena_count = arena_base;
     locals.clear();
+    locals_z1.clear();
     device_loads.assign(p, 0);
 
     // Inter-node chunks are spread evenly over all P devices (lines 4-6).
@@ -468,17 +491,24 @@ void SequencePartitioner::PartitionIntraNodeNaive(const Batch& batch, int node,
         const int64_t len = batch.seq_lens[id];
         const int fragments = IntraNodeFragmentCount(static_cast<double>(len), c_avg, p);
 
-        RingSequence ring;
-        ring.seq_id = id;
-        ring.length = len;
-        ring.zone = Zone::kIntraNode;
+        if (fragments == 1) {
+          // A size-1 "ring" needs no communication: it executes as a local
+          // kernel, after this node's z0 locals (the seed's end-of-stage
+          // ring conversion, applied at emission time).
+          locals_z1.push_back({id, len, cluster_.GlobalRank(node, cursor)});
+          device_loads[cursor] += len;
+          cursor = (cursor + 1) % p;
+          continue;
+        }
+
+        int* out = EmitRing(&plan->intra_node, &s->intra_ring_count, &plan->rank_arena,
+                            &s->arena_count, id, len, Zone::kIntraNode, fragments);
         for (int f = 0; f < fragments; ++f) {
           const int device = (cursor + f) % p;
-          ring.ranks.push_back(cluster_.GlobalRank(node, device));
+          out[f] = cluster_.GlobalRank(node, device);
           device_loads[device] += len * (f + 1) / fragments - len * f / fragments;
         }
         cursor = (cursor + fragments) % p;
-        intra_rings.push_back(std::move(ring));
       }
     }
 
@@ -496,16 +526,10 @@ void SequencePartitioner::PartitionIntraNodeNaive(const Batch& batch, int node,
     }
   }
 
-  // Size-1 "rings" need no communication: they execute as local kernels,
-  // after this node's z0 locals.
+  // z0 locals land first, then the single-fragment z1 conversions (matching
+  // the seed's locals-then-converted-rings order).
   plan->local.insert(plan->local.end(), locals.begin(), locals.end());
-  for (RingSequence& ring : intra_rings) {
-    if (ring.group_size() == 1) {
-      plan->local.push_back({ring.seq_id, ring.length, ring.ranks[0]});
-    } else {
-      plan->intra_node.push_back(std::move(ring));
-    }
-  }
+  plan->local.insert(plan->local.end(), locals_z1.begin(), locals_z1.end());
   for (int d = 0; d < p; ++d) {
     plan->tokens_per_rank[cluster_.GlobalRank(node, d)] += device_loads[d];
   }
@@ -548,12 +572,16 @@ void SequencePartitioner::PartitionIntraNodeFast(const Batch& batch, int node,
     chunk_base[d] = share;
   }
 
-  // z0 locals go straight into the plan; a restart truncates back to here.
+  // Rings and z0 locals go straight into the plan; a restart rewinds this
+  // node's headers, arena slots, and locals (earlier nodes are untouched).
+  const size_t ring_base = s->intra_ring_count;
+  const size_t arena_base = s->arena_count;
   const size_t local_base = plan->local.size();
 
   int restarts = 0;
   for (;;) {
-    s->scratch_ring_count = 0;
+    s->intra_ring_count = ring_base;
+    s->arena_count = arena_base;
     s->locals.clear();  // Pending single-fragment z1 sequences.
     plan->local.resize(local_base);
     // Checkpointed chunk loads seed the heap; z1 fragments and z0 packing
@@ -584,14 +612,12 @@ void SequencePartitioner::PartitionIntraNodeFast(const Batch& batch, int node,
           continue;
         }
 
-        RingSequence& ring = NextRing(&s->intra_rings, &s->scratch_ring_count);
-        ring.seq_id = id;
-        ring.length = len;
-        ring.zone = Zone::kIntraNode;
+        int* out = EmitRing(&plan->intra_node, &s->intra_ring_count, &plan->rank_arena,
+                            &s->arena_count, id, len, Zone::kIntraNode, fragments);
         int64_t prev_edge = 0;
         for (int f = 0; f < fragments; ++f) {
           const int device = (cursor + f) % p;
-          ring.ranks.push_back(rank_base + device);
+          out[f] = rank_base + device;
           const int64_t edge = len * (f + 1) / fragments;
           s->device_loads.add(device, edge - prev_edge);
           prev_edge = edge;
@@ -629,18 +655,9 @@ void SequencePartitioner::PartitionIntraNodeFast(const Batch& batch, int node,
   }
 
   // Pending single-fragment z1 sequences land after this node's z0 locals
-  // (matching the reference path's ring-conversion order), multi-fragment
-  // rings are copied into recycled plan slots, and final per-device loads
-  // are read back off the heap.
+  // (matching the reference path's ring-conversion order); rings are already
+  // in the plan arena, and final per-device loads are read off the heap.
   plan->local.insert(plan->local.end(), s->locals.begin(), s->locals.end());
-  for (size_t i = 0; i < s->scratch_ring_count; ++i) {
-    const RingSequence& src = s->intra_rings[i];
-    RingSequence& dst = NextRing(&plan->intra_node, &s->intra_ring_count);
-    dst.seq_id = src.seq_id;
-    dst.length = src.length;
-    dst.zone = src.zone;
-    dst.ranks.assign(src.ranks.begin(), src.ranks.end());
-  }
   for (int d = 0; d < p; ++d) {
     plan->tokens_per_rank[rank_base + d] += s->device_loads.load(d);
   }
@@ -673,6 +690,12 @@ void SequencePartitioner::Partition(const Batch& batch, PlannerScratch* scratch,
   plan->threshold_s0.assign(cluster_.num_nodes, 0);
   plan->threshold_s1 = 0;
 
+  // Ring headers and arena slots are cursor-managed (storage recycled
+  // across calls), then trimmed to the live counts at the end.
+  scratch->inter_ring_count = 0;
+  scratch->intra_ring_count = 0;
+  scratch->arena_count = 0;
+
   if (options_.fast_path && options_.pool != nullptr) {
     PartitionParallel(batch, scratch, plan, options_.pool);
     // The key-build pass already summed the batch; skip the O(S) re-sum.
@@ -681,25 +704,19 @@ void SequencePartitioner::Partition(const Batch& batch, PlannerScratch* scratch,
     return;
   }
   if (options_.fast_path) {
-    // Ring vectors are cursor-managed (storage recycled), then trimmed.
-    scratch->inter_ring_count = 0;
-    scratch->intra_ring_count = 0;
     PartitionInterNodeFast(batch, plan, scratch);
     for (int node = 0; node < cluster_.num_nodes; ++node) {
       PartitionIntraNodeFast(batch, node, scratch->assignments[node], plan, scratch);
     }
-    plan->inter_node.resize(scratch->inter_ring_count);
-    plan->intra_node.resize(scratch->intra_ring_count);
   } else {
-    // The reference path rebuilds plan storage from scratch, like the seed.
-    std::vector<RingSequence>().swap(plan->inter_node);
-    std::vector<RingSequence>().swap(plan->intra_node);
-    std::vector<LocalSequence>().swap(plan->local);
     PartitionInterNodeNaive(batch, plan, scratch);
     for (int node = 0; node < cluster_.num_nodes; ++node) {
       PartitionIntraNodeNaive(batch, node, scratch->assignments[node], plan, scratch);
     }
   }
+  plan->inter_node.resize(scratch->inter_ring_count);
+  plan->intra_node.resize(scratch->intra_ring_count);
+  plan->rank_arena.resize(scratch->arena_count);
 
   ZCHECK_EQ(plan->total_tokens(), batch.total_tokens())
       << "partitioner must conserve tokens";

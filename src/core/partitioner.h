@@ -19,8 +19,12 @@
 //
 // The output plan lists, per zone, each sequence's ring group (the ordered
 // ranks that share it) — exactly what the attention engine (§3.2) executes.
+// Rings are stored flat: per-ring headers (RingRef) index into one contiguous
+// rank arena owned by the plan, so materializing a 64k-ring plan is a handful
+// of bulk array writes instead of 64k vector constructions (see
+// docs/PLAN_FORMAT.md for the layout and its invariants).
 //
-// Three execution paths produce bit-identical plans:
+// Three execution paths produce byte-identical plans:
 //
 //   Naive path: the reference linear-scan/partial-sort greedy, structurally
 //   the seed algorithm. Kept both as the equivalence oracle for tests and as
@@ -44,22 +48,26 @@
 //   placements instead of per-sequence heap walks) and shards its output
 //   directly into per-node key lists; the per-node intra-node stage (Alg. 2)
 //   is embarrassingly parallel and runs as one task per node on the pool with
-//   per-worker scratch slabs; plan materialization merges per-node results at
-//   precomputed offsets. The z01 *decision stream* itself stays sequential —
-//   greedy list scheduling is P-complete, so there is no exact parallel
-//   formulation — but everything around it (sorting, sharding, Alg. 2,
-//   merges) distributes across the pool.
+//   per-worker scratch slabs; plan materialization merges per-node ring
+//   stores and locals into the plan's flat arrays at precomputed offsets.
+//   The z01 *decision stream* itself stays sequential — greedy list
+//   scheduling is P-complete, so there is no exact parallel formulation —
+//   but everything around it (sorting, sharding, Alg. 2, merges) distributes
+//   across the pool.
 //
 // Determinism contract: all three paths break packing ties identically
-// (lowest load, then lowest bucket index), every pool phase uses static task
+// (lowest load, then lowest bucket index), rings are emitted in the same
+// global order (so arena offsets match), every pool phase uses static task
 // ownership and writes to slots derived from node/sequence indices alone, and
 // per-node results are merged in node order. Plans are therefore byte-
-// identical across paths AND across any thread count — the property
+// identical across paths AND across any thread count — header vectors and
+// the rank arena compare equal with the defaulted operator== — the property
 // tests/planner_fastpath_test.cpp and tests/parallel_planner_test.cpp pin.
 #ifndef SRC_CORE_PARTITIONER_H_
 #define SRC_CORE_PARTITIONER_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -73,7 +81,38 @@ namespace zeppelin {
 
 class ThreadPool;
 
-// A sequence executed as a ring across `ranks` (inter- or intra-node zone).
+// Non-owning view of one ring: the header fields plus the resolved rank span.
+// This is what plan consumers (attention engine, metrics, baselines) execute;
+// position i of `ranks` holds chunks i and 2G-1-i of the sequence.
+struct RingView {
+  int seq_id = 0;
+  int64_t length = 0;
+  Zone zone = Zone::kIntraNode;
+  std::span<const int> ranks;  // Ring order; valid while the owner is alive.
+
+  int group_size() const { return static_cast<int>(ranks.size()); }
+};
+
+// Flat ring header: identifies a sequence's ring group as a span
+// [rank_offset, rank_offset + rank_count) into the owning container's rank
+// arena (PartitionPlan::rank_arena or RingStore::arena). Plain data — the
+// byte-identity contract compares these directly.
+struct RingRef {
+  int seq_id = 0;
+  int64_t length = 0;
+  Zone zone = Zone::kIntraNode;
+  uint32_t rank_offset = 0;  // First rank slot in the arena.
+  uint32_t rank_count = 0;   // Ring group size G.
+
+  int group_size() const { return static_cast<int>(rank_count); }
+
+  bool operator==(const RingRef&) const = default;
+};
+
+// Owning ring (header + its own rank vector) for producers that build rings
+// outside a plan arena: baselines (hybrid DP's CP groups), ablation
+// strategies, and tests. Converts implicitly to the RingView the attention
+// engine consumes.
 struct RingSequence {
   int seq_id = 0;
   int64_t length = 0;
@@ -81,6 +120,7 @@ struct RingSequence {
   std::vector<int> ranks;  // Ring order; position i holds chunks i and 2G-1-i.
 
   int group_size() const { return static_cast<int>(ranks.size()); }
+  operator RingView() const { return {seq_id, length, zone, ranks}; }
 
   bool operator==(const RingSequence&) const = default;
 };
@@ -94,10 +134,57 @@ struct LocalSequence {
   bool operator==(const LocalSequence&) const = default;
 };
 
+// Lazy range adaptor over a ring-header queue: dereferencing yields RingView,
+// so range-for over a plan's rings stays ergonomic:
+//
+//   for (RingView ring : plan.rings(plan.inter_node)) { ... ring.ranks ... }
+class RingViewRange {
+ public:
+  class Iterator {
+   public:
+    Iterator(const RingRef* ref, const int* arena) : ref_(ref), arena_(arena) {}
+    RingView operator*() const {
+      return {ref_->seq_id, ref_->length, ref_->zone,
+              std::span<const int>(arena_ + ref_->rank_offset, ref_->rank_count)};
+    }
+    Iterator& operator++() {
+      ++ref_;
+      return *this;
+    }
+    bool operator==(const Iterator& other) const { return ref_ == other.ref_; }
+    bool operator!=(const Iterator& other) const { return ref_ != other.ref_; }
+
+   private:
+    const RingRef* ref_;
+    const int* arena_;
+  };
+
+  RingViewRange(const std::vector<RingRef>& refs, const std::vector<int>& arena)
+      : refs_(&refs), arena_(arena.data()) {}
+
+  Iterator begin() const { return {refs_->data(), arena_}; }
+  Iterator end() const { return {refs_->data() + refs_->size(), arena_}; }
+  size_t size() const { return refs_->size(); }
+  bool empty() const { return refs_->empty(); }
+
+ private:
+  const std::vector<RingRef>* refs_;
+  const int* arena_;
+};
+
+// The planner's output: three sequence queues (two ring queues + locals) in
+// engine execution order, the per-rank token layout, and the refined zone
+// thresholds. Ring rank lists live in one flat `rank_arena`; headers index
+// into it (see docs/PLAN_FORMAT.md). Copying or comparing a plan is therefore
+// a few bulk array operations regardless of ring count.
 struct PartitionPlan {
-  std::vector<RingSequence> inter_node;  // Queue order for the engine.
-  std::vector<RingSequence> intra_node;
+  std::vector<RingRef> inter_node;  // Queue order for the engine.
+  std::vector<RingRef> intra_node;
   std::vector<LocalSequence> local;
+
+  // All ring rank lists, concatenated in ring emission order. Invariants:
+  // spans of live rings are disjoint, gap-free, and cover the arena exactly.
+  std::vector<int> rank_arena;
 
   // Attention-layout token count per rank (input to the remapping layer).
   std::vector<int64_t> tokens_per_rank;
@@ -106,12 +193,53 @@ struct PartitionPlan {
   int64_t threshold_s1 = 0;               // Inter-node boundary.
   std::vector<int64_t> threshold_s0;      // Per-node local boundary.
 
+  // Resolves a header of THIS plan to its rank span (valid until the plan's
+  // arena is next mutated).
+  std::span<const int> ranks(const RingRef& ring) const {
+    return {rank_arena.data() + ring.rank_offset, ring.rank_count};
+  }
+  // Header + span in one view (what EmitRingSequence consumes).
+  RingView view(const RingRef& ring) const {
+    return {ring.seq_id, ring.length, ring.zone, ranks(ring)};
+  }
+  // Iteration adaptor over one of THIS plan's header queues.
+  RingViewRange rings(const std::vector<RingRef>& queue) const {
+    return {queue, rank_arena};
+  }
+
+  // Producer API: appends a ring to `queue` (which must be this plan's
+  // inter_node or intra_node), copying `ring_ranks` into the arena. Used by
+  // external producers (ablation strategies, tests); the planner engines emit
+  // through cursor-recycled storage instead (PlannerScratch).
+  void AddRing(std::vector<RingRef>& queue, int seq_id, int64_t length, Zone zone,
+               std::span<const int> ring_ranks);
+
   int64_t total_tokens() const;
   // max/mean of tokens_per_rank (1.0 = perfectly token-balanced).
   double TokenImbalance() const;
 
-  // Byte-identity across planner paths (the fast-path equivalence contract).
+  // Byte-identity across planner paths (the fast-path equivalence contract):
+  // headers compare field-wise, the rank arena as one flat array.
   bool operator==(const PartitionPlan&) const = default;
+};
+
+// Growable flat ring storage (headers + one rank arena) with cursor-recycled
+// slots: Reset() rewinds the cursors without freeing, Append() reuses slots.
+// The parallel engine's per-node intra results are RingStores whose contents
+// are offset-shifted into the plan arena by the merge pass.
+struct RingStore {
+  std::vector<RingRef> refs;
+  std::vector<int> arena;
+  size_t ref_count = 0;   // Live headers; refs beyond this are recycled slots.
+  size_t rank_count = 0;  // Live rank slots in `arena`.
+
+  void Reset() {
+    ref_count = 0;
+    rank_count = 0;
+  }
+  // Appends a header and reserves `count` rank slots at the cursor; returns
+  // the slot pointer (valid until the next Append grows the arena).
+  int* Append(int seq_id, int64_t length, Zone zone, int count);
 };
 
 // Per-node output of the inter-node stage, input to the intra-node stage.
@@ -125,10 +253,10 @@ struct NodeAssignment {
 
 // Per-node output buffer of the parallel intra-node stage. Every node owns
 // exactly one of these, so pool tasks write without synchronization and the
-// merge pass concatenates them in node order (the determinism contract).
+// merge pass copies them into the plan at precomputed offsets, in node order
+// (the determinism contract).
 struct NodeIntraResult {
-  std::vector<RingSequence> rings;  // Multi-fragment z1 rings (cursor-recycled).
-  size_t ring_count = 0;
+  RingStore rings;                       // Multi-fragment z1 rings (node-local offsets).
   std::vector<LocalSequence> locals;     // z0 locals (truncated on restart).
   std::vector<LocalSequence> locals_z1;  // Single-fragment z1 locals.
   std::vector<int64_t> device_loads;     // Final per-device token loads.
@@ -173,15 +301,17 @@ struct PlannerScratch {
   // Intra-node stage.
   LoadTracker device_loads;
   std::vector<int64_t> device_base;  // Chunk loads before z1/z0 packing.
-  std::vector<RingSequence> intra_rings;
   std::vector<LocalSequence> locals;
 
-  // Fast-path ring cursors: plan ring vectors are overwritten in place and
-  // trimmed once at the end, so ring rank storage survives restarts and
-  // whole Partition() calls instead of being freed and reallocated.
+  // Plan emission cursors: ring headers and arena slots in the plan are
+  // overwritten in place and trimmed once at the end, so header and rank
+  // storage survives restarts and whole Partition() calls instead of being
+  // freed and reallocated. `arena_count` is the live-int cursor into
+  // plan->rank_arena, shared by both ring queues (rings consume consecutive
+  // slots in emission order — the gap-free arena invariant).
   size_t inter_ring_count = 0;
   size_t intra_ring_count = 0;
-  size_t scratch_ring_count = 0;
+  size_t arena_count = 0;
 
   // Parallel/sharded engine. Sequences travel as packed 64-bit keys
   // ((kLenMask - len) << 20 | id): one value radix sort yields the
@@ -197,6 +327,8 @@ struct PlannerScratch {
   std::vector<NodeIntraResult> intra_results;     // Per node: Alg. 2 output.
   std::vector<IntraWorkerSlab> intra_slabs;       // Per pool context.
   std::vector<size_t> local_offsets;     // Per node: slot in plan->local.
+  std::vector<size_t> ring_offsets;      // Per node: header slot in plan->intra_node.
+  std::vector<size_t> rank_offsets;      // Per node: rank slot in plan->rank_arena.
   int64_t batch_total = 0;               // Total tokens, folded into key build.
 
   // Total LoadTracker ops of the last Partition() (regression guard).
@@ -212,6 +344,9 @@ struct PlannerScratch {
   }
 };
 
+// Runs Alg. 1/2 on a batch for a fixed cluster, producing a PartitionPlan.
+// Engine selection (naive / fast / parallel) is an Options concern; plans are
+// byte-identical across engines (see the header comment).
 class SequencePartitioner {
  public:
   struct Options {
@@ -225,13 +360,13 @@ class SequencePartitioner {
     int64_t max_inter_threshold = 0;  // Caps s1.
     int64_t max_local_threshold = 0;  // Caps s0.
     // Selects the O((S + P) log P) heap-based fast path. Plans are
-    // bit-identical either way; false forces the reference greedy.
+    // byte-identical either way; false forces the reference greedy.
     bool fast_path = true;
     // Non-owning. When set (and fast_path is true), Partition() runs the
     // parallel/sharded engine on this pool: round-batched z01 packing, one
     // intra-node task per node with per-context scratch slabs, and offset-
     // merged plan materialization. A pool with a single context runs the same
-    // engine inline — plans are bit-identical at every thread count and to
+    // engine inline — plans are byte-identical at every thread count and to
     // both serial paths. The pool must outlive the partitioner's calls.
     ThreadPool* pool = nullptr;
     // Escape hatch: if a fast path's restart chain exceeds its worst-case
@@ -248,6 +383,7 @@ class SequencePartitioner {
   const Options& options() const { return options_; }
   const ClusterSpec& cluster() const { return cluster_; }
 
+  // One-shot form: allocates its own scratch and plan.
   PartitionPlan Partition(const Batch& batch) const;
   // Allocation-hoisted form: all intermediates live in `scratch`.
   PartitionPlan Partition(const Batch& batch, PlannerScratch* scratch) const;
@@ -256,15 +392,15 @@ class SequencePartitioner {
   void Partition(const Batch& batch, PlannerScratch* scratch, PartitionPlan* plan) const;
 
  private:
-  // Alg. 1. Fills `plan->inter_node` / single-node rings and
-  // `scratch->assignments`.
+  // Alg. 1. Emits z2 rings (inter-node and single-node) into the plan arena
+  // and fills `scratch->assignments`.
   void PartitionInterNodeFast(const Batch& batch, PartitionPlan* plan,
                               PlannerScratch* scratch) const;
   void PartitionInterNodeNaive(const Batch& batch, PartitionPlan* plan,
                                PlannerScratch* scratch) const;
 
-  // Alg. 2 for one node. Appends to plan->intra_node / plan->local and
-  // accumulates plan->tokens_per_rank.
+  // Alg. 2 for one node. Emits intra rings into the plan arena, appends to
+  // plan->local, and accumulates plan->tokens_per_rank.
   void PartitionIntraNodeFast(const Batch& batch, int node, const NodeAssignment& assignment,
                               PartitionPlan* plan, PlannerScratch* scratch) const;
   void PartitionIntraNodeNaive(const Batch& batch, int node, const NodeAssignment& assignment,
@@ -275,7 +411,8 @@ class SequencePartitioner {
   void PartitionParallel(const Batch& batch, PlannerScratch* scratch, PartitionPlan* plan,
                          ThreadPool* pool) const;
   // Alg. 1 with round-batched z01 packing sharded into scratch->node_items;
-  // the pool materializes re-labelled single-node rings in parallel.
+  // the pool materializes re-labelled single-node rings in parallel, writing
+  // headers and ranks into pre-reserved plan slots.
   void PartitionInterNodeSharded(const Batch& batch, PartitionPlan* plan,
                                  PlannerScratch* scratch, ThreadPool* pool) const;
   // Alg. 2 for one node into scratch->intra_results[node], using the scratch

@@ -39,17 +39,31 @@ inline void RecordChunkAggregate(int node, int64_t chunk, int p, std::vector<int
   ++(*rem)[node * p + (chunk - q * p)];
 }
 
-// Cursor-based slot reuse for ring vectors: instead of clear() + push_back
-// (which frees and reallocates every ring's rank storage), rings are
-// overwritten in place and the vector trimmed once at the end. The returned
-// slot has cleared ranks but retains their capacity.
-inline RingSequence& NextRing(std::vector<RingSequence>* rings, size_t* count) {
-  if (*count == rings->size()) {
-    rings->emplace_back();
+// Cursor-based ring emission into flat storage: writes a header into the
+// recycled slot refs[*ref_count] and reserves `count` rank slots at the arena
+// cursor, growing both containers only past their high-water mark (the
+// cursor-recycling that keeps steady-state planning allocation-free). Rings
+// therefore consume consecutive arena slots in emission order — the gap-free
+// arena invariant of docs/PLAN_FORMAT.md. Returns the rank slot pointer,
+// valid until the next emission grows the arena.
+inline int* EmitRing(std::vector<RingRef>* refs, size_t* ref_count, std::vector<int>* arena,
+                     size_t* arena_count, int seq_id, int64_t length, Zone zone, int count) {
+  if (*ref_count == refs->size()) {
+    refs->emplace_back();
   }
-  RingSequence& ring = (*rings)[(*count)++];
-  ring.ranks.clear();
-  return ring;
+  RingRef& ring = (*refs)[(*ref_count)++];
+  ring.seq_id = seq_id;
+  ring.length = length;
+  ring.zone = zone;
+  ring.rank_offset = static_cast<uint32_t>(*arena_count);
+  ring.rank_count = static_cast<uint32_t>(count);
+  const size_t needed = *arena_count + static_cast<size_t>(count);
+  if (arena->size() < needed) {
+    arena->resize(needed);
+  }
+  int* slot = arena->data() + *arena_count;
+  *arena_count = needed;
+  return slot;
 }
 
 }  // namespace planner_internal

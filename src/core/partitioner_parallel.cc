@@ -16,12 +16,13 @@
 //      threading, is what makes this stage cheap.
 //   3. Intra-node stage (parallel): Alg. 2 is independent per node — one pool
 //      task per node, per-context scratch slabs, results into per-node
-//      buffers. Static task ownership (node n on context n % T) keeps slab
-//      reuse deterministic.
-//   4. Merge (parallel over nodes for locals): per-node results concatenate
-//      into the plan at offsets computed from per-node counts, in node order
-//      — byte-identical to the serial engines' append order at any thread
-//      count.
+//      RingStores (node-local arena offsets). Static task ownership (node n
+//      on context n % T) keeps slab reuse deterministic.
+//   4. Merge (parallel over nodes): per-node results copy into the plan's
+//      flat arrays — locals, ring headers (offset-shifted), and arena slices
+//      (one memcpy per node) — at offsets computed from per-node counts, in
+//      node order. Byte-identical to the serial engines' append order at any
+//      thread count, with no per-ring allocation anywhere.
 #include <algorithm>
 #include <bit>
 #include <cstring>
@@ -34,9 +35,9 @@
 
 namespace zeppelin {
 
+using planner_internal::EmitRing;
 using planner_internal::InterNodeChunkCount;
 using planner_internal::IntraNodeFragmentCount;
-using planner_internal::NextRing;
 
 namespace {
 
@@ -130,7 +131,7 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
   ZCHECK_LE(total, static_cast<int64_t>(num_nodes) * node_capacity)
       << "batch does not fit the cluster at capacity L=" << options_.token_capacity;
 
-  // Rank-list template per node (single-node rings copy it).
+  // Rank-list template per node (single-node rings memcpy it).
   s->node_ranks.resize(num_nodes);
   for (int node = 0; node < num_nodes; ++node) {
     s->node_ranks[node].resize(p);
@@ -155,12 +156,9 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
                                            &s->node_chunk_rem);
   };
   auto emit_single_node = [&](int id, int64_t len, int node) {
-    RingSequence& ring = NextRing(&plan->intra_node, &s->intra_ring_count);
-    ring.seq_id = id;
-    ring.length = len;
-    ring.zone = Zone::kIntraNode;
-    ring.ranks.resize(p);
-    std::memcpy(ring.ranks.data(), s->node_ranks[node].data(), sizeof(int) * p);
+    int* out = EmitRing(&plan->intra_node, &s->intra_ring_count, &plan->rank_arena,
+                        &s->arena_count, id, len, Zone::kIntraNode, p);
+    std::memcpy(out, s->node_ranks[node].data(), sizeof(int) * p);
     record_chunk(node, len);
   };
 
@@ -177,12 +175,18 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
     if (continue_from >= 0) {
       // Re-label [0, continue_from): ring order matches a replay (it is the
       // key order), chunk aggregates rebuild from zero (z2 was empty), and
-      // the packer's loads carry over exactly. Every ring slot and its
-      // content derive from the sequence index alone, so the plan bytes are
-      // thread-count-invariant; the chunk aggregates accumulate through
-      // per-context partials merged with order-free integer adds.
-      while (plan->intra_node.size() < static_cast<size_t>(continue_from)) {
-        plan->intra_node.emplace_back();
+      // the packer's loads carry over exactly. The aborted pass emitted no
+      // rings, so header slot i and arena slice [i*p, (i+1)*p) are fully
+      // determined by the sequence index alone — the pool writes them into
+      // pre-reserved plan storage with no synchronization, and the plan
+      // bytes are thread-count-invariant; the chunk aggregates accumulate
+      // through per-context partials merged with order-free integer adds.
+      const size_t relabel_rings = static_cast<size_t>(continue_from);
+      if (plan->intra_node.size() < relabel_rings) {
+        plan->intra_node.resize(relabel_rings);
+      }
+      if (plan->rank_arena.size() < relabel_rings * p) {
+        plan->rank_arena.resize(relabel_rings * p);
       }
       const int contexts = pool->num_contexts();
       for (int c = 0; c < contexts; ++c) {
@@ -195,12 +199,14 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
           const uint64_t key = s->keys[i];
           const int node = s->placed_node[i];
           const int64_t len = KeyLen(key);
-          RingSequence& ring = plan->intra_node[i];
+          RingRef& ring = plan->intra_node[i];
           ring.seq_id = KeyId(key);
           ring.length = len;
           ring.zone = Zone::kIntraNode;
-          ring.ranks.resize(p);
-          std::memcpy(ring.ranks.data(), s->node_ranks[node].data(), sizeof(int) * p);
+          ring.rank_offset = static_cast<uint32_t>(i) * static_cast<uint32_t>(p);
+          ring.rank_count = static_cast<uint32_t>(p);
+          std::memcpy(plan->rank_arena.data() + i * p, s->node_ranks[node].data(),
+                      sizeof(int) * p);
           planner_internal::RecordChunkAggregate(node, len, p, &slab.relabel_whole,
                                                  &slab.relabel_rem);
         }
@@ -214,7 +220,8 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
           s->node_chunk_rem[r] += slab.relabel_rem[r];
         }
       }
-      s->intra_ring_count = continue_from;
+      s->intra_ring_count = relabel_rings;
+      s->arena_count = relabel_rings * p;
       s->node_packer.Loads(&s->node_loads_tmp);
       s->node_loads.Assign(s->node_loads_tmp);
       z2_start = continue_from;
@@ -222,8 +229,10 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
     } else {
       s->node_chunk_whole.assign(num_nodes, 0);
       s->node_chunk_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
+      // Rewind all ring emission (headers + arena slots are recycled).
       s->inter_ring_count = 0;
       s->intra_ring_count = 0;
+      s->arena_count = 0;
       s->node_loads.Reset(num_nodes);
     }
 
@@ -243,15 +252,12 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
 
       s->node_loads.k_least(k, &s->least);
       std::sort(s->least.begin(), s->least.end());  // Keep ring order node-ascending.
-      RingSequence& ring = NextRing(&plan->inter_node, &s->inter_ring_count);
-      ring.seq_id = id;
-      ring.length = len;
-      ring.zone = Zone::kInterNode;
-      ring.ranks.reserve(static_cast<size_t>(k) * p);
+      int* out = EmitRing(&plan->inter_node, &s->inter_ring_count, &plan->rank_arena,
+                          &s->arena_count, id, len, Zone::kInterNode, k * p);
       for (int node : s->least) {
         const int rank_base = node * p;
         for (int local = 0; local < p; ++local) {
-          ring.ranks.push_back(rank_base + local);
+          *out++ = rank_base + local;
         }
       }
       int64_t prev_edge = 0;
@@ -315,11 +321,9 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
     // once rather than looping.
     if (++restarts > n) {
       ZCHECK(options_.naive_fallback) << "sharded restart chain exceeded its bound";
-      plan->inter_node.resize(s->inter_ring_count);
-      plan->intra_node.resize(s->intra_ring_count);
+      // The naive path rewinds the emission cursors itself and re-emits
+      // every ring into the recycled plan storage.
       PartitionInterNodeNaive(batch, plan, s);
-      s->inter_ring_count = plan->inter_node.size();
-      s->intra_ring_count = plan->intra_node.size();
       // Rebuild the shard lists and chunk aggregates the intra stage reads.
       s->node_chunk_whole.assign(num_nodes, 0);
       s->node_chunk_rem.assign(static_cast<size_t>(num_nodes) * p, 0);
@@ -369,7 +373,7 @@ void SequencePartitioner::PartitionIntraNodeSharded(int node, int context,
 
   int restarts = 0;
   for (;;) {
-    res.ring_count = 0;
+    res.rings.Reset();
     res.locals.clear();
     res.locals_z1.clear();
     slab.loads = slab.chunk_base;
@@ -397,14 +401,11 @@ void SequencePartitioner::PartitionIntraNodeSharded(int node, int context,
           continue;
         }
 
-        RingSequence& ring = NextRing(&res.rings, &res.ring_count);
-        ring.seq_id = id;
-        ring.length = len;
-        ring.zone = Zone::kIntraNode;
+        int* out = res.rings.Append(id, len, Zone::kIntraNode, fragments);
         int64_t prev_edge = 0;
         for (int f = 0; f < fragments; ++f) {
           const int device = (cursor + f) % p;
-          ring.ranks.push_back(rank_base + device);
+          out[f] = rank_base + device;
           const int64_t edge = len * (f + 1) / fragments;
           slab.loads[device] += edge - prev_edge;
           prev_edge = edge;
@@ -468,33 +469,59 @@ void SequencePartitioner::PartitionParallel(const Batch& batch, PlannerScratch* 
                  [&](int node, int context) { PartitionIntraNodeSharded(node, context, scratch); });
 
   // Merge per-node results in node order — identical bytes to the serial
-  // engines' per-node append order.
+  // engines' per-node append order. Locals, ring headers, and arena slices
+  // all land at offsets precomputed from per-node counts, so the copy itself
+  // fans out over the pool with no synchronization.
   scratch->local_offsets.resize(num_nodes + 1);
+  scratch->ring_offsets.resize(num_nodes + 1);
+  scratch->rank_offsets.resize(num_nodes + 1);
   size_t total_locals = plan->local.size();
+  size_t ring_cursor = scratch->intra_ring_count;
+  size_t rank_cursor = scratch->arena_count;
   for (int node = 0; node < num_nodes; ++node) {
+    const NodeIntraResult& res = scratch->intra_results[node];
     scratch->local_offsets[node] = total_locals;
-    total_locals += scratch->intra_results[node].locals.size() +
-                    scratch->intra_results[node].locals_z1.size();
+    scratch->ring_offsets[node] = ring_cursor;
+    scratch->rank_offsets[node] = rank_cursor;
+    total_locals += res.locals.size() + res.locals_z1.size();
+    ring_cursor += res.rings.ref_count;
+    rank_cursor += res.rings.rank_count;
   }
   scratch->local_offsets[num_nodes] = total_locals;
+  scratch->ring_offsets[num_nodes] = ring_cursor;
+  scratch->rank_offsets[num_nodes] = rank_cursor;
   plan->local.resize(total_locals);
+  if (plan->intra_node.size() < ring_cursor) {
+    plan->intra_node.resize(ring_cursor);
+  }
+  if (plan->rank_arena.size() < rank_cursor) {
+    plan->rank_arena.resize(rank_cursor);
+  }
   pool->RunTasks(num_nodes, [&](int node, int /*context*/) {
     const NodeIntraResult& res = scratch->intra_results[node];
     LocalSequence* dst = plan->local.data() + scratch->local_offsets[node];
     dst = std::copy(res.locals.begin(), res.locals.end(), dst);
     std::copy(res.locals_z1.begin(), res.locals_z1.end(), dst);
+
+    // Headers shift from node-local to plan-arena offsets; ranks are one
+    // contiguous slice copy.
+    RingRef* headers = plan->intra_node.data() + scratch->ring_offsets[node];
+    const uint32_t shift = static_cast<uint32_t>(scratch->rank_offsets[node]);
+    for (size_t i = 0; i < res.rings.ref_count; ++i) {
+      RingRef ring = res.rings.refs[i];
+      ring.rank_offset += shift;
+      headers[i] = ring;
+    }
+    if (res.rings.rank_count > 0) {
+      std::memcpy(plan->rank_arena.data() + scratch->rank_offsets[node], res.rings.arena.data(),
+                  sizeof(int) * res.rings.rank_count);
+    }
   });
+  scratch->intra_ring_count = ring_cursor;
+  scratch->arena_count = rank_cursor;
 
   for (int node = 0; node < num_nodes; ++node) {
     const NodeIntraResult& res = scratch->intra_results[node];
-    for (size_t i = 0; i < res.ring_count; ++i) {
-      const RingSequence& src = res.rings[i];
-      RingSequence& dst = NextRing(&plan->intra_node, &scratch->intra_ring_count);
-      dst.seq_id = src.seq_id;
-      dst.length = src.length;
-      dst.zone = src.zone;
-      dst.ranks.assign(src.ranks.begin(), src.ranks.end());
-    }
     for (int d = 0; d < p; ++d) {
       plan->tokens_per_rank[node * p + d] += res.device_loads[d];
     }
@@ -503,6 +530,7 @@ void SequencePartitioner::PartitionParallel(const Batch& batch, PlannerScratch* 
 
   plan->inter_node.resize(scratch->inter_ring_count);
   plan->intra_node.resize(scratch->intra_ring_count);
+  plan->rank_arena.resize(scratch->arena_count);
 }
 
 }  // namespace zeppelin

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 
 #include "src/common/check.h"
 #include "src/core/linear_stage.h"
@@ -84,18 +85,14 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
     plan_ = PartitionPlan{};
     plan_.tokens_per_rank.assign(world, 0);
     plan_.threshold_s0.assign(spec.num_nodes, 0);
+    std::vector<int> all_ranks(world);
+    std::iota(all_ranks.begin(), all_ranks.end(), 0);
     for (int id = 0; id < batch.size(); ++id) {
-      RingSequence ring;
-      ring.seq_id = id;
-      ring.length = batch.seq_lens[id];
-      ring.zone = Zone::kInterNode;
+      const int64_t len = batch.seq_lens[id];
+      plan_.AddRing(plan_.inter_node, id, len, Zone::kInterNode, all_ranks);
       for (int r = 0; r < world; ++r) {
-        ring.ranks.push_back(r);
+        plan_.tokens_per_rank[r] += len * (r + 1) / world - len * r / world;
       }
-      for (int r = 0; r < world; ++r) {
-        plan_.tokens_per_rank[r] += ring.length * (r + 1) / world - ring.length * r / world;
-      }
-      plan_.inter_node.push_back(std::move(ring));
     }
     partition_time_us_ = std::chrono::duration<double, std::micro>(
                              std::chrono::steady_clock::now() - start)

@@ -60,10 +60,18 @@ class ZeppelinStrategy : public Strategy {
  public:
   explicit ZeppelinStrategy(ZeppelinOptions options = {});
 
+  // Strategy name with the active ablation toggles appended (Fig. 11 bars).
   std::string name() const override;
+  // Runs the per-iteration planning pipeline: capacity derivation ->
+  // partitioner engine (per options) -> remapping solve. Reuses the
+  // partitioner, scratch, and pool across calls (steady-state allocation-free).
   void Plan(const Batch& batch, const CostModel& cost_model,
             const FabricResources& fabric) override;
+  // Emits one transformer layer for the planned batch into `graph`:
+  // attention queues + remap + linear stage (mirrored in backward). Plan()
+  // must have run first.
   std::vector<TaskId> EmitLayer(TaskGraph& graph, Direction direction) override;
+  // Post-remap token layout the linear modules see (balanced if remapping on).
   std::vector<int64_t> LinearTokensPerRank() const override;
 
   // Planning artefacts (for tests, benches, and the Table 3 case study).

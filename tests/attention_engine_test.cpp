@@ -20,12 +20,7 @@ class AttentionEngineTest : public ::testing::Test {
   PartitionPlan MakePlanWithRing(std::vector<int> ranks, int64_t length, Zone zone) {
     PartitionPlan plan;
     plan.tokens_per_rank.assign(fabric_.cluster().world_size(), 0);
-    RingSequence ring;
-    ring.seq_id = 0;
-    ring.length = length;
-    ring.zone = zone;
-    ring.ranks = std::move(ranks);
-    plan.inter_node.push_back(ring);
+    plan.AddRing(plan.inter_node, /*seq_id=*/0, length, zone, ranks);
     return plan;
   }
 

@@ -166,6 +166,7 @@ void ExpectPlansIdentical(const PartitionPlan& got, const PartitionPlan& want,
   ASSERT_EQ(got.inter_node.size(), want.inter_node.size()) << context;
   ASSERT_EQ(got.intra_node.size(), want.intra_node.size()) << context;
   ASSERT_EQ(got.local.size(), want.local.size()) << context;
+  EXPECT_EQ(got.rank_arena, want.rank_arena) << context;
   EXPECT_EQ(got.tokens_per_rank, want.tokens_per_rank) << context;
   EXPECT_EQ(got.threshold_s1, want.threshold_s1) << context;
   EXPECT_EQ(got.threshold_s0, want.threshold_s0) << context;

@@ -97,7 +97,7 @@ TEST(PartitionerEdgeTest, ZoneLabelsMatchStructure) {
   SequencePartitioner partitioner(spec, {.token_capacity = 8192});
   const PartitionPlan plan = partitioner.Partition(MakeBatch({65536, 12288, 1024, 1024,
                                                               1024, 1024}));
-  for (const auto& ring : plan.inter_node) {
+  for (RingView ring : plan.rings(plan.inter_node)) {
     EXPECT_EQ(ring.zone, Zone::kInterNode);
     std::set<int> nodes;
     for (int r : ring.ranks) {
@@ -105,7 +105,7 @@ TEST(PartitionerEdgeTest, ZoneLabelsMatchStructure) {
     }
     EXPECT_GT(nodes.size(), 1u);
   }
-  for (const auto& ring : plan.intra_node) {
+  for (RingView ring : plan.rings(plan.intra_node)) {
     EXPECT_EQ(ring.zone, Zone::kIntraNode);
     std::set<int> nodes;
     for (int r : ring.ranks) {
@@ -142,6 +142,115 @@ TEST(PartitionerEdgeTest, ThresholdCapsComposeWithCascade) {
     for (int64_t s0 : plan.threshold_s0) {
       EXPECT_LE(s0, 3000);
     }
+  }
+}
+
+// --- Flat rank-arena invariants (docs/PLAN_FORMAT.md) -------------------------
+
+// Every live ring's span must lie inside the arena, spans must be disjoint
+// and gap-free, and the trimmed arena must hold exactly the live ranks.
+void ExpectArenaTight(const PartitionPlan& plan) {
+  std::vector<bool> covered(plan.rank_arena.size(), false);
+  size_t total = 0;
+  for (const std::vector<RingRef>* queue : {&plan.inter_node, &plan.intra_node}) {
+    for (const RingRef& ring : *queue) {
+      ASSERT_LE(static_cast<size_t>(ring.rank_offset) + ring.rank_count,
+                plan.rank_arena.size());
+      for (uint32_t i = ring.rank_offset; i < ring.rank_offset + ring.rank_count; ++i) {
+        EXPECT_FALSE(covered[i]) << "overlapping ring spans at arena slot " << i;
+        covered[i] = true;
+      }
+      total += ring.rank_count;
+    }
+  }
+  EXPECT_EQ(total, plan.rank_arena.size()) << "arena not trimmed to the live rank count";
+}
+
+TEST(PartitionerArenaTest, LocalOnlyPlanHasEmptyArena) {
+  // Huge L: no rings at all, so both header queues and the arena trim to
+  // empty — the "empty plan" shape downstream consumers must tolerate.
+  const ClusterSpec spec = MakeClusterA(2);
+  SequencePartitioner partitioner(spec, {.token_capacity = 1 << 20});
+  const PartitionPlan plan = partitioner.Partition(MakeBatch({4096, 2048, 1024}));
+  EXPECT_TRUE(plan.inter_node.empty());
+  EXPECT_TRUE(plan.intra_node.empty());
+  EXPECT_TRUE(plan.rank_arena.empty());
+  EXPECT_TRUE(plan.rings(plan.inter_node).empty());
+  ExpectArenaTight(plan);
+}
+
+TEST(PartitionerArenaTest, SingleLocalOnlySequence) {
+  const ClusterSpec spec = MakeClusterA(1);
+  SequencePartitioner partitioner(spec, {.token_capacity = 8192});
+  const PartitionPlan plan = partitioner.Partition(MakeBatch({1024}));
+  ASSERT_EQ(plan.local.size(), 1u);
+  EXPECT_TRUE(plan.rank_arena.empty());
+  ExpectArenaTight(plan);
+}
+
+TEST(PartitionerArenaTest, ArenaTightAcrossShapes) {
+  // Mixed-zone batches on every engine: the trimmed arena must stay exactly
+  // the concatenation of the live ring spans.
+  const ClusterSpec spec = MakeClusterA(2);
+  BatchSampler sampler(MakeGithubDistribution(), 16 * 8192, 17);
+  for (bool fast : {false, true}) {
+    SequencePartitioner partitioner(spec, {.token_capacity = 8192, .fast_path = fast});
+    for (int i = 0; i < 3; ++i) {
+      const PartitionPlan plan = partitioner.Partition(sampler.NextBatch());
+      ExpectArenaTight(plan);
+    }
+  }
+}
+
+TEST(PartitionerArenaTest, ForcedRestartRecyclesArena) {
+  // Zero-slack capacity forces overflow restarts, which rewind the arena
+  // cursor mid-stage; the recycled slots must leave no stale ranks behind.
+  const ClusterSpec spec = TinyNodes(2, 4);
+  SequencePartitioner partitioner(spec, {.token_capacity = 1024});
+  PlannerScratch scratch;
+  PartitionPlan plan;
+  const Batch batch = MakeBatch({2400, 2300, 2200, 1292});
+  partitioner.Partition(batch, &scratch, &plan);
+  ExpectArenaTight(plan);
+  const PartitionPlan first = plan;  // Deep copy (headers + flat arrays).
+  // Re-plan through the same scratch and recycled plan storage: the restart
+  // chain replays into reused slots and must reproduce identical bytes.
+  partitioner.Partition(batch, &scratch, &plan);
+  ExpectArenaTight(plan);
+  EXPECT_TRUE(plan == first);
+}
+
+TEST(PartitionerArenaTest, SpansStableAcrossPlanCallsWithScratchReuse) {
+  // Interleave batches of very different ring footprints through one scratch
+  // and one recycled plan: header counts and arena offsets must depend only
+  // on the batch, never on what a previous call left in the recycled storage.
+  const ClusterSpec spec = MakeClusterA(2);
+  SequencePartitioner partitioner(spec, {.token_capacity = 8192});
+  PlannerScratch scratch;
+  PartitionPlan plan;
+  const Batch big = MakeBatch({65536, 12288, 12288, 12288, 12288, 8192, 2048, 2048});
+  const Batch small = MakeBatch({1024, 512});
+
+  partitioner.Partition(big, &scratch, &plan);
+  ExpectArenaTight(plan);
+  const PartitionPlan big_first = plan;
+  // Record the resolved rank lists through the span accessor.
+  std::vector<std::vector<int>> big_ranks;
+  for (RingView ring : plan.rings(plan.inter_node)) {
+    big_ranks.emplace_back(ring.ranks.begin(), ring.ranks.end());
+  }
+
+  partitioner.Partition(small, &scratch, &plan);
+  ExpectArenaTight(plan);
+  EXPECT_TRUE(plan.inter_node.empty());
+
+  partitioner.Partition(big, &scratch, &plan);
+  ExpectArenaTight(plan);
+  EXPECT_TRUE(plan == big_first) << "recycled storage leaked into the plan bytes";
+  size_t i = 0;
+  for (RingView ring : plan.rings(plan.inter_node)) {
+    EXPECT_EQ(std::vector<int>(ring.ranks.begin(), ring.ranks.end()), big_ranks[i]) << "ring " << i;
+    ++i;
   }
 }
 

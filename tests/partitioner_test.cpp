@@ -48,7 +48,7 @@ TEST(PartitionerTest, MediumSequencesGoIntraNode) {
                                                               8192, 8192, 8192}));
   EXPECT_TRUE(plan.inter_node.empty());
   EXPECT_FALSE(plan.intra_node.empty());
-  for (const auto& ring : plan.intra_node) {
+  for (RingView ring : plan.rings(plan.intra_node)) {
     EXPECT_EQ(ring.zone, Zone::kIntraNode);
     // All ranks of an intra ring share one node.
     std::set<int> nodes;
@@ -65,7 +65,7 @@ TEST(PartitionerTest, InterRingRanksAreNodeAligned) {
   // 2 sequences of 64k over 4 nodes (131072 = 32 ranks * 4096).
   const PartitionPlan plan = partitioner.Partition(MakeBatch({65536, 65536}));
   ASSERT_EQ(plan.inter_node.size(), 2u);
-  for (const auto& ring : plan.inter_node) {
+  for (RingView ring : plan.rings(plan.inter_node)) {
     EXPECT_EQ(ring.group_size() % cluster.gpus_per_node, 0);
     // Each spanned node contributes all its GPUs.
     std::set<int> nodes;
@@ -76,7 +76,7 @@ TEST(PartitionerTest, InterRingRanksAreNodeAligned) {
   }
   // The two rings land on disjoint node pairs.
   std::set<int> all_ranks;
-  for (const auto& ring : plan.inter_node) {
+  for (RingView ring : plan.rings(plan.inter_node)) {
     for (int r : ring.ranks) {
       all_ranks.insert(r);
     }
@@ -150,7 +150,7 @@ TEST_P(PartitionerPropertyTest, InvariantsHoldOnSampledBatches) {
     }
 
     // Ring groups contain valid, distinct ranks.
-    auto check_ring = [&](const RingSequence& ring) {
+    auto check_ring = [&](const RingView& ring) {
       std::set<int> distinct(ring.ranks.begin(), ring.ranks.end());
       EXPECT_EQ(distinct.size(), ring.ranks.size());
       for (int r : ring.ranks) {
@@ -159,10 +159,10 @@ TEST_P(PartitionerPropertyTest, InvariantsHoldOnSampledBatches) {
       }
       EXPECT_GT(ring.group_size(), 1);
     };
-    for (const auto& ring : plan.inter_node) {
+    for (RingView ring : plan.rings(plan.inter_node)) {
       check_ring(ring);
     }
-    for (const auto& ring : plan.intra_node) {
+    for (RingView ring : plan.rings(plan.intra_node)) {
       check_ring(ring);
     }
 

@@ -28,19 +28,22 @@ SequencePartitioner::Options NaiveOptions(int64_t capacity) {
   return {.token_capacity = capacity, .fast_path = false};
 }
 
-// Full byte-level plan comparison with readable failure context.
+// Full byte-level plan comparison with readable failure context: per-ring
+// headers first (so a divergence names the ring), then the rank arena as one
+// flat compare — the byte-identity definition of docs/PLAN_FORMAT.md.
 void ExpectPlansIdentical(const PartitionPlan& fast, const PartitionPlan& naive,
                           const std::string& context) {
   ASSERT_EQ(fast.inter_node.size(), naive.inter_node.size()) << context;
   for (size_t i = 0; i < fast.inter_node.size(); ++i) {
     EXPECT_EQ(fast.inter_node[i].seq_id, naive.inter_node[i].seq_id) << context << " ring " << i;
-    EXPECT_EQ(fast.inter_node[i].ranks, naive.inter_node[i].ranks) << context << " ring " << i;
+    EXPECT_TRUE(fast.inter_node[i] == naive.inter_node[i]) << context << " ring " << i;
   }
   ASSERT_EQ(fast.intra_node.size(), naive.intra_node.size()) << context;
   for (size_t i = 0; i < fast.intra_node.size(); ++i) {
     EXPECT_EQ(fast.intra_node[i].seq_id, naive.intra_node[i].seq_id) << context << " ring " << i;
-    EXPECT_EQ(fast.intra_node[i].ranks, naive.intra_node[i].ranks) << context << " ring " << i;
+    EXPECT_TRUE(fast.intra_node[i] == naive.intra_node[i]) << context << " ring " << i;
   }
+  EXPECT_EQ(fast.rank_arena, naive.rank_arena) << context;
   ASSERT_EQ(fast.local.size(), naive.local.size()) << context;
   EXPECT_EQ(fast.tokens_per_rank, naive.tokens_per_rank) << context;
   EXPECT_EQ(fast.threshold_s1, naive.threshold_s1) << context;
