@@ -10,7 +10,8 @@ endif()
 set(required_docs
     README.md
     docs/ARCHITECTURE.md
-    docs/PLAN_FORMAT.md)
+    docs/PLAN_FORMAT.md
+    docs/DELTA_PLANS.md)
 
 foreach(doc ${required_docs})
   if(NOT EXISTS "${REPO_ROOT}/${doc}")

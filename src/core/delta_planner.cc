@@ -1,0 +1,801 @@
+#include "src/core/delta_planner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "src/common/check.h"
+#include "src/core/partitioner_internal.h"
+
+namespace zeppelin {
+
+using planner_internal::RecordChunkAggregate;
+
+const char* DeltaOutcomeName(DeltaOutcome outcome) {
+  switch (outcome) {
+    case DeltaOutcome::kApplied:
+      return "applied";
+    case DeltaOutcome::kRebasedNoBase:
+      return "rebased:no-base";
+    case DeltaOutcome::kRebasedChurn:
+      return "rebased:churn";
+    case DeltaOutcome::kRebasedZone:
+      return "rebased:zone";
+    case DeltaOutcome::kRebasedRefined:
+      return "rebased:refined-threshold";
+    case DeltaOutcome::kRebasedCapacity:
+      return "rebased:capacity";
+    case DeltaOutcome::kRebasedImbalance:
+      return "rebased:imbalance";
+  }
+  return "unknown";
+}
+
+DeltaPlanner::DeltaPlanner(const ClusterSpec& cluster, DeltaPlannerOptions options)
+    : cluster_(cluster),
+      options_(options),
+      partitioner_(cluster,
+                   SequencePartitioner::Options{
+                       .token_capacity = options.token_capacity,
+                       .max_inter_threshold = options.max_inter_threshold,
+                       .max_local_threshold = options.max_local_threshold,
+                       .fast_path = options.fast_path,
+                       .pool = options.pool,
+                   }) {
+  cluster_.Validate();
+  ZCHECK_GT(options_.token_capacity, 0);
+  ZCHECK_GE(options_.replan_threshold, 0);
+}
+
+void DeltaPlanner::set_options(DeltaPlannerOptions options) {
+  options_ = options;
+  ZCHECK_GT(options_.token_capacity, 0);
+  ZCHECK_GE(options_.replan_threshold, 0);
+  has_base_ = false;  // Thresholds derive from the options; state is stale.
+}
+
+void DeltaPlanner::EnsureCapacityFits(int64_t total_tokens) {
+  const int64_t world = cluster_.world_size();
+  if (total_tokens <= world * options_.token_capacity) {
+    return;
+  }
+  // Same derivation as ZeppelinStrategy::Plan(): tight average plus 25%
+  // headroom, capped by the caller's ceiling when that still fits.
+  const int64_t average = (total_tokens + world - 1) / world;
+  int64_t raised = average + average / 4;
+  if (options_.capacity_ceiling > 0) {
+    raised = std::min(raised, options_.capacity_ceiling);
+  }
+  options_.token_capacity = std::max(raised, average);
+}
+
+void DeltaPlanner::Rebase(const Batch& batch) {
+  batch_ = batch;
+  RebaseInternal();
+}
+
+void DeltaPlanner::RebaseInternal() {
+  ZCHECK_GT(batch_.size(), 0);
+  EnsureCapacityFits(batch_.total_tokens());
+  partitioner_.set_options(SequencePartitioner::Options{
+      .token_capacity = options_.token_capacity,
+      .max_inter_threshold = options_.max_inter_threshold,
+      .max_local_threshold = options_.max_local_threshold,
+      .fast_path = options_.fast_path,
+      .pool = options_.pool,
+  });
+  partitioner_.Partition(batch_, &scratch_, &plan_);
+  CaptureState();
+}
+
+void DeltaPlanner::CaptureState() {
+  const int num_nodes = cluster_.num_nodes;
+  const int p = cluster_.gpus_per_node;
+  const int n = batch_.size();
+
+  node_capacity_ = static_cast<int64_t>(p) * options_.token_capacity;
+  s1_initial_ = node_capacity_;
+  if (options_.max_inter_threshold > 0) {
+    s1_initial_ = std::min(s1_initial_, options_.max_inter_threshold);
+  }
+  base_refined_ = plan_.threshold_s1 < s1_initial_;
+
+  // Inter-node chunk aggregates: the fast paths leave them in the scratch;
+  // the naive reference leaves per-node chunk lists instead.
+  if (options_.fast_path) {
+    chunk_whole_ = scratch_.node_chunk_whole;
+    chunk_rem_ = scratch_.node_chunk_rem;
+  } else {
+    chunk_whole_.assign(num_nodes, 0);
+    chunk_rem_.assign(static_cast<size_t>(num_nodes) * p, 0);
+    for (int node = 0; node < num_nodes; ++node) {
+      for (const auto& [seq_id, chunk] : scratch_.assignments[node].inter_chunks) {
+        RecordChunkAggregate(node, chunk, p, &chunk_whole_, &chunk_rem_);
+      }
+    }
+  }
+
+  locations_.assign(n, SeqLocation{});
+  slot_epoch_.assign(n, 0);
+  node_dirty_epoch_.assign(num_nodes, 0);
+  epoch_ = 0;
+  node_members_.resize(num_nodes);
+  for (std::vector<int>& members : node_members_) {
+    members.clear();
+  }
+
+  for (uint32_t i = 0; i < plan_.inter_node.size(); ++i) {
+    SeqLocation& loc = locations_[plan_.inter_node[i].seq_id];
+    loc.kind = SeqLocation::Kind::kZ2Ring;
+    loc.inter_queue = true;
+    loc.pos = i;
+  }
+  for (uint32_t i = 0; i < plan_.intra_node.size(); ++i) {
+    const RingRef& ring = plan_.intra_node[i];
+    SeqLocation& loc = locations_[ring.seq_id];
+    loc.pos = i;
+    loc.node = plan_.rank_arena[ring.rank_offset] / p;
+    if (ring.length >= plan_.threshold_s1) {
+      // Single-node inter-zone ring (Alg. 1 chunked it to one node bucket):
+      // delta-immutable like any z2 sequence, and not a packing member.
+      loc.kind = SeqLocation::Kind::kZ2Ring;
+      loc.inter_queue = false;
+    } else {
+      loc.kind = SeqLocation::Kind::kIntraRing;
+      loc.member_pos = static_cast<uint32_t>(node_members_[loc.node].size());
+      node_members_[loc.node].push_back(ring.seq_id);
+    }
+  }
+  for (uint32_t i = 0; i < plan_.local.size(); ++i) {
+    const LocalSequence& seq = plan_.local[i];
+    SeqLocation& loc = locations_[seq.seq_id];
+    loc.kind = SeqLocation::Kind::kLocal;
+    loc.pos = i;
+    loc.node = seq.rank / p;
+    loc.member_pos = static_cast<uint32_t>(node_members_[loc.node].size());
+    node_members_[loc.node].push_back(seq.seq_id);
+  }
+
+  loads_buf_.assign(num_nodes, 0);
+  for (int r = 0; r < cluster_.world_size(); ++r) {
+    loads_buf_[r / p] += plan_.tokens_per_rank[r];
+  }
+  node_loads_.Restore(loads_buf_);
+
+  live_count_ = 0;
+  for (int64_t len : batch_.seq_lens) {
+    live_count_ += len > 0 ? 1 : 0;
+  }
+  free_spans_.clear();
+  free_total_ = 0;
+  live_ranks_ = plan_.rank_arena.size();
+  base_imbalance_ = Imbalance();
+  has_base_ = true;
+}
+
+double DeltaPlanner::Imbalance() const {
+  int64_t total = 0;
+  int64_t max_load = 0;
+  for (int64_t tokens : plan_.tokens_per_rank) {
+    total += tokens;
+    max_load = std::max(max_load, tokens);
+  }
+  const double mean = static_cast<double>(total) / std::max<size_t>(plan_.tokens_per_rank.size(), 1);
+  return mean > 0 ? static_cast<double>(max_load) / mean : 1.0;
+}
+
+void DeltaPlanner::CountOutcome(DeltaOutcome reason) {
+  ++stats_.rebased;
+  switch (reason) {
+    case DeltaOutcome::kRebasedNoBase:
+      ++stats_.rebase_no_base;
+      break;
+    case DeltaOutcome::kRebasedChurn:
+      ++stats_.rebase_churn;
+      break;
+    case DeltaOutcome::kRebasedZone:
+      ++stats_.rebase_zone;
+      break;
+    case DeltaOutcome::kRebasedRefined:
+      ++stats_.rebase_refined;
+      break;
+    case DeltaOutcome::kRebasedCapacity:
+      ++stats_.rebase_capacity;
+      break;
+    case DeltaOutcome::kRebasedImbalance:
+      ++stats_.rebase_imbalance;
+      break;
+    case DeltaOutcome::kApplied:
+      ZCHECK(false) << "kApplied is not a rebase outcome";
+  }
+}
+
+DeltaOutcome DeltaPlanner::ApplyViaRebase(const BatchDelta& delta, DeltaOutcome reason) {
+  ApplyBatchDelta(delta, &batch_);
+  RebaseInternal();
+  CountOutcome(reason);
+  return reason;
+}
+
+DeltaOutcome DeltaPlanner::FallBack(DeltaOutcome reason) {
+  // The delta already landed in batch_ and the plan/state may be half
+  // patched; a full re-plan rebuilds both from the batch alone.
+  RebaseInternal();
+  CountOutcome(reason);
+  return reason;
+}
+
+// --- Eviction ---------------------------------------------------------------
+
+void DeltaPlanner::RemoveIntraHeaderAt(uint32_t pos) {
+  std::vector<RingRef>& queue = plan_.intra_node;
+  const uint32_t last = static_cast<uint32_t>(queue.size()) - 1;
+  if (pos != last) {
+    queue[pos] = queue[last];
+    locations_[queue[pos].seq_id].pos = pos;
+  }
+  queue.pop_back();
+}
+
+void DeltaPlanner::RemoveLocalAt(uint32_t pos) {
+  std::vector<LocalSequence>& locals = plan_.local;
+  const uint32_t last = static_cast<uint32_t>(locals.size()) - 1;
+  if (pos != last) {
+    locals[pos] = locals[last];
+    locations_[locals[pos].seq_id].pos = pos;
+  }
+  locals.pop_back();
+}
+
+void DeltaPlanner::RemoveMember(int node, uint32_t member_pos) {
+  std::vector<int>& members = node_members_[node];
+  const uint32_t last = static_cast<uint32_t>(members.size()) - 1;
+  if (member_pos != last) {
+    members[member_pos] = members[last];
+    locations_[members[member_pos]].member_pos = member_pos;
+  }
+  members.pop_back();
+}
+
+void DeltaPlanner::FreeRingSpan(const RingRef& ring) {
+  free_spans_.push_back({ring.rank_offset, ring.rank_count});
+  free_total_ += ring.rank_count;
+  live_ranks_ -= ring.rank_count;
+  ++stats_.evicted_rings;
+}
+
+void DeltaPlanner::EvictSlot(int slot) {
+  ZCHECK(slot >= 0 && slot < batch_.size()) << "delta slot out of range: " << slot;
+  SeqLocation& loc = locations_[slot];
+  const int64_t old_len = batch_.seq_lens[slot];
+  switch (loc.kind) {
+    case SeqLocation::Kind::kLocal: {
+      const LocalSequence& entry = plan_.local[loc.pos];
+      ZCHECK_EQ(entry.seq_id, slot);
+      plan_.tokens_per_rank[entry.rank] -= old_len;
+      node_loads_.add(loc.node, -old_len);
+      RemoveMember(loc.node, loc.member_pos);
+      RemoveLocalAt(loc.pos);
+      break;
+    }
+    case SeqLocation::Kind::kIntraRing: {
+      const RingRef ring = plan_.intra_node[loc.pos];
+      ZCHECK_EQ(ring.seq_id, slot);
+      ZCHECK_EQ(ring.length, old_len) << "plan/batch length drift for slot " << slot;
+      // Roll the causal-balanced fragment loads back out (the same split
+      // arithmetic the intra stage emitted with; cursor 0 because the span
+      // itself already encodes the device order).
+      planner_internal::ForEachFragment(
+          old_len, static_cast<int>(ring.rank_count), 0, static_cast<int>(ring.rank_count),
+          [&](int f, int /*device*/, int64_t share) {
+            plan_.tokens_per_rank[plan_.rank_arena[ring.rank_offset + f]] -= share;
+          });
+      node_loads_.add(loc.node, -old_len);
+      FreeRingSpan(ring);
+      RemoveMember(loc.node, loc.member_pos);
+      RemoveIntraHeaderAt(loc.pos);
+      // The node's remaining z1 fragmentation was computed against a c_avg
+      // that just changed: re-derive the node's intra stage.
+      MarkDirty(loc.node);
+      break;
+    }
+    case SeqLocation::Kind::kZ2Ring:
+      ZCHECK(false) << "z2 sequence reached the eviction path (slot " << slot << ")";
+      break;
+    case SeqLocation::Kind::kNone:
+    case SeqLocation::Kind::kPending:
+      ZCHECK(false) << "duplicate or unplaced slot in delta: " << slot;
+      break;
+  }
+  loc.kind = SeqLocation::Kind::kNone;
+  loc.node = -1;
+}
+
+// --- Placement --------------------------------------------------------------
+
+void DeltaPlanner::MarkDirty(int node) {
+  if (node_dirty_epoch_[node] != epoch_) {
+    node_dirty_epoch_[node] = epoch_;
+    dirty_nodes_.push_back(node);
+  }
+}
+
+bool DeltaPlanner::PlaceLocal(int slot, int node) {
+  const int p = cluster_.gpus_per_node;
+  const int rank_base = node * p;
+  const int64_t len = batch_.seq_lens[slot];
+  // Least-loaded device, ties to the lowest index — the packing rule every
+  // engine shares. p is small (gpus per node); a scan beats a heap here.
+  int best = 0;
+  for (int d = 1; d < p; ++d) {
+    if (plan_.tokens_per_rank[rank_base + d] < plan_.tokens_per_rank[rank_base + best]) {
+      best = d;
+    }
+  }
+  if (plan_.tokens_per_rank[rank_base + best] + len > options_.token_capacity) {
+    return false;  // Device overflow: Alg. 2 refinement (dirty re-run) handles it.
+  }
+  plan_.tokens_per_rank[rank_base + best] += len;
+  SeqLocation& loc = locations_[slot];
+  loc.kind = SeqLocation::Kind::kLocal;
+  loc.pos = static_cast<uint32_t>(plan_.local.size());
+  plan_.local.push_back({slot, len, rank_base + best});
+  return true;
+}
+
+DeltaOutcome DeltaPlanner::Apply(const BatchDelta& delta) {
+  if (!has_base_) {
+    return ApplyViaRebase(delta, DeltaOutcome::kRebasedNoBase);
+  }
+  if (delta.empty()) {
+    ++stats_.applied;
+    return DeltaOutcome::kApplied;
+  }
+  // Churn fraction counts churned *slots*: a removal refilled by an addition
+  // is one replaced slot, not two changes (extra additions open new slots,
+  // extra removals tombstone old ones — each counts once either way).
+  const size_t churn_slots =
+      std::max(delta.removed.size(), delta.added.size()) + delta.resized.size();
+  const double churn = static_cast<double>(churn_slots) / std::max(live_count_, 1);
+  if (churn > options_.replan_threshold) {
+    return ApplyViaRebase(delta, DeltaOutcome::kRebasedChurn);
+  }
+  if (base_refined_) {
+    return ApplyViaRebase(delta, DeltaOutcome::kRebasedRefined);
+  }
+  // Inter-node-zone churn: every z2 decision (chunk counts via s_avg, node
+  // choices) is globally coupled, so any endpoint in z2 forces a re-plan.
+  for (int slot : delta.removed) {
+    ZCHECK(slot >= 0 && slot < batch_.size()) << "removed slot out of range: " << slot;
+    if (batch_.seq_lens[slot] >= s1_initial_) {
+      return ApplyViaRebase(delta, DeltaOutcome::kRebasedZone);
+    }
+  }
+  for (const auto& [slot, new_len] : delta.resized) {
+    ZCHECK(slot >= 0 && slot < batch_.size()) << "resized slot out of range: " << slot;
+    if (batch_.seq_lens[slot] >= s1_initial_ || new_len >= s1_initial_) {
+      return ApplyViaRebase(delta, DeltaOutcome::kRebasedZone);
+    }
+  }
+  for (int64_t len : delta.added) {
+    if (len >= s1_initial_) {
+      return ApplyViaRebase(delta, DeltaOutcome::kRebasedZone);
+    }
+  }
+
+  // ---- Patch path ----------------------------------------------------------
+  ++epoch_;
+  dirty_nodes_.clear();
+
+  // Evict while batch_ still holds the old lengths.
+  for (int slot : delta.removed) {
+    if (batch_.seq_lens[slot] > 0) {
+      --live_count_;
+    }
+    EvictSlot(slot);
+  }
+  for (const auto& [slot, new_len] : delta.resized) {
+    if (batch_.seq_lens[slot] > 0 && new_len == 0) {
+      --live_count_;
+    } else if (batch_.seq_lens[slot] == 0 && new_len > 0) {
+      ++live_count_;
+    }
+    EvictSlot(slot);
+  }
+
+  ApplyBatchDelta(delta, &batch_, &added_slots_);
+  locations_.resize(batch_.seq_lens.size());
+  slot_epoch_.resize(batch_.seq_lens.size(), 0);
+  for (int slot : added_slots_) {
+    if (batch_.seq_lens[slot] > 0) {
+      ++live_count_;
+    }
+  }
+
+  // Every churned slot needs a (re)placement: removed slots (refilled or
+  // tombstoned), resized slots, and freshly added tail slots. Deduplicate —
+  // a removed slot refilled by an add appears in both lists.
+  place_.clear();
+  auto consider = [&](int slot) {
+    if (slot_epoch_[slot] != epoch_) {
+      slot_epoch_[slot] = epoch_;
+      place_.push_back(slot);
+    }
+  };
+  for (int slot : delta.removed) {
+    consider(slot);
+  }
+  for (const auto& [slot, new_len] : delta.resized) {
+    consider(slot);
+  }
+  for (int slot : added_slots_) {
+    consider(slot);
+  }
+  // Length-descending, id-ascending: the order every packing stage uses.
+  std::sort(place_.begin(), place_.end(), [&](int a, int b) {
+    const int64_t la = batch_.seq_lens[a];
+    const int64_t lb = batch_.seq_lens[b];
+    return la != lb ? la > lb : a < b;
+  });
+
+  // Node-level packing of the delta set in one round-batched GreedyPacker
+  // pass, seeded from the live node loads (LoadTracker snapshot/restore).
+  const int count = static_cast<int>(place_.size());
+  node_loads_.Snapshot(&loads_buf_);
+  delta_packer_.Assign(loads_buf_);
+  place_node_.resize(count);
+  const int packed =
+      delta_packer_.Pack(count, node_capacity_,
+                         [&](int i) { return batch_.seq_lens[place_[i]]; },
+                         [&](int i, int bucket, int64_t) { place_node_[i] = bucket; });
+  if (packed < count) {
+    return FallBack(DeltaOutcome::kRebasedCapacity);
+  }
+  delta_packer_.Loads(&loads_buf_);
+  node_loads_.Restore(loads_buf_);
+
+  for (int i = 0; i < count; ++i) {
+    const int slot = place_[i];
+    const int node = place_node_[i];
+    SeqLocation& loc = locations_[slot];
+    ZCHECK(loc.kind == SeqLocation::Kind::kNone) << "placing a still-placed slot " << slot;
+    loc.kind = SeqLocation::Kind::kPending;
+    loc.node = node;
+    loc.member_pos = static_cast<uint32_t>(node_members_[node].size());
+    node_members_[node].push_back(slot);
+    if (batch_.seq_lens[slot] >= plan_.threshold_s0[node]) {
+      MarkDirty(node);  // z1-length: joins the node's fragmentation stage.
+    } else if (!IsDirty(node) && !PlaceLocal(slot, node)) {
+      MarkDirty(node);  // Device overflow: let Alg. 2 refinement resolve it.
+    }
+    // Dirty nodes keep the slot pending; RepackNode places it below.
+  }
+
+  for (int node : dirty_nodes_) {
+    RepackNode(node);
+  }
+  MaybeCompact();
+
+  const double imbalance = Imbalance();
+  if (imbalance > base_imbalance_ + options_.replan_threshold) {
+    return FallBack(DeltaOutcome::kRebasedImbalance);
+  }
+  // Ratchet the drift reference downward when a patch improves balance, so
+  // the allowance tracks the best achieved quality rather than a stale base
+  // (a full re-plan resets it exactly).
+  base_imbalance_ = std::min(base_imbalance_, imbalance);
+  ++stats_.applied;
+  stats_.patched_sequences += delta.size();
+  return DeltaOutcome::kApplied;
+}
+
+// --- Dirty-node intra-node re-run (Alg. 2) ----------------------------------
+
+void DeltaPlanner::RepackNode(int node) {
+  const int p = cluster_.gpus_per_node;
+  const int rank_base = node * p;
+  const int64_t capacity = options_.token_capacity;
+  std::vector<int>& members = node_members_[node];
+  ++stats_.repacked_nodes;
+
+  // Evict every member's current plan entry; pending members have none.
+  // Loads need no arithmetic here: the re-run rebuilds this node's device
+  // loads from the chunk base, and node membership (hence the node total the
+  // inter-node packing sees) is unchanged by an intra re-run.
+  for (int slot : members) {
+    SeqLocation& loc = locations_[slot];
+    switch (loc.kind) {
+      case SeqLocation::Kind::kIntraRing:
+        FreeRingSpan(plan_.intra_node[loc.pos]);
+        RemoveIntraHeaderAt(loc.pos);
+        break;
+      case SeqLocation::Kind::kLocal:
+        RemoveLocalAt(loc.pos);
+        break;
+      case SeqLocation::Kind::kPending:
+        break;
+      case SeqLocation::Kind::kZ2Ring:
+      case SeqLocation::Kind::kNone:
+        ZCHECK(false) << "invalid member state on node " << node;
+    }
+    loc.kind = SeqLocation::Kind::kPending;
+  }
+
+  // Alg. 2 packing order: length-descending, id-ascending.
+  std::sort(members.begin(), members.end(), [&](int a, int b) {
+    const int64_t la = batch_.seq_lens[a];
+    const int64_t lb = batch_.seq_lens[b];
+    return la != lb ? la > lb : a < b;
+  });
+  for (uint32_t i = 0; i < members.size(); ++i) {
+    locations_[members[i]].member_pos = i;
+  }
+
+  // Device base loads from the persistent inter-chunk aggregates — the same
+  // expansion every intra-stage consumer shares.
+  planner_internal::ExpandChunkBase(chunk_whole_, chunk_rem_, node, p, &chunk_base_);
+
+  const int n = static_cast<int>(members.size());
+  int64_t s0 = capacity;
+  if (options_.max_local_threshold > 0) {
+    s0 = std::min(s0, options_.max_local_threshold);
+  }
+  int boundary = static_cast<int>(
+      std::partition_point(members.begin(), members.end(),
+                           [&](int slot) { return batch_.seq_lens[slot] >= s0; }) -
+      members.begin());
+
+  int restarts = 0;
+  for (;;) {
+    device_tracker_.Assign(chunk_base_);
+    ring_buf_.clear();
+    z0_buf_.clear();
+    z1_buf_.clear();
+
+    // The shared Alg. 2 fragmentation pass (identical cursor progression and
+    // fragment counts across every engine and this re-pack).
+    planner_internal::FragmentZone1(
+        boundary, p, [&](int i) { return batch_.seq_lens[members[i]]; },
+        [&](int i, int64_t len, int fragments, int cursor) {
+          ring_buf_.push_back({members[i], len, fragments, cursor});
+          planner_internal::ForEachFragment(
+              len, fragments, cursor, p,
+              [&](int /*f*/, int device, int64_t share) { device_tracker_.add(device, share); });
+        },
+        [&](int i, int64_t len, int device) {
+          z1_buf_.push_back({members[i], len, rank_base + device});
+          device_tracker_.add(device, len);
+        });
+
+    bool overflowed = false;
+    for (int i = boundary; i < n; ++i) {
+      const int slot = members[i];
+      const int64_t len = batch_.seq_lens[slot];
+      const int idx = device_tracker_.pack_min(len, capacity);
+      if (idx < 0) {
+        boundary = planner_internal::AdvanceZoneBoundary(
+            n, i, [&](int j) { return batch_.seq_lens[members[j]]; }, &s0);
+        overflowed = true;
+        break;
+      }
+      z0_buf_.push_back({slot, len, rank_base + idx});
+    }
+    if (!overflowed) {
+      break;
+    }
+    ZCHECK_LE(++restarts, n) << "delta intra-node restart chain exceeded its bound";
+  }
+
+  // Commit: rings into recycled or tail spans, locals appended (z0 first,
+  // then single-fragment z1 conversions — the engines' shared order).
+  for (const PendingRing& ring : ring_buf_) {
+    const uint32_t offset = AllocSpan(static_cast<uint32_t>(ring.fragments));
+    for (int f = 0; f < ring.fragments; ++f) {
+      plan_.rank_arena[offset + f] = rank_base + (ring.cursor_start + f) % p;
+    }
+    SeqLocation& loc = locations_[ring.slot];
+    loc.kind = SeqLocation::Kind::kIntraRing;
+    loc.pos = static_cast<uint32_t>(plan_.intra_node.size());
+    plan_.intra_node.push_back({ring.slot, ring.length, Zone::kIntraNode, offset,
+                                static_cast<uint32_t>(ring.fragments)});
+    live_ranks_ += static_cast<uint32_t>(ring.fragments);
+  }
+  auto commit_local = [&](const LocalSequence& seq) {
+    SeqLocation& loc = locations_[seq.seq_id];
+    loc.kind = SeqLocation::Kind::kLocal;
+    loc.pos = static_cast<uint32_t>(plan_.local.size());
+    plan_.local.push_back(seq);
+  };
+  for (const LocalSequence& seq : z0_buf_) {
+    commit_local(seq);
+  }
+  for (const LocalSequence& seq : z1_buf_) {
+    commit_local(seq);
+  }
+  int64_t device_total = 0;
+  for (int d = 0; d < p; ++d) {
+    const int64_t load = device_tracker_.load(d);
+    plan_.tokens_per_rank[rank_base + d] = load;
+    device_total += load;
+  }
+  ZCHECK_EQ(device_total, node_loads_.load(node))
+      << "intra re-run must conserve node " << node << " tokens";
+  plan_.threshold_s0[node] = s0;
+}
+
+// --- Arena span management ----------------------------------------------------
+
+uint32_t DeltaPlanner::AllocSpan(uint32_t count) {
+  for (size_t i = 0; i < free_spans_.size(); ++i) {
+    if (free_spans_[i].count >= count) {
+      const uint32_t offset = free_spans_[i].offset;
+      free_spans_[i].offset += count;
+      free_spans_[i].count -= count;
+      if (free_spans_[i].count == 0) {
+        free_spans_[i] = free_spans_.back();
+        free_spans_.pop_back();
+      }
+      free_total_ -= count;
+      return offset;
+    }
+  }
+  const uint32_t offset = static_cast<uint32_t>(plan_.rank_arena.size());
+  plan_.rank_arena.resize(offset + count);
+  return offset;
+}
+
+void DeltaPlanner::MaybeCompact() {
+  // Compact when at least half the arena is dead (amortized O(1) per evicted
+  // slot); the floor keeps tiny plans from thrashing.
+  if (free_total_ < 64 || free_total_ * 2 <= plan_.rank_arena.size()) {
+    return;
+  }
+  compact_buf_.clear();
+  compact_buf_.reserve(live_ranks_);
+  auto relocate = [&](std::vector<RingRef>& queue) {
+    for (RingRef& ring : queue) {
+      const uint32_t new_offset = static_cast<uint32_t>(compact_buf_.size());
+      compact_buf_.insert(compact_buf_.end(),
+                          plan_.rank_arena.begin() + ring.rank_offset,
+                          plan_.rank_arena.begin() + ring.rank_offset + ring.rank_count);
+      ring.rank_offset = new_offset;
+    }
+  };
+  relocate(plan_.inter_node);
+  relocate(plan_.intra_node);
+  ZCHECK_EQ(compact_buf_.size(), live_ranks_) << "compaction lost arena slots";
+  plan_.rank_arena.swap(compact_buf_);
+  free_spans_.clear();
+  free_total_ = 0;
+  ++stats_.compactions;
+}
+
+// --- Equivalence checking -----------------------------------------------------
+
+namespace {
+
+bool CoverageCounts(const PartitionPlan& plan, int batch_size, std::vector<int>* counts) {
+  counts->assign(batch_size, 0);
+  auto tally = [&](int seq_id) {
+    if (seq_id < 0 || seq_id >= batch_size) {
+      return false;
+    }
+    return ++(*counts)[seq_id] == 1;
+  };
+  for (const RingRef& ring : plan.inter_node) {
+    if (!tally(ring.seq_id)) {
+      return false;
+    }
+  }
+  for (const RingRef& ring : plan.intra_node) {
+    if (!tally(ring.seq_id)) {
+      return false;
+    }
+  }
+  for (const LocalSequence& seq : plan.local) {
+    if (!tally(seq.seq_id)) {
+      return false;
+    }
+  }
+  for (int c : *counts) {
+    if (c != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// All inter-node-zone rings (length >= s1, from either queue) as
+// (seq_id, length, rank list), sorted by sequence.
+std::vector<std::tuple<int, int64_t, std::vector<int>>> Z2RingSet(const PartitionPlan& plan) {
+  std::vector<std::tuple<int, int64_t, std::vector<int>>> out;
+  auto collect = [&](const std::vector<RingRef>& queue) {
+    for (const RingRef& ring : queue) {
+      if (ring.length >= plan.threshold_s1) {
+        const std::span<const int> ranks = plan.ranks(ring);
+        out.emplace_back(ring.seq_id, ring.length,
+                         std::vector<int>(ranks.begin(), ranks.end()));
+      }
+    }
+  };
+  collect(plan.inter_node);
+  collect(plan.intra_node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+DeltaEquivalenceResult CheckDeltaEquivalence(const PartitionPlan& patched,
+                                             const PartitionPlan& replan,
+                                             const Batch& batch, double eps) {
+  DeltaEquivalenceResult result;
+  std::vector<int> counts;
+  if (!CoverageCounts(patched, batch.size(), &counts)) {
+    result.failure = "patched plan does not cover every sequence exactly once";
+    return result;
+  }
+  if (!CoverageCounts(replan, batch.size(), &counts)) {
+    result.failure = "replan does not cover every sequence exactly once";
+    return result;
+  }
+
+  // Arena validity of the patched plan: in-bounds headers, disjoint live
+  // spans. (Tightness is not required of delta plans — see docs/DELTA_PLANS.md.)
+  std::vector<uint8_t> used(patched.rank_arena.size(), 0);
+  auto check_queue = [&](const std::vector<RingRef>& queue) {
+    for (const RingRef& ring : queue) {
+      if (static_cast<size_t>(ring.rank_offset) + ring.rank_count > patched.rank_arena.size()) {
+        return false;
+      }
+      for (uint32_t f = 0; f < ring.rank_count; ++f) {
+        if (used[ring.rank_offset + f]++) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  if (!check_queue(patched.inter_node) || !check_queue(patched.intra_node)) {
+    result.failure = "patched plan arena spans out of bounds or overlapping";
+    return result;
+  }
+
+  const int64_t batch_tokens = batch.total_tokens();
+  if (patched.total_tokens() != batch_tokens) {
+    result.failure = "patched plan does not conserve tokens";
+    return result;
+  }
+  if (replan.total_tokens() != batch_tokens) {
+    result.failure = "replan does not conserve tokens";
+    return result;
+  }
+
+  if (patched.threshold_s1 != replan.threshold_s1) {
+    result.failure = "threshold_s1 mismatch (capacity-tight batch refined differently)";
+    return result;
+  }
+  if (Z2RingSet(patched) != Z2RingSet(replan)) {
+    result.failure = "inter-node-zone ring sets differ";
+    return result;
+  }
+
+  int64_t patched_max = 0;
+  int64_t replan_max = 0;
+  for (int64_t tokens : patched.tokens_per_rank) {
+    patched_max = std::max(patched_max, tokens);
+  }
+  for (int64_t tokens : replan.tokens_per_rank) {
+    replan_max = std::max(replan_max, tokens);
+  }
+  result.max_load_ratio =
+      replan_max > 0 ? static_cast<double>(patched_max) / static_cast<double>(replan_max) : 1.0;
+  if (static_cast<double>(patched_max) > (1.0 + eps) * static_cast<double>(replan_max)) {
+    result.failure = "patched max rank load exceeds the eps bound";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace zeppelin

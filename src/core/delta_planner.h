@@ -1,0 +1,296 @@
+// Incremental delta-planning subsystem for streaming / online batches.
+//
+// Motivation: in online training and continuous-batching serving, consecutive
+// iterations' batches differ by a handful of sequences, yet a full
+// SequencePartitioner::Partition() re-plans all S sequences from scratch
+// every iteration. The DeltaPlanner keeps the planner's decision state alive
+// between iterations — per-node loads (LoadTracker), per-node membership,
+// the inter-node chunk aggregates, the zone thresholds, and the flat
+// RingRef/rank_arena plan itself — and applies a BatchDelta by evicting only
+// the affected plan entries, re-packing only the changed sequences (through
+// the same round-batched GreedyPacker the parallel engine uses), and patching
+// headers and arena spans in place. Cost is O(|delta| · log P + dirty-node
+// work) instead of O((S + P) log P): ≥10x over a full re-plan at ≤1% churn
+// at bench scale (bench/planner_delta.cpp, BENCH_delta.json).
+//
+// Patch granularity follows the coupling structure of Alg. 1/2:
+//
+//   z0 locals (the bulk of long-tailed batches) are independent: a removed
+//   local is subtracted and swap-erased; an added one packs onto the globally
+//   least-loaded node, then that node's least-loaded device. O(log P) each.
+//
+//   z1 rings are coupled *within a node* through c_avg (the quadratic-work
+//   average that sets fragment counts): any churn touching a node's z1 set —
+//   a ring evicted, a z1-length sequence added, or a local overflowing device
+//   capacity — marks the node dirty, and the node's intra-node stage (Alg. 2)
+//   re-runs from its persistent inputs for that node only. Untouched nodes'
+//   plan slices are not rewritten.
+//
+//   z2 sequences are coupled *globally* through s_avg and the shared node
+//   loads that all chunk placement reads; any churn touching the inter-node
+//   zone falls back to a full re-plan (Rebase). In long-tailed workloads z2
+//   churn is rare by construction.
+//
+// Fallback policy (full re-plan, also exposed in DeltaStats): no base plan
+// yet; churn fraction above DeltaPlannerOptions::replan_threshold; delta
+// touches the inter-node zone; the base plan's s1 was refined below its
+// initial cap (capacity-tight batch — incremental packing could silently
+// diverge from what refinement would choose); incremental packing overflows
+// node capacity or the batch outgrows the pinned token capacity; or the
+// patched plan's token imbalance drifts more than replan_threshold above the
+// last full re-plan's. The imbalance guard is what turns the greedy patch
+// into a bounded-quality algorithm: a patched plan either stays within the
+// drift budget or is replaced by an exact one.
+//
+// Determinism and equivalence contract: the delta path is deterministic
+// (identical delta streams yield identical plans — pinned by StateDigest in
+// the soak tests), and a patched plan is *ring-set-equivalent* to a
+// from-scratch plan on the same batch at the same capacity: identical
+// coverage (every sequence exactly once), identical inter-node (z2) ring set,
+// token conservation, and max rank load within ε of the full re-plan's.
+// Byte-identity is impossible by design — greedy packing is
+// history-dependent, so intra-node assignments legitimately differ — which
+// is why the contract is checked through CheckDeltaEquivalence rather than
+// operator==. See docs/DELTA_PLANS.md for the state machine and the arena
+// patching invariants (a delta plan keeps the in-bounds and disjointness
+// invariants of docs/PLAN_FORMAT.md but relaxes tightness: evicted spans are
+// recycled through a free list and compacted when the dead fraction grows).
+#ifndef SRC_CORE_DELTA_PLANNER_H_
+#define SRC_CORE_DELTA_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/greedy_packer.h"
+#include "src/common/load_tracker.h"
+#include "src/core/partitioner.h"
+#include "src/data/stream.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+
+struct DeltaPlannerOptions {
+  // Per-device token capacity L. Required (> 0) and *pinned* across deltas:
+  // zone thresholds derive from it, so comparing a patched plan against a
+  // full re-plan is only meaningful at a fixed capacity. Rebase raises it
+  // automatically (avg + 25% headroom, like ZeppelinStrategy) if the batch
+  // outgrows world * L.
+  int64_t token_capacity = 0;
+  // Optional cap on automatic capacity raises (e.g. the memory model's
+  // bound); 0 = uncapped. Ignored when even the cap cannot fit the batch.
+  int64_t capacity_ceiling = 0;
+  // Caps on the initial zone thresholds, mirroring
+  // SequencePartitioner::Options (the zone-aware-initialization extension).
+  int64_t max_inter_threshold = 0;
+  int64_t max_local_threshold = 0;
+  // Fallback knob (ZeppelinOptions::delta_replan_threshold): full re-plan
+  // when the churn fraction — churned slots / live sequences, where a
+  // removal refilled by an addition is one replaced slot — exceeds this, or
+  // when the patched plan's token imbalance (max/mean) drifts more than this
+  // above the best imbalance since the last full re-plan.
+  double replan_threshold = 0.05;
+  // Engine selection for full re-plans, as in SequencePartitioner::Options.
+  bool fast_path = true;
+  ThreadPool* pool = nullptr;  // Non-owning; must outlive the planner.
+};
+
+// Why the last Apply() patched or fell back (also counted in DeltaStats).
+enum class DeltaOutcome : uint8_t {
+  kApplied = 0,       // Patched incrementally.
+  kRebasedNoBase,     // No base plan yet (first call or invalidated state).
+  kRebasedChurn,      // Churn fraction above replan_threshold.
+  kRebasedZone,       // Delta touches the inter-node zone (len >= s1).
+  kRebasedRefined,    // Base plan refined s1 (capacity-tight batch).
+  kRebasedCapacity,   // Packing overflow or batch outgrew the capacity.
+  kRebasedImbalance,  // Patched imbalance drifted past the threshold.
+};
+
+const char* DeltaOutcomeName(DeltaOutcome outcome);
+
+// Cumulative counters over a DeltaPlanner's lifetime.
+struct DeltaStats {
+  int64_t applied = 0;            // Apply() calls that patched in place.
+  int64_t rebased = 0;            // Apply() calls that fell back (all reasons).
+  int64_t rebase_no_base = 0;
+  int64_t rebase_churn = 0;
+  int64_t rebase_zone = 0;
+  int64_t rebase_refined = 0;
+  int64_t rebase_capacity = 0;
+  int64_t rebase_imbalance = 0;
+  int64_t patched_sequences = 0;  // Sequences placed by the delta path.
+  int64_t evicted_rings = 0;      // Ring spans freed (delta + dirty re-runs).
+  int64_t repacked_nodes = 0;     // Dirty-node Alg. 2 re-runs.
+  int64_t compactions = 0;        // Arena compaction passes.
+};
+
+// Keeps a PartitionPlan and the planner state that produced it alive across
+// iterations, patching both in response to BatchDeltas. Not thread-safe; one
+// instance per planning thread (the full re-plans it issues may themselves
+// use the thread pool, like any Partition() call).
+class DeltaPlanner {
+ public:
+  DeltaPlanner(const ClusterSpec& cluster, DeltaPlannerOptions options);
+
+  // Full re-plan on `batch`: runs the SequencePartitioner and captures the
+  // incremental state the delta path needs. Establishes the base plan and
+  // the imbalance reference for the drift guard. Does not count in stats
+  // (only Apply() outcomes do).
+  void Rebase(const Batch& batch);
+
+  // Advances one iteration: applies `delta` to the internal batch and either
+  // patches the plan in place or falls back to a full re-plan, per the
+  // policy above. Slot ids must be valid and not repeated within one delta.
+  DeltaOutcome Apply(const BatchDelta& delta);
+
+  // Drops the base plan; the next Apply() rebases (kRebasedNoBase). Called
+  // when external planning bypasses this planner.
+  void Invalidate() { has_base_ = false; }
+
+  bool has_base() const { return has_base_; }
+  // The current batch (after all applied deltas) and its patched plan. The
+  // plan reference is stable; its contents change with every Rebase/Apply.
+  const Batch& batch() const { return batch_; }
+  const PartitionPlan& plan() const { return plan_; }
+  const DeltaStats& stats() const { return stats_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  // Current pinned capacity (may have been auto-raised by a Rebase).
+  int64_t token_capacity() const { return options_.token_capacity; }
+  const DeltaPlannerOptions& options() const { return options_; }
+  // Dead (recycled but unused) rank slots currently in the arena free list.
+  size_t arena_free_slots() const { return free_total_; }
+
+  // Replaces the options; invalidates the base (thresholds derive from
+  // capacity, so patched state cannot be reinterpreted under new options).
+  void set_options(DeltaPlannerOptions options);
+
+ private:
+  struct SeqLocation {
+    enum class Kind : uint8_t {
+      kNone = 0,   // Not currently placed (default / just evicted).
+      kZ2Ring,     // Inter-node-zone ring (either queue); delta-immutable.
+      kIntraRing,  // z1 ring in plan_.intra_node.
+      kLocal,      // Entry in plan_.local.
+      kPending,    // Node member awaiting placement in this Apply().
+    };
+    Kind kind = Kind::kNone;
+    bool inter_queue = false;  // kZ2Ring: which queue holds the header.
+    int node = -1;             // Owning node (members and single-node z2).
+    uint32_t pos = 0;          // Index into the owning plan queue.
+    uint32_t member_pos = 0;   // Index into node_members_[node] (members).
+  };
+  struct FreeSpan {
+    uint32_t offset = 0;
+    uint32_t count = 0;
+  };
+  struct PendingRing {  // Dirty-node re-run: a ring decided but not yet emitted.
+    int slot = 0;
+    int64_t length = 0;
+    int fragments = 0;
+    int cursor_start = 0;
+  };
+
+  void RebaseInternal();
+  void CaptureState();
+  void EnsureCapacityFits(int64_t total_tokens);
+  DeltaOutcome ApplyViaRebase(const BatchDelta& delta, DeltaOutcome reason);
+  DeltaOutcome FallBack(DeltaOutcome reason);  // Mid-patch: batch_ already new.
+  void CountOutcome(DeltaOutcome reason);
+
+  // Removes `slot`'s current plan entry and rolls its load contributions out
+  // of tokens_per_rank / node_loads_. Reads the slot's (old) length from
+  // batch_, so it must run before the delta lands in batch_.
+  void EvictSlot(int slot);
+  void RemoveIntraHeaderAt(uint32_t pos);
+  void RemoveLocalAt(uint32_t pos);
+  void RemoveMember(int node, uint32_t member_pos);
+
+  // Places `slot` (length < s0, already a member of `node`) as a z0 local on
+  // the node's least-loaded device. Returns false on device-capacity
+  // overflow (caller marks the node dirty instead).
+  bool PlaceLocal(int slot, int node);
+  void MarkDirty(int node);
+  bool IsDirty(int node) const { return node_dirty_epoch_[node] == epoch_; }
+
+  // Re-runs the intra-node stage (Alg. 2) for one dirty node over its member
+  // list: evicts every member's plan entry, re-derives s0 from the pinned
+  // capacity, re-fragments z1 and re-packs z0, and emits into recycled or
+  // tail arena spans. Mirrors SequencePartitioner::PartitionIntraNodeFast
+  // (shared fragment math via partitioner_internal.h).
+  void RepackNode(int node);
+
+  uint32_t AllocSpan(uint32_t count);
+  void FreeRingSpan(const RingRef& ring);
+  void MaybeCompact();
+
+  double Imbalance() const;
+
+  ClusterSpec cluster_;
+  DeltaPlannerOptions options_;
+  SequencePartitioner partitioner_;
+  PlannerScratch scratch_;
+  PartitionPlan plan_;
+  Batch batch_;
+
+  bool has_base_ = false;
+  int64_t node_capacity_ = 0;  // gpus_per_node * token_capacity.
+  int64_t s1_initial_ = 0;     // Initial inter-node threshold (pre-refinement).
+  bool base_refined_ = false;  // Base plan ended with s1 < s1_initial_.
+  double base_imbalance_ = 1.0;
+  int live_count_ = 0;         // Non-tombstone sequences in batch_.
+
+  std::vector<SeqLocation> locations_;        // Per slot.
+  std::vector<std::vector<int>> node_members_;  // Per node: its z01 slots.
+  LoadTracker node_loads_;
+  std::vector<int64_t> chunk_whole_;  // Inter-chunk aggregates (see
+  std::vector<int64_t> chunk_rem_;    // PlannerScratch::node_chunk_*).
+
+  std::vector<FreeSpan> free_spans_;
+  size_t free_total_ = 0;
+  size_t live_ranks_ = 0;
+
+  // Apply() scratch (reused, steady-state allocation-free).
+  int epoch_ = 0;
+  std::vector<int> node_dirty_epoch_;
+  std::vector<int> slot_epoch_;
+  std::vector<int> dirty_nodes_;
+  std::vector<int> added_slots_;
+  std::vector<int> place_;       // Slots to (re)place, length-descending.
+  std::vector<int> place_node_;  // Node chosen for each placed slot.
+  GreedyPacker delta_packer_;
+  std::vector<int64_t> loads_buf_;
+  LoadTracker device_tracker_;
+  std::vector<int64_t> chunk_base_;
+  std::vector<PendingRing> ring_buf_;
+  std::vector<LocalSequence> z0_buf_;
+  std::vector<LocalSequence> z1_buf_;
+  std::vector<int> compact_buf_;
+
+  DeltaStats stats_;
+};
+
+// --- Equivalence checking (delta soak tests + planner-delta bench) ----------
+
+// Executable form of the delta determinism contract: verifies that `patched`
+// is ring-set-equivalent to `replan` (a from-scratch plan on the same batch
+// at the same capacity) within load tolerance `eps`:
+//   1. coverage — every batch sequence appears exactly once in each plan;
+//   2. patched arena validity — headers in-bounds, live spans disjoint
+//      (tightness is intentionally not required of delta plans);
+//   3. token conservation in both plans;
+//   4. identical s1 and identical inter-node-zone ring set (sequence, length,
+//      exact rank list) across both queues;
+//   5. ε-bound — max(patched tokens_per_rank) <= (1+eps) * max(replan's).
+struct DeltaEquivalenceResult {
+  bool ok = false;
+  std::string failure;        // Empty when ok; first violated clause otherwise.
+  double max_load_ratio = 0;  // patched max rank load / replan max rank load.
+};
+
+DeltaEquivalenceResult CheckDeltaEquivalence(const PartitionPlan& patched,
+                                             const PartitionPlan& replan,
+                                             const Batch& batch, double eps);
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_DELTA_PLANNER_H_

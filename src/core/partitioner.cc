@@ -25,6 +25,63 @@ double PartitionPlan::TokenImbalance() const {
   return 1.0 + ImbalanceRatio(loads);
 }
 
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvMix(uint64_t h, uint64_t v) {
+  // Fold 8 bytes at a time; FNV-1a is defined bytewise but a 64-bit fold
+  // keeps the same avalanche quality at 1/8 the multiplies, and the digest
+  // only needs to be a stable fingerprint, not the reference constant.
+  h ^= v;
+  return h * kFnvPrime;
+}
+
+}  // namespace
+
+uint64_t PartitionPlan::StateDigest() const {
+  // Per-entry hashes combine by addition within each queue (invariant to
+  // queue order and arena layout), then the queue digests chain through one
+  // final FNV pass (so content cannot migrate between queues unnoticed).
+  auto ring_queue_digest = [&](const std::vector<RingRef>& queue) {
+    uint64_t sum = 0;
+    for (const RingRef& ring : queue) {
+      uint64_t h = kFnvOffset;
+      h = FnvMix(h, static_cast<uint64_t>(ring.seq_id));
+      h = FnvMix(h, static_cast<uint64_t>(ring.length));
+      h = FnvMix(h, static_cast<uint64_t>(ring.zone));
+      h = FnvMix(h, ring.rank_count);
+      for (int rank : ranks(ring)) {
+        h = FnvMix(h, static_cast<uint64_t>(rank));
+      }
+      sum += h;
+    }
+    return sum;
+  };
+  uint64_t local_sum = 0;
+  for (const LocalSequence& seq : local) {
+    uint64_t h = kFnvOffset;
+    h = FnvMix(h, static_cast<uint64_t>(seq.seq_id));
+    h = FnvMix(h, static_cast<uint64_t>(seq.length));
+    h = FnvMix(h, static_cast<uint64_t>(seq.rank));
+    local_sum += h;
+  }
+
+  uint64_t digest = kFnvOffset;
+  digest = FnvMix(digest, ring_queue_digest(inter_node));
+  digest = FnvMix(digest, ring_queue_digest(intra_node));
+  digest = FnvMix(digest, local_sum);
+  for (int64_t tokens : tokens_per_rank) {
+    digest = FnvMix(digest, static_cast<uint64_t>(tokens));
+  }
+  digest = FnvMix(digest, static_cast<uint64_t>(threshold_s1));
+  for (int64_t s0 : threshold_s0) {
+    digest = FnvMix(digest, static_cast<uint64_t>(s0));
+  }
+  return digest;
+}
+
 void PartitionPlan::AddRing(std::vector<RingRef>& queue, int seq_id, int64_t length, Zone zone,
                             std::span<const int> ring_ranks) {
   ZCHECK(&queue == &inter_node || &queue == &intra_node)
@@ -382,11 +439,8 @@ void SequencePartitioner::PartitionInterNodeFast(const Batch& batch, PartitionPl
         // Shrink s1 to max(z01) = len and promote every sequence of length
         // >= len into z2: they form a contiguous block, so the boundary just
         // advances past it (no re-sort, no zone re-split).
-        s1 = len;
-        int nb = i + 1;
-        while (nb < n && batch.seq_lens[s->order[nb]] >= len) {
-          ++nb;
-        }
+        const int nb = planner_internal::AdvanceZoneBoundary(
+            n, i, [&](int j) { return batch.seq_lens[s->order[j]]; }, &s1);
         // Incremental-continuation test: the aborted pass must have been
         // pure z01 packing (z2 empty), and under the new s_avg every
         // promoted sequence must still chunk to a single node (max promoted
@@ -558,19 +612,11 @@ void SequencePartitioner::PartitionIntraNodeFast(const Batch& batch, int node,
   int boundary = ZoneBoundary(batch, seqs, s0);
 
   // Inter-node chunk spreading (lines 4-6) is zone-independent: hoist it out
-  // of the restart loop. The per-device share of a chunk q*p + r is
-  // q + (floor((d+1)r/p) - floor(dr/p)), so the aggregates the inter stage
-  // recorded (whole-share sum + remainder histogram) expand to the exact
-  // per-device loads in O(p^2) small-integer steps — no chunk list at all.
+  // of the restart loop. The aggregates the inter stage recorded expand to
+  // the exact per-device loads in O(p^2) small-integer steps — no chunk
+  // list at all.
   std::vector<int64_t>& chunk_base = s->device_base;
-  chunk_base.resize(p);
-  for (int d = 0; d < p; ++d) {
-    int64_t share = s->node_chunk_whole[node];
-    for (int r = 1; r < p; ++r) {
-      share += s->node_chunk_rem[node * p + r] * ((d + 1) * r / p - d * r / p);
-    }
-    chunk_base[d] = share;
-  }
+  planner_internal::ExpandChunkBase(s->node_chunk_whole, s->node_chunk_rem, node, p, &chunk_base);
 
   // Rings and z0 locals go straight into the plan; a restart rewinds this
   // node's headers, arena slots, and locals (earlier nodes are untouched).
@@ -588,43 +634,27 @@ void SequencePartitioner::PartitionIntraNodeFast(const Batch& batch, int node,
     // are replayed on top (a restart changes c_avg, invalidating them).
     s->device_loads.Assign(chunk_base);
 
-    // Quadratic-balanced fragmentation of intra-node sequences (lines 8-12).
-    double c_total = 0;
-    for (int i = 0; i < boundary; ++i) {
-      const double len = static_cast<double>(batch.seq_lens[seqs[i]]);
-      c_total += len * len;
-    }
-    int cursor = 0;  // Round-robin start for fragment placement.
-    if (boundary > 0) {
-      const double c_avg = c_total / p;
-      for (int i = 0; i < boundary; ++i) {
-        const int id = seqs[i];
-        const int64_t len = batch.seq_lens[id];
-        const int fragments = IntraNodeFragmentCount(static_cast<double>(len), c_avg, p);
-
-        if (fragments == 1) {
+    // Quadratic-balanced fragmentation of intra-node sequences (lines 8-12),
+    // via the shared pass (cursor progression and fragment counts are
+    // equivalence-critical across engines).
+    planner_internal::FragmentZone1(
+        boundary, p, [&](int i) { return batch.seq_lens[seqs[i]]; },
+        [&](int i, int64_t len, int fragments, int cursor) {
+          int* out = EmitRing(&plan->intra_node, &s->intra_ring_count, &plan->rank_arena,
+                              &s->arena_count, seqs[i], len, Zone::kIntraNode, fragments);
+          planner_internal::ForEachFragment(len, fragments, cursor, p,
+                                            [&](int f, int device, int64_t share) {
+                                              out[f] = rank_base + device;
+                                              s->device_loads.add(device, share);
+                                            });
+        },
+        [&](int i, int64_t len, int device) {
           // A single-fragment "ring" is a local kernel; record it directly
           // (it lands after this node's z0 locals, like the reference path's
           // size-1 ring conversion).
-          s->locals.push_back({id, len, rank_base + cursor});
-          s->device_loads.add(cursor, len);
-          cursor = (cursor + 1) % p;
-          continue;
-        }
-
-        int* out = EmitRing(&plan->intra_node, &s->intra_ring_count, &plan->rank_arena,
-                            &s->arena_count, id, len, Zone::kIntraNode, fragments);
-        int64_t prev_edge = 0;
-        for (int f = 0; f < fragments; ++f) {
-          const int device = (cursor + f) % p;
-          out[f] = rank_base + device;
-          const int64_t edge = len * (f + 1) / fragments;
-          s->device_loads.add(device, edge - prev_edge);
-          prev_edge = edge;
-        }
-        cursor = (cursor + fragments) % p;
-      }
-    }
+          s->locals.push_back({seqs[i], len, rank_base + device});
+          s->device_loads.add(device, len);
+        });
 
     // Local sequences onto least-loaded devices (lines 13-21).
     bool overflowed = false;
@@ -633,14 +663,8 @@ void SequencePartitioner::PartitionIntraNodeFast(const Batch& batch, int node,
       const int64_t len = batch.seq_lens[id];
       const int idx = s->device_loads.pack_min(len, capacity);
       if (idx < 0) {
-        // Shrink s0 to max(z0) = len; promoted sequences form a contiguous
-        // block, so the boundary just advances.
-        s0 = len;
-        int nb = i + 1;
-        while (nb < n && batch.seq_lens[seqs[nb]] >= len) {
-          ++nb;
-        }
-        boundary = nb;
+        boundary = planner_internal::AdvanceZoneBoundary(
+            n, i, [&](int j) { return batch.seq_lens[seqs[j]]; }, &s0);
         overflowed = true;
         break;
       }

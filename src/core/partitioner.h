@@ -218,6 +218,18 @@ struct PartitionPlan {
   // max/mean of tokens_per_rank (1.0 = perfectly token-balanced).
   double TokenImbalance() const;
 
+  // FNV-1a digest of the plan's logical content: ring headers with their
+  // resolved rank spans (content-addressed through the arena), locals, the
+  // per-rank token layout, and the thresholds. Per-queue entries combine
+  // order-independently, so the digest is invariant to arena layout and to
+  // queue permutation: two plans digest equal iff they describe the same ring
+  // set, local set, rank loads, and thresholds — the equivalence currency of
+  // the delta planner, where byte-identity is impossible by design (see
+  // docs/DELTA_PLANS.md). O(plan), no materialized copies. Byte-identical
+  // plans always digest equal, so full-replan engines can also use it as a
+  // cheap identity probe.
+  uint64_t StateDigest() const;
+
   // Byte-identity across planner paths (the fast-path equivalence contract):
   // headers compare field-wise, the rank arena as one flat array.
   bool operator==(const PartitionPlan&) const = default;

@@ -39,6 +39,83 @@ inline void RecordChunkAggregate(int node, int64_t chunk, int p, std::vector<int
   ++(*rem)[node * p + (chunk - q * p)];
 }
 
+// Expands `node`'s recorded chunk aggregates into the exact per-device base
+// loads (the inter-node chunk spreading of Alg. 2 lines 4-6): the share of a
+// chunk q*p + r on device d is q + (floor((d+1)r/p) - floor(dr/p)). Every
+// intra-stage consumer (serial fast, sharded, delta re-pack) must expand
+// identically.
+inline void ExpandChunkBase(const std::vector<int64_t>& whole, const std::vector<int64_t>& rem,
+                            int node, int p, std::vector<int64_t>* out) {
+  out->resize(p);
+  for (int d = 0; d < p; ++d) {
+    int64_t share = whole[node];
+    for (int r = 1; r < p; ++r) {
+      share += rem[node * p + r] * ((d + 1) * r / p - d * r / p);
+    }
+    (*out)[d] = share;
+  }
+}
+
+// Causal-balanced fragment split: calls fn(f, device, share) for each of the
+// `fragments` fragments of a length-`len` sequence placed round-robin from
+// `cursor`. The edge arithmetic len*(f+1)/F - len*f/F is the emission-time
+// split every engine (and the delta planner's load roll-back) must mirror.
+template <typename Fn>
+inline void ForEachFragment(int64_t len, int fragments, int cursor, int p, Fn&& fn) {
+  int64_t prev_edge = 0;
+  for (int f = 0; f < fragments; ++f) {
+    const int64_t edge = len * (f + 1) / fragments;
+    fn(f, (cursor + f) % p, edge - prev_edge);
+    prev_edge = edge;
+  }
+}
+
+// One z1 fragmentation pass of Alg. 2 (lines 8-12) over the zone-1 prefix
+// [0, boundary): derives c_avg from the quadratic work sum, walks the
+// round-robin cursor, and routes each sequence to emit_ring(i, len,
+// fragments, cursor) or — for single-fragment sequences, which execute as
+// local kernels — emit_local(i, len, device). The cursor progression and
+// fragment counts are equivalence-critical; engines supply only storage.
+template <typename LenFn, typename EmitRingFn, typename EmitLocalFn>
+inline void FragmentZone1(int boundary, int p, LenFn&& len_of, EmitRingFn&& emit_ring,
+                          EmitLocalFn&& emit_local) {
+  if (boundary <= 0) {
+    return;
+  }
+  double c_total = 0;
+  for (int i = 0; i < boundary; ++i) {
+    const double len = static_cast<double>(len_of(i));
+    c_total += len * len;
+  }
+  const double c_avg = c_total / p;
+  int cursor = 0;
+  for (int i = 0; i < boundary; ++i) {
+    const int64_t len = len_of(i);
+    const int fragments = IntraNodeFragmentCount(static_cast<double>(len), c_avg, p);
+    if (fragments == 1) {
+      emit_local(i, len, cursor);
+      cursor = (cursor + 1) % p;
+    } else {
+      emit_ring(i, len, fragments, cursor);
+      cursor = (cursor + fragments) % p;
+    }
+  }
+}
+
+// The overflow-restart rule shared by every packing stage (Alg. 1 line 15 /
+// Alg. 2 line 17): shrink the threshold to the overflowing length and
+// advance the zone boundary past the contiguous equal-or-longer block (the
+// order is length-descending, so promoted sequences are exactly that block).
+template <typename LenFn>
+inline int AdvanceZoneBoundary(int n, int overflow_index, LenFn&& len_of, int64_t* threshold) {
+  *threshold = len_of(overflow_index);
+  int nb = overflow_index + 1;
+  while (nb < n && len_of(nb) >= *threshold) {
+    ++nb;
+  }
+  return nb;
+}
+
 // Cursor-based ring emission into flat storage: writes a header into the
 // recycled slot refs[*ref_count] and reserves `count` rank slots at the arena
 // cursor, growing both containers only past their high-water mark (the

@@ -35,9 +35,12 @@
 
 namespace zeppelin {
 
+using planner_internal::AdvanceZoneBoundary;
 using planner_internal::EmitRing;
+using planner_internal::ExpandChunkBase;
+using planner_internal::ForEachFragment;
+using planner_internal::FragmentZone1;
 using planner_internal::InterNodeChunkCount;
-using planner_internal::IntraNodeFragmentCount;
 
 namespace {
 
@@ -298,11 +301,8 @@ void SequencePartitioner::PartitionInterNodeSharded(const Batch& batch, Partitio
     // Overflow: shrink s1 to max(z01) = the overflowing length and promote
     // every sequence of length >= it into z2 — a contiguous block, so the
     // boundary just advances (no re-sort, no zone re-split).
-    s1 = KeyLen(z01[packed]);
-    int nb = boundary + packed + 1;
-    while (nb < n && KeyLen(s->keys[nb]) >= s1) {
-      ++nb;
-    }
+    const int nb = AdvanceZoneBoundary(
+        n, boundary + packed, [&](int j) { return KeyLen(s->keys[j]); }, &s1);
     for (int i = boundary; i < nb; ++i) {
       z2_total += KeyLen(s->keys[i]);
     }
@@ -356,14 +356,7 @@ void SequencePartitioner::PartitionIntraNodeSharded(int node, int context,
 
   // Inter-node chunk spreading (lines 4-6) from the aggregates the inter
   // stage recorded; zone-independent, so hoisted out of the restart loop.
-  slab.chunk_base.resize(p);
-  for (int d = 0; d < p; ++d) {
-    int64_t share = s->node_chunk_whole[node];
-    for (int r = 1; r < p; ++r) {
-      share += s->node_chunk_rem[node * p + r] * ((d + 1) * r / p - d * r / p);
-    }
-    slab.chunk_base[d] = share;
-  }
+  ExpandChunkBase(s->node_chunk_whole, s->node_chunk_rem, node, p, &slab.chunk_base);
 
   int64_t s0 = capacity;  // Alg. 2 line 1.
   if (options_.max_local_threshold > 0) {
@@ -378,41 +371,24 @@ void SequencePartitioner::PartitionIntraNodeSharded(int node, int context,
     res.locals_z1.clear();
     slab.loads = slab.chunk_base;
 
-    // Quadratic-balanced fragmentation of intra-node sequences (lines 8-12).
-    double c_total = 0;
-    for (int i = 0; i < boundary; ++i) {
-      const double len = static_cast<double>(KeyLen(items[i]));
-      c_total += len * len;
-    }
-    int cursor = 0;  // Round-robin start for fragment placement.
-    if (boundary > 0) {
-      const double c_avg = c_total / p;
-      for (int i = 0; i < boundary; ++i) {
-        const int id = KeyId(items[i]);
-        const int64_t len = KeyLen(items[i]);
-        const int fragments = IntraNodeFragmentCount(static_cast<double>(len), c_avg, p);
-
-        if (fragments == 1) {
+    // Quadratic-balanced fragmentation of intra-node sequences (lines 8-12),
+    // via the shared pass (cursor progression and fragment counts are
+    // equivalence-critical across engines).
+    FragmentZone1(
+        boundary, p, [&](int i) { return KeyLen(items[i]); },
+        [&](int i, int64_t len, int fragments, int cursor) {
+          int* out = res.rings.Append(KeyId(items[i]), len, Zone::kIntraNode, fragments);
+          ForEachFragment(len, fragments, cursor, p, [&](int f, int device, int64_t share) {
+            out[f] = rank_base + device;
+            slab.loads[device] += share;
+          });
+        },
+        [&](int i, int64_t len, int device) {
           // A single-fragment "ring" is a local kernel (lands after this
           // node's z0 locals, like the reference path's ring conversion).
-          res.locals_z1.push_back({id, len, rank_base + cursor});
-          slab.loads[cursor] += len;
-          cursor = (cursor + 1) % p;
-          continue;
-        }
-
-        int* out = res.rings.Append(id, len, Zone::kIntraNode, fragments);
-        int64_t prev_edge = 0;
-        for (int f = 0; f < fragments; ++f) {
-          const int device = (cursor + f) % p;
-          out[f] = rank_base + device;
-          const int64_t edge = len * (f + 1) / fragments;
-          slab.loads[device] += edge - prev_edge;
-          prev_edge = edge;
-        }
-        cursor = (cursor + fragments) % p;
-      }
-    }
+          res.locals_z1.push_back({KeyId(items[i]), len, rank_base + device});
+          slab.loads[device] += len;
+        });
 
     // Round-batched z0 packing onto least-loaded devices (lines 13-21).
     slab.packer.Assign(slab.loads);
@@ -428,12 +404,8 @@ void SequencePartitioner::PartitionIntraNodeSharded(int node, int context,
     }
     // Shrink s0 to max(z0) = the overflowing length; promoted sequences form
     // a contiguous block, so the boundary just advances.
-    s0 = KeyLen(z0[packed]);
-    int nb = boundary + packed + 1;
-    while (nb < n && KeyLen(items[nb]) >= s0) {
-      ++nb;
-    }
-    boundary = nb;
+    boundary = AdvanceZoneBoundary(
+        n, boundary + packed, [&](int j) { return KeyLen(items[j]); }, &s0);
     // The boundary strictly advances on every restart, so the chain is
     // bounded by the node's sequence count.
     ZCHECK_LE(++restarts, n) << "intra-node restart chain exceeded its bound";

@@ -69,6 +69,7 @@ std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec,
   if (base == "zeppelin") {
     ZeppelinOptions options;
     options.num_planner_threads = defaults.num_planner_threads;
+    options.delta_replan_threshold = defaults.delta_replan_threshold;
     for (size_t i = 1; i < parts.size(); ++i) {
       const std::string& mod = parts[i];
       if (mod == "-routing") {

@@ -28,11 +28,15 @@ namespace zeppelin {
 
 // Knobs that tools pass alongside a spec string (typically straight from
 // command-line flags) and that apply across specs rather than naming a
-// variant — currently just the planner's thread count.
+// variant.
 struct StrategyDefaults {
   // ZeppelinOptions::num_planner_threads for zeppelin specs: 0 = serial PR-1
   // fast path, N >= 1 = sharded engine on N contexts. Ignored by baselines.
   int num_planner_threads = 1;
+  // ZeppelinOptions::delta_replan_threshold for zeppelin specs: streaming
+  // (PlanDelta) fallback knob — full re-plan above this churn fraction or
+  // imbalance drift. Ignored by baselines (their PlanDelta re-plans fully).
+  double delta_replan_threshold = 0.05;
 };
 
 // Creates a strategy from a spec string; aborts (ZCHECK) on unknown specs.

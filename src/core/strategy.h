@@ -22,6 +22,8 @@
 
 namespace zeppelin {
 
+struct BatchDelta;  // src/data/stream.h
+
 class Strategy {
  public:
   virtual ~Strategy() = default;
@@ -31,6 +33,19 @@ class Strategy {
   // Plans the batch layout. Called once per batch, before any EmitLayer.
   virtual void Plan(const Batch& batch, const CostModel& cost_model,
                     const FabricResources& fabric) = 0;
+
+  // Streaming/online form: plans `batch`, which differs from the previously
+  // planned batch by exactly `delta` (already applied — `batch` is the new
+  // batch; see src/data/stream.h for the slot semantics). The default simply
+  // re-plans from scratch; strategies with incremental planners (Zeppelin's
+  // delta-planning subsystem, docs/DELTA_PLANS.md) override this to patch
+  // the previous plan instead. Interchangeable with Plan() for correctness:
+  // after either call, EmitLayer() emits a valid layout for `batch`.
+  virtual void PlanDelta(const Batch& batch, const BatchDelta& delta,
+                         const CostModel& cost_model, const FabricResources& fabric) {
+    (void)delta;
+    Plan(batch, cost_model, fabric);
+  }
 
   // Emits one transformer layer (attention + linear modules + any data
   // movement the strategy needs) into `graph`. Returns one done-task per rank.

@@ -27,6 +27,53 @@ std::string ZeppelinStrategy::name() const {
   return n;
 }
 
+int64_t ZeppelinStrategy::DeriveCapacity(const Batch& batch, const CostModel& cost_model,
+                                         const ClusterSpec& spec) const {
+  if (options_.token_capacity != 0) {
+    return options_.token_capacity;
+  }
+  // L is the per-device *memory* capacity (Alg. 1/2 input). The paper's
+  // workloads size the batch to nearly fill memory (4k tokens/GPU), so L
+  // sits a modest headroom above the batch average; we model that with a
+  // 25% slack, additionally capped by the memory model when it binds.
+  const int world = spec.world_size();
+  const int64_t average = (batch.total_tokens() + world - 1) / world;
+  int64_t with_slack = average + average / 4;
+  const int64_t memory_cap = TokenCapacity(cost_model.model(), spec, world);
+  if (memory_cap > 0) {
+    with_slack = std::min(with_slack, memory_cap);
+  }
+  return std::max(average, with_slack);
+}
+
+const ZoneBoundaries& ZeppelinStrategy::CachedZones(const CostModel& cost_model,
+                                                    const ClusterSpec& spec) {
+  // Keyed on the cost model's identity and the cluster value: an address
+  // alone can be reused by a different model, so the model name and the
+  // cluster spec participate in the comparison.
+  if (!zone_cache_ || zone_cache_model_ != &cost_model ||
+      zone_cache_model_name_ != cost_model.model().name || !(zone_cache_cluster_ == spec)) {
+    zone_cache_ = ZoneClassifier(cost_model).Compute();
+    zone_cache_model_ = &cost_model;
+    zone_cache_model_name_ = cost_model.model().name;
+    zone_cache_cluster_ = spec;
+  }
+  return *zone_cache_;
+}
+
+ThreadPool* ZeppelinStrategy::PlannerPool() {
+  if (!options_.planner_fast_path || options_.num_planner_threads < 1) {
+    return nullptr;
+  }
+  // Compare against the pool's own clamp so an out-of-range knob does not
+  // rebuild the pool on every Plan() call.
+  const int contexts = std::clamp(options_.num_planner_threads, 1, ThreadPool::kMaxContexts);
+  if (!planner_pool_ || planner_pool_->num_contexts() != contexts) {
+    planner_pool_.emplace(contexts);
+  }
+  return &*planner_pool_;
+}
+
 void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
                             const FabricResources& fabric) {
   cost_model_ = &cost_model;
@@ -34,36 +81,21 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
   const ClusterSpec& spec = fabric.cluster();
   const int world = spec.world_size();
 
+  // Full planning bypasses the incremental state; the next PlanDelta()
+  // re-establishes its base with a fresh full partition.
+  if (delta_) {
+    delta_->Invalidate();
+  }
+  current_plan_ = &plan_;
+
   auto start = std::chrono::steady_clock::now();
 
   if (options_.hierarchical_partitioning) {
-    int64_t capacity = options_.token_capacity;
-    if (capacity == 0) {
-      // L is the per-device *memory* capacity (Alg. 1/2 input). The paper's
-      // workloads size the batch to nearly fill memory (4k tokens/GPU), so L
-      // sits a modest headroom above the batch average; we model that with a
-      // 25% slack, additionally capped by the memory model when it binds.
-      const int64_t average = (batch.total_tokens() + world - 1) / world;
-      int64_t with_slack = average + average / 4;
-      const int64_t memory_cap = TokenCapacity(cost_model.model(), spec, world);
-      if (memory_cap > 0) {
-        with_slack = std::min(with_slack, memory_cap);
-      }
-      capacity = std::max(average, with_slack);
-    }
-    SequencePartitioner::Options popts{.token_capacity = capacity,
-                                       .fast_path = options_.planner_fast_path};
-    if (options_.planner_fast_path && options_.num_planner_threads >= 1) {
-      // Compare against the pool's own clamp so an out-of-range knob does not
-      // rebuild the pool on every Plan() call.
-      const int contexts = std::clamp(options_.num_planner_threads, 1, ThreadPool::kMaxContexts);
-      if (!planner_pool_ || planner_pool_->num_contexts() != contexts) {
-        planner_pool_.emplace(contexts);
-      }
-      popts.pool = &*planner_pool_;
-    }
+    SequencePartitioner::Options popts{.token_capacity = DeriveCapacity(batch, cost_model, spec),
+                                       .fast_path = options_.planner_fast_path,
+                                       .pool = PlannerPool()};
     if (options_.zone_aware_thresholds) {
-      const ZoneBoundaries zones = ZoneClassifier(cost_model).Compute();
+      const ZoneBoundaries& zones = CachedZones(cost_model, spec);
       popts.max_inter_threshold = zones.intra_max;
       popts.max_local_threshold = zones.local_max;
     }
@@ -99,17 +131,71 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
                              .count();
   }
 
+  FinishPlanning(cost_model, fabric);
+}
+
+void ZeppelinStrategy::PlanDelta(const Batch& batch, const BatchDelta& delta,
+                                 const CostModel& cost_model, const FabricResources& fabric) {
+  if (!options_.hierarchical_partitioning || !options_.planner_fast_path) {
+    // The delta planner patches the hierarchical fast-path state; without it
+    // streaming degenerates to per-iteration full planning.
+    Plan(batch, cost_model, fabric);
+    return;
+  }
+  cost_model_ = &cost_model;
+  fabric_ = &fabric;
+  const ClusterSpec& spec = fabric.cluster();
+
+  const auto start = std::chrono::steady_clock::now();
+  if (!delta_ || !(delta_->cluster() == spec) || !delta_->has_base()) {
+    // (Re)establish the base: capacity pinned from this batch, zone caps
+    // from the cached boundaries, and the memory model as the ceiling for
+    // automatic capacity raises on later growth.
+    DeltaPlannerOptions dopts;
+    dopts.token_capacity = DeriveCapacity(batch, cost_model, spec);
+    dopts.capacity_ceiling = TokenCapacity(cost_model.model(), spec, spec.world_size());
+    if (options_.zone_aware_thresholds) {
+      const ZoneBoundaries& zones = CachedZones(cost_model, spec);
+      dopts.max_inter_threshold = zones.intra_max;
+      dopts.max_local_threshold = zones.local_max;
+    }
+    dopts.replan_threshold = options_.delta_replan_threshold;
+    dopts.fast_path = true;
+    dopts.pool = PlannerPool();
+    if (!delta_ || !(delta_->cluster() == spec)) {
+      delta_.emplace(spec, dopts);
+    } else {
+      delta_->set_options(dopts);
+    }
+    delta_->Rebase(batch);
+    last_delta_outcome_ = DeltaOutcome::kRebasedNoBase;
+  } else {
+    last_delta_outcome_ = delta_->Apply(delta);
+    ZCHECK_EQ(delta_->batch().size(), batch.size())
+        << "PlanDelta batch does not match the delta planner's batch";
+  }
+  partition_time_us_ = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  current_plan_ = &delta_->plan();
+
+  FinishPlanning(cost_model, fabric);
+}
+
+void ZeppelinStrategy::FinishPlanning(const CostModel& cost_model, const FabricResources& fabric) {
+  const int world = fabric.cluster().world_size();
   routing_.emplace(fabric, options_.routing);
   engine_.emplace(cost_model, fabric, *routing_, options_.engine);
   remapping_.emplace(cost_model, fabric, options_.remapping);
 
+  const PartitionPlan& plan = *current_plan_;
   if (options_.remapping.enabled) {
-    remapping_->Plan(plan_.tokens_per_rank, &remap_scratch_, &remap_solution_);
+    remapping_->Plan(plan.tokens_per_rank, &remap_scratch_, &remap_solution_);
   } else {
     remap_solution_ = RemapSolution{};
     remap_solution_.transfer.assign(world, std::vector<int64_t>(world, 0));
   }
-  linear_tokens_ = plan_.tokens_per_rank;
+  linear_tokens_ = plan.tokens_per_rank;
   if (options_.remapping.enabled) {
     for (int i = 0; i < world; ++i) {
       for (int j = 0; j < world; ++j) {
@@ -127,7 +213,7 @@ std::vector<TaskId> ZeppelinStrategy::EmitLayer(TaskGraph& graph, Direction dire
 
   if (direction == Direction::kForward) {
     // attention -> remap to balanced -> linear modules -> remap back.
-    const std::vector<TaskId> attn_done = engine_->Emit(graph, plan_, direction, {}, tag);
+    const std::vector<TaskId> attn_done = engine_->Emit(graph, *current_plan_, direction, {}, tag);
     auto to_deps = [](const std::vector<TaskId>& v) {
       std::vector<std::vector<TaskId>> deps(v.size());
       for (size_t i = 0; i < v.size(); ++i) {
@@ -136,7 +222,7 @@ std::vector<TaskId> ZeppelinStrategy::EmitLayer(TaskGraph& graph, Direction dire
       return deps;
     };
     const RemappingLayer::EmitResult remap_in = remapping_->Emit(
-        graph, plan_.tokens_per_rank, remap_solution_, /*inverse=*/false, to_deps(attn_done),
+        graph, current_plan_->tokens_per_rank, remap_solution_, /*inverse=*/false, to_deps(attn_done),
         tag + ".remap_in");
     const std::vector<TaskId> linear_done =
         EmitLinearStage(graph, *cost_model_, *fabric_, remap_in.new_tokens, direction,
@@ -158,14 +244,14 @@ std::vector<TaskId> ZeppelinStrategy::EmitLayer(TaskGraph& graph, Direction dire
     return deps;
   };
   const RemappingLayer::EmitResult remap_in = remapping_->Emit(
-      graph, plan_.tokens_per_rank, remap_solution_, /*inverse=*/false, {}, "bwd.remap_in");
+      graph, current_plan_->tokens_per_rank, remap_solution_, /*inverse=*/false, {}, "bwd.remap_in");
   const std::vector<TaskId> linear_done =
       EmitLinearStage(graph, *cost_model_, *fabric_, remap_in.new_tokens, direction,
                       to_deps(remap_in.done), "bwd");
   const RemappingLayer::EmitResult remap_out = remapping_->Emit(
       graph, remap_in.new_tokens, remap_solution_, /*inverse=*/true, to_deps(linear_done),
       "bwd.remap_out");
-  return engine_->Emit(graph, plan_, direction, to_deps(remap_out.done), "bwd");
+  return engine_->Emit(graph, *current_plan_, direction, to_deps(remap_out.done), "bwd");
 }
 
 std::vector<int64_t> ZeppelinStrategy::LinearTokensPerRank() const { return linear_tokens_; }

@@ -13,10 +13,12 @@
 
 #include "src/common/thread_pool.h"
 #include "src/core/attention_engine.h"
+#include "src/core/delta_planner.h"
 #include "src/core/partitioner.h"
 #include "src/core/remapping.h"
 #include "src/core/routing.h"
 #include "src/core/strategy.h"
+#include "src/core/zones.h"
 
 namespace zeppelin {
 
@@ -54,6 +56,12 @@ struct ZeppelinOptions {
   // PR-1 serial fast path (the bench baseline). Plans are bit-identical at
   // every setting.
   int num_planner_threads = 1;
+
+  // Streaming (PlanDelta) fallback knob: the delta planner re-plans from
+  // scratch when the churn fraction exceeds this, or when the patched plan's
+  // token imbalance drifts more than this above the last full re-plan's
+  // (DeltaPlannerOptions::replan_threshold; see docs/DELTA_PLANS.md).
+  double delta_replan_threshold = 0.05;
 };
 
 class ZeppelinStrategy : public Strategy {
@@ -67,6 +75,16 @@ class ZeppelinStrategy : public Strategy {
   // partitioner, scratch, and pool across calls (steady-state allocation-free).
   void Plan(const Batch& batch, const CostModel& cost_model,
             const FabricResources& fabric) override;
+  // Streaming form: patches the previous plan through the delta-planning
+  // subsystem (src/core/delta_planner.h) instead of re-partitioning all S
+  // sequences, falling back to a full re-plan per the delta_replan_threshold
+  // policy. The first call (or any call after Plan(), which invalidates the
+  // incremental state) establishes the base plan with a full partition. The
+  // token capacity is pinned at the base plan and auto-raised only when the
+  // batch outgrows it. Requires hierarchical partitioning + the planner fast
+  // path; otherwise falls back to Plan().
+  void PlanDelta(const Batch& batch, const BatchDelta& delta, const CostModel& cost_model,
+                 const FabricResources& fabric) override;
   // Emits one transformer layer for the planned batch into `graph`:
   // attention queues + remap + linear stage (mirrored in backward). Plan()
   // must have run first.
@@ -75,18 +93,38 @@ class ZeppelinStrategy : public Strategy {
   std::vector<int64_t> LinearTokensPerRank() const override;
 
   // Planning artefacts (for tests, benches, and the Table 3 case study).
-  const PartitionPlan& partition_plan() const { return plan_; }
+  // After PlanDelta() this is the delta planner's patched plan; after Plan()
+  // it is the full-partition plan.
+  const PartitionPlan& partition_plan() const { return *current_plan_; }
   const RemapSolution& remap_solution() const { return remap_solution_; }
-  // Wall time of the sequence-partitioning step (Alg. 1/2) in the last
-  // Plan() call — the Table 3 "Sequence Partition" cost.
+  // Wall time of the sequence-partitioning step in the last Plan()/
+  // PlanDelta() call — for PlanDelta, the patch (or fallback re-plan) time.
   double partition_time_us() const { return partition_time_us_; }
+  // Delta-planning telemetry (valid after the first PlanDelta() call).
+  const DeltaStats* delta_stats() const { return delta_ ? &delta_->stats() : nullptr; }
+  DeltaOutcome last_delta_outcome() const { return last_delta_outcome_; }
 
  private:
+  // Per-device token capacity L for `batch` (explicit option, or the tight
+  // average + 25% headroom capped by the memory model).
+  int64_t DeriveCapacity(const Batch& batch, const CostModel& cost_model,
+                         const ClusterSpec& spec) const;
+  // Zone boundaries for the zone-aware-thresholds extension, cached across
+  // Plan() calls and recomputed only when the cost model or cluster changes
+  // (the Fig. 5 crossover scan is ~10^4 cost-model probes — pure overhead
+  // when repeated on an unchanged cluster every iteration).
+  const ZoneBoundaries& CachedZones(const CostModel& cost_model, const ClusterSpec& spec);
+  ThreadPool* PlannerPool();
+  // Shared tail of Plan()/PlanDelta(): routing/engine/remapping (re)build,
+  // remap solve on the current plan, and the linear-stage token layout.
+  void FinishPlanning(const CostModel& cost_model, const FabricResources& fabric);
+
   ZeppelinOptions options_;
   const CostModel* cost_model_ = nullptr;
   const FabricResources* fabric_ = nullptr;
 
   PartitionPlan plan_;
+  const PartitionPlan* current_plan_ = &plan_;
   RemapSolution remap_solution_;
   std::vector<int64_t> linear_tokens_;
   double partition_time_us_ = 0;
@@ -99,6 +137,18 @@ class ZeppelinStrategy : public Strategy {
   RemapScratch remap_scratch_;
   // Lazily built when num_planner_threads >= 1; rebuilt if the count changes.
   std::optional<ThreadPool> planner_pool_;
+
+  // Streaming state (PlanDelta): rebuilt when the cluster changes; holds the
+  // patched plan and the persistent planner state between iterations.
+  std::optional<DeltaPlanner> delta_;
+  DeltaOutcome last_delta_outcome_ = DeltaOutcome::kRebasedNoBase;
+
+  // Zone-boundary cache (zone_aware_thresholds): invalidated only when the
+  // cost model or cluster actually changes.
+  std::optional<ZoneBoundaries> zone_cache_;
+  const CostModel* zone_cache_model_ = nullptr;
+  std::string zone_cache_model_name_;
+  ClusterSpec zone_cache_cluster_;
 
   std::optional<RoutingLayer> routing_;
   std::optional<AttentionEngine> engine_;

@@ -1,0 +1,113 @@
+#include "src/data/stream.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace zeppelin {
+
+void ApplyBatchDelta(const BatchDelta& delta, Batch* batch,
+                     std::vector<int>* added_slots) {
+  ZCHECK(batch != nullptr);
+  if (added_slots != nullptr) {
+    added_slots->clear();
+  }
+
+  // Resizes are direct slot writes.
+  for (const auto& [slot, new_len] : delta.resized) {
+    ZCHECK(slot >= 0 && slot < batch->size()) << "resize slot out of range: " << slot;
+    ZCHECK_GE(new_len, 0);
+    batch->seq_lens[slot] = new_len;
+  }
+
+  // Freed slots are refilled by additions in ascending slot order, so the
+  // add -> slot mapping is a pure function of the delta (the determinism the
+  // planner-side mirroring depends on).
+  std::vector<int> freed = delta.removed;
+  std::sort(freed.begin(), freed.end());
+  size_t next_free = 0;
+  for (int64_t len : delta.added) {
+    ZCHECK_GE(len, 0);
+    int slot;
+    if (next_free < freed.size()) {
+      slot = freed[next_free++];
+      ZCHECK(slot >= 0 && slot < batch->size()) << "removed slot out of range: " << slot;
+    } else {
+      slot = batch->size();
+      batch->seq_lens.push_back(0);
+    }
+    batch->seq_lens[slot] = len;
+    if (added_slots != nullptr) {
+      added_slots->push_back(slot);
+    }
+  }
+  // Surplus removals become zero-length tombstones: the slot stays, carrying
+  // no tokens, so every other slot id remains stable.
+  for (; next_free < freed.size(); ++next_free) {
+    const int slot = freed[next_free];
+    ZCHECK(slot >= 0 && slot < batch->size()) << "removed slot out of range: " << slot;
+    batch->seq_lens[slot] = 0;
+  }
+}
+
+WorkloadStream::WorkloadStream(LengthDistribution dist, Batch initial,
+                               StreamOptions options, uint64_t seed)
+    : dist_(std::move(dist)), batch_(std::move(initial)), options_(options), rng_(seed) {
+  ZCHECK_GT(batch_.size(), 0);
+  ZCHECK(options_.churn_fraction >= 0 && options_.churn_fraction <= 1.0);
+  ZCHECK(options_.resize_fraction >= 0 && options_.resize_fraction <= 1.0);
+  ZCHECK(options_.drop_fraction >= 0 && options_.drop_fraction <= 1.0);
+}
+
+BatchDelta WorkloadStream::Next() {
+  const int n = batch_.size();
+  int live = 0;
+  for (int64_t len : batch_.seq_lens) {
+    live += len > 0 ? 1 : 0;
+  }
+  int churn = static_cast<int>(options_.churn_fraction * live + 0.5);
+  churn = std::clamp(churn, live > 0 ? 1 : 0, live);
+
+  // Distinct live slots, chosen by partial Fisher-Yates over the slot ids.
+  pick_buf_.resize(n);
+  int live_count = 0;
+  for (int slot = 0; slot < n; ++slot) {
+    if (batch_.seq_lens[slot] > 0) {
+      pick_buf_[live_count++] = slot;
+    }
+  }
+  BatchDelta delta;
+  // Tombstones from the previous iteration revive first (a dropped
+  // replacement is withheld for exactly one iteration), keeping the live
+  // count stationary under drop churn.
+  for (int slot : pending_revive_) {
+    delta.resized.emplace_back(slot, dist_.Sample(rng_, options_.granularity));
+  }
+  pending_revive_.clear();
+  for (int i = 0; i < churn; ++i) {
+    const int j = i + static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(live_count - i)));
+    std::swap(pick_buf_[i], pick_buf_[j]);
+    const int slot = pick_buf_[i];
+    if (rng_.NextDouble() < options_.resize_fraction) {
+      delta.resized.emplace_back(slot, dist_.Sample(rng_, options_.granularity));
+    } else {
+      delta.removed.push_back(slot);
+      if (rng_.NextDouble() >= options_.drop_fraction) {
+        delta.added.push_back(dist_.Sample(rng_, options_.granularity));
+      }
+    }
+  }
+  ApplyBatchDelta(delta, &batch_);
+  // The slots that actually became tombstones are the surplus removals —
+  // the highest freed slots, since additions refill in ascending order (not
+  // necessarily the slots whose replacements were withheld). Queue exactly
+  // those for next iteration's revival.
+  if (delta.removed.size() > delta.added.size()) {
+    std::vector<int> freed = delta.removed;
+    std::sort(freed.begin(), freed.end());
+    pending_revive_.assign(freed.begin() + delta.added.size(), freed.end());
+  }
+  return delta;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,104 @@
+// Streaming / online-batch workload model: deltas between consecutive
+// iterations' batches, and a deterministic churn generator that produces them.
+//
+// In online training and continuous-batching serving, the batch of iteration
+// t+1 is mostly the batch of iteration t: a handful of sequences finish
+// (removed), new requests arrive (added), and some running sequences change
+// length (resized, e.g. incremental decoding or re-chunked documents). A
+// BatchDelta captures exactly that difference; the delta planner
+// (src/core/delta_planner.h) consumes it to patch the previous PartitionPlan
+// instead of re-partitioning all S sequences from scratch.
+//
+// Slot semantics: a Batch is treated as an array of sequence *slots* whose
+// ids stay stable across deltas (a slot id is a seq_id everywhere in the
+// planner). ApplyBatchDelta fills freed slots with added sequences first (in
+// ascending slot order), appends any surplus additions as new tail slots, and
+// turns surplus removals into zero-length tombstone slots. Tombstones remain
+// valid sequences (zero tokens, packed as no-op locals) so slot ids never
+// shift. ApplyBatchDelta itself only refills slots freed within the same
+// delta; re-filling an older tombstone is a `resized` entry on that slot
+// (that is how WorkloadStream revives the tombstones it creates).
+#ifndef SRC_DATA_STREAM_H_
+#define SRC_DATA_STREAM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/distribution.h"
+#include "src/data/sampler.h"
+
+namespace zeppelin {
+
+// The difference between two consecutive batches. Slot ids in `removed` and
+// `resized` refer to the batch the delta is applied to; `added` sequences get
+// their slots assigned by ApplyBatchDelta (freed slots first, then the tail).
+struct BatchDelta {
+  std::vector<int> removed;                       // Slot ids to free.
+  std::vector<std::pair<int, int64_t>> resized;   // (slot id, new length).
+  std::vector<int64_t> added;                     // New sequence lengths.
+
+  // Number of changed sequences (the churn count).
+  int size() const {
+    return static_cast<int>(removed.size() + resized.size() + added.size());
+  }
+  bool empty() const { return size() == 0; }
+};
+
+// Applies `delta` to `batch` in place under the slot semantics above. If
+// `added_slots` is non-null it is overwritten with the slot id assigned to
+// each `delta.added[i]`, in order — the mapping the delta planner needs to
+// mirror the same placement in its own state. Slot ids must be in range and
+// not repeated across removed/resized within one delta.
+void ApplyBatchDelta(const BatchDelta& delta, Batch* batch,
+                     std::vector<int>* added_slots = nullptr);
+
+// Churn-generation knobs for WorkloadStream.
+struct StreamOptions {
+  // Fraction of live (non-tombstone) slots changed per Next() call; at least
+  // one sequence changes when the batch is non-empty.
+  double churn_fraction = 0.01;
+  // Of the churned slots, the fraction resized in place (re-sampled length);
+  // the rest are removed and replaced by freshly sampled sequences.
+  double resize_fraction = 0.5;
+  // Probability that a replacement is withheld, leaving a tombstone for one
+  // iteration — the stream revives it (as a `resized` entry with a freshly
+  // sampled length) on the next Next(), so the live sequence count stays
+  // stationary (exercises shrink/grow churn; 0 keeps the size constant).
+  double drop_fraction = 0.0;
+  // Sequence-length granularity for sampling (matches BatchSampler).
+  int64_t granularity = 64;
+};
+
+// Deterministic workload-churn generator: owns the evolving Batch and emits
+// the BatchDelta of each step. Two streams built from the same distribution,
+// initial batch, options, and seed produce bit-identical delta sequences —
+// the reproducibility contract the delta-planner soak tests and the
+// planner-delta bench rely on.
+class WorkloadStream {
+ public:
+  WorkloadStream(LengthDistribution dist, Batch initial, StreamOptions options,
+                 uint64_t seed);
+
+  // The current batch (after all deltas emitted so far).
+  const Batch& batch() const { return batch_; }
+
+  // Advances one iteration: picks churned slots, applies the changes to the
+  // internal batch, and returns the delta it just applied.
+  BatchDelta Next();
+
+  const StreamOptions& options() const { return options_; }
+
+ private:
+  LengthDistribution dist_;
+  Batch batch_;
+  StreamOptions options_;
+  Rng rng_;
+  std::vector<int> pick_buf_;       // Scratch for distinct-slot selection.
+  std::vector<int> pending_revive_;  // Tombstones created by the last Next().
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_DATA_STREAM_H_
