@@ -11,7 +11,8 @@ set(required_docs
     README.md
     docs/ARCHITECTURE.md
     docs/PLAN_FORMAT.md
-    docs/DELTA_PLANS.md)
+    docs/DELTA_PLANS.md
+    docs/SERVICE_API.md)
 
 foreach(doc ${required_docs})
   if(NOT EXISTS "${REPO_ROOT}/${doc}")

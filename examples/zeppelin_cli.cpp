@@ -14,14 +14,28 @@
 // docs/DELTA_PLANS.md). The table then reports per-iteration planning cost
 // and Zeppelin's patch/fallback split instead of simulated throughput.
 //
-// Strategy specs accept modifiers (see src/core/registry.h):
-//   zeppelin, zeppelin-routing, zeppelin+striped, te-cp+routing, llama-cp, ...
+// --plan_out / --plan_in exercise the versioned plan wire format
+// (src/core/plan_io.h, docs/PLAN_FORMAT.md "Wire format"):
+//   --plan_out=plan.zpln   plans the first batch with the first zeppelin
+//                          spec, serializes the plan, prints its digest;
+//   --plan_in=plan.zpln    deserializes the plan, verifies its digest, and
+//                          drives EmitLayer + one simulated layer in each
+//                          direction from it WITHOUT re-planning — the
+//                          cross-process plan-distribution path.
+//
+// Strategy specs accept modifiers and inline knobs (see src/core/registry.h):
+//   zeppelin, zeppelin-routing, zeppelin+striped, te-cp+routing, llama-cp,
+//   zeppelin+threads=4+delta=0.02, zeppelin+stream=decode-a, ...
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include "src/common/flags.h"
+#include "src/core/plan_io.h"
+#include "src/sim/engine.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
 #include "src/core/registry.h"
@@ -59,7 +73,11 @@ void PrintUsage() {
       "                        the dataset; ignored with --batch_file)\n"
       "  --churn=0.01          fraction of sequences changed per iteration\n"
       "  --delta_threshold=0.05  Zeppelin delta fallback knob (churn or\n"
-      "                        imbalance drift above this -> full re-plan)\n");
+      "                        imbalance drift above this -> full re-plan)\n"
+      "  --plan_out=path       plan the first batch with the first zeppelin\n"
+      "                        spec, write the plan (wire format), print digest\n"
+      "  --plan_in=path        load a serialized plan and emit/simulate one\n"
+      "                        layer from it without re-planning\n");
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -108,6 +126,10 @@ int main(int argc, char** argv) {
       batches.push_back(sampler.NextBatch());
     }
   }
+  if (batches.empty()) {
+    std::fprintf(stderr, "no batches to run (empty or comment-only --batch_file?)\n");
+    return 1;
+  }
   const std::string save_path = flags.GetString("save_batches", "");
   if (!save_path.empty() && SaveBatches(save_path, batches)) {
     std::printf("workload saved to %s\n", save_path.c_str());
@@ -123,8 +145,81 @@ int main(int argc, char** argv) {
   const int stream_seqs = std::max(1, static_cast<int>(flags.GetInt("stream_seqs", 1024)));
   const double churn = flags.GetDouble("churn", 0.01);
   const LengthDistribution stream_dist = DatasetByName(flags.GetString("dataset", "github"));
+  const std::string plan_out = flags.GetString("plan_out", "");
+  const std::string plan_in = flags.GetString("plan_in", "");
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s (see --help)\n", unused.c_str());
+  }
+
+  // Picks the first zeppelin-family spec (falling back to plain "zeppelin"):
+  // the wire-format modes need a strategy that plans/executes PartitionPlans.
+  auto make_zeppelin = [&](std::unique_ptr<Strategy>* strategy) -> ZeppelinStrategy* {
+    for (const std::string& spec : SplitCommas(strategy_specs)) {
+      auto candidate = MakeStrategyByName(spec, strategy_defaults);
+      if (dynamic_cast<ZeppelinStrategy*>(candidate.get()) != nullptr) {
+        *strategy = std::move(candidate);
+        return static_cast<ZeppelinStrategy*>(strategy->get());
+      }
+    }
+    *strategy = MakeStrategyByName("zeppelin", strategy_defaults);
+    return static_cast<ZeppelinStrategy*>(strategy->get());
+  };
+
+  if (!plan_in.empty()) {
+    // Deserialize-and-emit: the plan is authenticated by its digest trailer
+    // and drives one simulated layer in each direction without re-planning.
+    PartitionPlan loaded;
+    const PlanIoResult result = LoadPlanFile(plan_in, &loaded);
+    if (!result.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s (%s)\n", plan_in.c_str(),
+                   result.message.c_str(), PlanIoStatusName(result.status));
+      return 1;
+    }
+    const int logical_world = trainer.fabric().cluster().world_size();
+    if (static_cast<int>(loaded.tokens_per_rank.size()) != logical_world) {
+      std::fprintf(stderr, "plan in %s targets %zu ranks but the cluster has %d\n",
+                   plan_in.c_str(), loaded.tokens_per_rank.size(), logical_world);
+      return 1;
+    }
+    auto plan = std::make_shared<const PartitionPlan>(std::move(loaded));
+    std::printf("loaded %s: %zu inter + %zu intra rings, %zu locals, %ld tokens, digest %016" PRIx64
+                "\n",
+                plan_in.c_str(), plan->inter_node.size(), plan->intra_node.size(),
+                plan->local.size(), static_cast<long>(plan->total_tokens()),
+                plan->StateDigest());
+
+    std::unique_ptr<Strategy> strategy;
+    ZeppelinStrategy* zeppelin = make_zeppelin(&strategy);
+    zeppelin->AdoptPlan(plan, trainer.cost_model(), trainer.fabric());
+    Engine engine(trainer.fabric());
+    TaskGraph forward_graph;
+    zeppelin->EmitLayer(forward_graph, Direction::kForward);
+    const SimResult forward = engine.Run(forward_graph);
+    TaskGraph backward_graph;
+    zeppelin->EmitLayer(backward_graph, Direction::kBackward);
+    const SimResult backward = engine.Run(backward_graph);
+    std::printf("%s executed the deserialized plan: fwd %.1f us, bwd %.1f us per layer\n",
+                zeppelin->name().c_str(), forward.makespan_us, backward.makespan_us);
+    return 0;
+  }
+
+  if (!plan_out.empty()) {
+    std::unique_ptr<Strategy> strategy;
+    ZeppelinStrategy* zeppelin = make_zeppelin(&strategy);
+    zeppelin->Plan(batches.front(), trainer.cost_model(), trainer.fabric());
+    const std::shared_ptr<const PartitionPlan> plan = zeppelin->plan_handle();
+    const PlanIoResult result = SavePlanFile(plan_out, *plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s (%s)\n", plan_out.c_str(),
+                   result.message.c_str(), PlanIoStatusName(result.status));
+      return 1;
+    }
+    std::printf("wrote %s: %s engine, partition %.1f us, %zu inter + %zu intra rings, "
+                "digest %016" PRIx64 "\n",
+                plan_out.c_str(), PlanEngineName(zeppelin->last_plan_stats().engine),
+                zeppelin->partition_time_us(), plan->inter_node.size(),
+                plan->intra_node.size(), plan->StateDigest());
+    return 0;
   }
 
   if (stream_mode) {

@@ -84,6 +84,11 @@ void DeltaPlanner::RebaseInternal() {
       .fast_path = options_.fast_path,
       .pool = options_.pool,
   });
+  // Shared pool (PlannerService): one pooled plan at a time, service-wide.
+  std::unique_lock<std::mutex> pool_lock;
+  if (options_.pool != nullptr && options_.pool_mutex != nullptr) {
+    pool_lock = std::unique_lock<std::mutex>(*options_.pool_mutex);
+  }
   partitioner_.Partition(batch_, &scratch_, &plan_);
   CaptureState();
 }

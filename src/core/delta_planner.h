@@ -59,6 +59,7 @@
 #define SRC_CORE_DELTA_PLANNER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,11 @@ struct DeltaPlannerOptions {
   // Engine selection for full re-plans, as in SequencePartitioner::Options.
   bool fast_path = true;
   ThreadPool* pool = nullptr;  // Non-owning; must outlive the planner.
+  // When the pool is shared with other planners (PlannerService hands every
+  // session the same pool), this mutex is locked around each pooled full
+  // re-plan — ThreadPool batches admit one caller at a time. Delta patches
+  // never touch the pool, so they never take it. Null = pool is exclusive.
+  std::mutex* pool_mutex = nullptr;
 };
 
 // Why the last Apply() patched or fell back (also counted in DeltaStats).

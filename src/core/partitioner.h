@@ -68,6 +68,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -229,6 +231,14 @@ struct PartitionPlan {
   // plans always digest equal, so full-replan engines can also use it as a
   // cheap identity probe.
   uint64_t StateDigest() const;
+
+  // Versioned binary wire format (src/core/plan_io.{h,cc}; spec in
+  // docs/PLAN_FORMAT.md "Wire format"): Serialize() emits the canonical byte
+  // string (magic + version + headers + arena + digest trailer; round-trips
+  // byte-identically), Deserialize() parses and digest-checks it, returning
+  // false on any corruption — plan_io.h exposes the granular status codes.
+  std::string Serialize() const;
+  bool Deserialize(std::string_view bytes);
 
   // Byte-identity across planner paths (the fast-path equivalence contract):
   // headers compare field-wise, the rank arena as one flat array.

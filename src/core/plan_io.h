@@ -1,0 +1,84 @@
+// Versioned binary wire format for PartitionPlan — how a plan leaves the
+// process (plan caching, cross-process distribution, offline inspection).
+//
+// Layout (spec: docs/PLAN_FORMAT.md, "Wire format"): a fixed preamble
+// (magic "ZPLN" + format version), the six section counts, both RingRef
+// header queues, the local queue, the single rank-arena blob, the per-rank
+// token layout, the thresholds, and a StateDigest trailer. All integers are
+// little-endian and fixed-width; there is no padding, so the encoding of a
+// plan is a pure function of its bytes — Serialize(Deserialize(b)) == b and
+// Deserialize(Serialize(p)) == p field-for-field, including arena offsets
+// (the byte-identity currency of the planner contract).
+//
+// Deserialization is defensive: every section count is bounds-checked
+// against the remaining payload before any allocation, ring headers are
+// validated against the arena (in-bounds spans, known zone tags), rank
+// values against the plan's own rank universe, and the decoded plan's
+// StateDigest must match the trailer. A plan that survives LoadPlanFile is
+// therefore structurally valid and its *logical content* authenticated:
+// corruption of anything a consumer reads — headers, live ring ranks,
+// locals, token counts, thresholds — surfaces as a typed PlanIoStatus. The
+// digest is deliberately layout/order-invariant (the delta-plan equivalence
+// currency), so the mutations it cannot see are exactly those the
+// equivalence contract already treats as the same plan: bytes in
+// unreferenced arena slack, or within-queue record reorderings that
+// preserve the ring/local multisets (these alter emission order, not
+// coverage or loads). Callers needing byte-exact transport should compare
+// the serialized strings themselves, which the canonical encoding makes
+// meaningful.
+#ifndef SRC_CORE_PLAN_IO_H_
+#define SRC_CORE_PLAN_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/partitioner.h"
+
+namespace zeppelin {
+
+// Current wire-format version. Bump on any layout change; Deserialize
+// rejects other versions (kBadVersion) rather than guessing.
+inline constexpr uint32_t kPlanFormatVersion = 1;
+
+// First bytes of every serialized plan: 'Z' 'P' 'L' 'N'.
+inline constexpr char kPlanMagic[4] = {'Z', 'P', 'L', 'N'};
+
+enum class PlanIoStatus : uint8_t {
+  kOk = 0,
+  kIoError,          // File read/write failure (Save/Load wrappers only).
+  kBadMagic,         // Input does not start with the plan magic.
+  kBadVersion,       // Unknown format version.
+  kTruncated,        // Input ends before the declared sections/trailer.
+  kCorrupt,          // Structural violation: trailing bytes, header span out
+                     //   of arena bounds, or an unknown zone tag.
+  kDigestMismatch,   // Sections decoded but the StateDigest trailer differs:
+                     //   the payload was altered after serialization.
+};
+
+const char* PlanIoStatusName(PlanIoStatus status);
+
+struct PlanIoResult {
+  PlanIoStatus status = PlanIoStatus::kOk;
+  std::string message;  // Human-readable detail; empty on success.
+
+  bool ok() const { return status == PlanIoStatus::kOk; }
+};
+
+// Encodes `plan` into the canonical byte string. Never fails: any
+// PartitionPlan value (including delta-patched plans whose arena carries
+// free-listed slack) has exactly one encoding.
+std::string SerializePlan(const PartitionPlan& plan);
+
+// Decodes `bytes` into `*plan`. On failure `*plan` is left in an
+// unspecified-but-valid state and the result carries the reason; on success
+// the decoded plan is byte-identical to the serialized one.
+PlanIoResult ParsePlan(std::string_view bytes, PartitionPlan* plan);
+
+// File convenience wrappers (binary, whole-file).
+PlanIoResult SavePlanFile(const std::string& path, const PartitionPlan& plan);
+PlanIoResult LoadPlanFile(const std::string& path, PartitionPlan* plan);
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_PLAN_IO_H_

@@ -1,0 +1,351 @@
+#include "src/core/plan_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/model/memory.h"
+
+namespace zeppelin {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* PlanEngineName(PlanEngine engine) {
+  switch (engine) {
+    case PlanEngine::kNaive:
+      return "naive";
+    case PlanEngine::kSerialFast:
+      return "serial-fast";
+    case PlanEngine::kParallelSharded:
+      return "parallel-sharded";
+    case PlanEngine::kDeltaPatch:
+      return "delta-patch";
+    case PlanEngine::kGlobalRing:
+      return "global-ring";
+  }
+  return "unknown";
+}
+
+PlannerService::PlannerService(PlanServiceOptions options)
+    : options_(options), plan_pool_(std::make_shared<PlanPool>()) {
+  plan_pool_->limit = std::max(0, options_.plan_pool_limit);
+  if (options_.num_planner_threads >= 1) {
+    pool_.emplace(std::clamp(options_.num_planner_threads, 1, ThreadPool::kMaxContexts));
+  }
+}
+
+PlannerService::~PlannerService() = default;
+
+std::shared_ptr<PartitionPlan> PlannerService::AcquirePlan() {
+  std::unique_ptr<PartitionPlan> storage;
+  {
+    std::lock_guard<std::mutex> lock(plan_pool_->mu);
+    if (!plan_pool_->free.empty()) {
+      storage = std::move(plan_pool_->free.back());
+      plan_pool_->free.pop_back();
+    }
+  }
+  if (!storage) {
+    storage = std::make_unique<PartitionPlan>();
+  }
+  // The deleter captures the pool by shared_ptr, so a handle that outlives
+  // the service still has somewhere safe to return its storage.
+  std::shared_ptr<PlanPool> pool = plan_pool_;
+  return std::shared_ptr<PartitionPlan>(storage.release(), [pool](PartitionPlan* plan) {
+    std::unique_ptr<PartitionPlan> owned(plan);
+    std::lock_guard<std::mutex> lock(pool->mu);
+    if (static_cast<int>(pool->free.size()) < pool->limit) {
+      pool->free.push_back(std::move(owned));
+    }
+  });
+}
+
+int64_t PlannerService::DeriveCapacity(const Batch& batch, const CostModel& cost_model,
+                                       const ClusterSpec& spec,
+                                       const PlanningOptions& options) const {
+  if (options.token_capacity != 0) {
+    return options.token_capacity;
+  }
+  // L is the per-device *memory* capacity (Alg. 1/2 input). The paper's
+  // workloads size the batch to nearly fill memory (4k tokens/GPU), so L
+  // sits a modest headroom above the batch average; we model that with a
+  // 25% slack, additionally capped by the memory model when it binds.
+  const int world = spec.world_size();
+  const int64_t average = (batch.total_tokens() + world - 1) / world;
+  int64_t with_slack = average + average / 4;
+  const int64_t memory_cap = TokenCapacity(cost_model.model(), spec, world);
+  if (memory_cap > 0) {
+    with_slack = std::min(with_slack, memory_cap);
+  }
+  return std::max(average, with_slack);
+}
+
+ZoneBoundaries PlannerService::CachedZones(const CostModel& cost_model,
+                                           const ClusterSpec& spec) {
+  // Keyed by the full (model config, TP, cluster) value — everything the
+  // classifier's cost probes depend on, so two CostModels that merely share
+  // a model name never alias. The Fig. 5 crossover scan is ~10^4 cost-model
+  // probes — pure overhead when repeated for an unchanged key.
+  std::lock_guard<std::mutex> lock(zones_mu_);
+  for (const ZoneCacheEntry& entry : zone_cache_) {
+    if (entry.model == cost_model.model() &&
+        entry.tensor_parallel == cost_model.tensor_parallel() && entry.cluster == spec) {
+      return entry.zones;
+    }
+  }
+  zone_cache_.push_back({cost_model.model(), cost_model.tensor_parallel(), spec,
+                         ZoneClassifier(cost_model).Compute()});
+  return zone_cache_.back().zones;
+}
+
+PlanResponse PlannerService::Plan(const PlanRequest& request) {
+  ZCHECK(request.batch != nullptr) << "PlanRequest without a batch";
+  ZCHECK(request.cost_model != nullptr) << "PlanRequest without a cost model";
+  ZCHECK(request.fabric != nullptr) << "PlanRequest without fabric resources";
+  if (request.stream_id.empty()) {
+    return PlanStateless(request);
+  }
+  return PlanSession(request);
+}
+
+PlanResponse PlannerService::PlanStateless(const PlanRequest& request) {
+  const Batch& batch = *request.batch;
+  const ClusterSpec& spec = request.fabric->cluster();
+  const int world = spec.world_size();
+
+  PlanResponse response;
+  std::shared_ptr<PartitionPlan> plan = AcquirePlan();
+
+  if (!request.options.hierarchical_partitioning) {
+    // Ablation layout: every sequence on one global ring spanning all ranks
+    // (the TE CP pattern), so the only Zeppelin component in play downstream
+    // is routing.
+    const auto start = Clock::now();
+    *plan = PartitionPlan{};
+    plan->tokens_per_rank.assign(world, 0);
+    plan->threshold_s0.assign(spec.num_nodes, 0);
+    std::vector<int> all_ranks(world);
+    std::iota(all_ranks.begin(), all_ranks.end(), 0);
+    for (int id = 0; id < batch.size(); ++id) {
+      const int64_t len = batch.seq_lens[id];
+      plan->AddRing(plan->inter_node, id, len, Zone::kInterNode, all_ranks);
+      for (int r = 0; r < world; ++r) {
+        plan->tokens_per_rank[r] += len * (r + 1) / world - len * r / world;
+      }
+    }
+    response.stats.engine = PlanEngine::kGlobalRing;
+    response.stats.partition_time_us = ElapsedUs(start);
+    response.plan = std::move(plan);
+    response.digest = response.plan->StateDigest();
+    return response;
+  }
+
+  SequencePartitioner::Options popts;
+  popts.token_capacity = DeriveCapacity(batch, *request.cost_model, spec, request.options);
+  popts.fast_path = request.options.planner_fast_path;
+  if (request.options.zone_aware_thresholds) {
+    const ZoneBoundaries zones = CachedZones(*request.cost_model, spec);
+    popts.max_inter_threshold = zones.intra_max;
+    popts.max_local_threshold = zones.local_max;
+  }
+  const bool pooled =
+      pool_.has_value() && request.options.use_shared_pool && request.options.planner_fast_path;
+  if (pooled) {
+    popts.pool = &*pool_;
+  }
+
+  // Check a reusable workspace out of the free list; concurrent stateless
+  // requests each get their own, and steady-state traffic reuses them.
+  std::unique_ptr<StatelessCtx> ctx;
+  {
+    std::lock_guard<std::mutex> lock(stateless_mu_);
+    if (!stateless_free_.empty()) {
+      ctx = std::move(stateless_free_.back());
+      stateless_free_.pop_back();
+    }
+  }
+  if (!ctx) {
+    ctx = std::make_unique<StatelessCtx>();
+  }
+  if (!ctx->partitioner || !(ctx->partitioner->cluster() == spec)) {
+    ctx->partitioner.emplace(spec, popts);
+  } else {
+    ctx->partitioner->set_options(popts);
+  }
+
+  const auto start = Clock::now();
+  {
+    // ThreadPool batches admit one caller at a time; every pooled plan in
+    // the service serializes here (delta patches never do).
+    std::unique_lock<std::mutex> pool_lock;
+    if (pooled) {
+      pool_lock = std::unique_lock<std::mutex>(pool_mu_);
+    }
+    ctx->partitioner->Partition(batch, &ctx->scratch, plan.get());
+  }
+  response.stats.partition_time_us = ElapsedUs(start);
+  response.stats.engine = !request.options.planner_fast_path ? PlanEngine::kNaive
+                          : pooled ? PlanEngine::kParallelSharded
+                                   : PlanEngine::kSerialFast;
+  response.stats.token_capacity = popts.token_capacity;
+
+  {
+    std::lock_guard<std::mutex> lock(stateless_mu_);
+    stateless_free_.push_back(std::move(ctx));
+  }
+
+  response.plan = std::move(plan);
+  response.digest = response.plan->StateDigest();
+  return response;
+}
+
+std::shared_ptr<PlannerService::Session> PlannerService::FindOrCreateSession(
+    const std::string& stream_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::shared_ptr<Session>& slot = sessions_[stream_id];
+  if (!slot) {
+    slot = std::make_shared<Session>();
+  }
+  return slot;
+}
+
+std::shared_ptr<PlannerService::Session> PlannerService::FindSession(
+    const std::string& stream_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(stream_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+PlanResponse PlannerService::PlanSession(const PlanRequest& request) {
+  ZCHECK(request.options.hierarchical_partitioning && request.options.planner_fast_path)
+      << "delta sessions require hierarchical partitioning on the fast path "
+         "(stream " << request.stream_id << ")";
+  const Batch& batch = *request.batch;
+  const ClusterSpec& spec = request.fabric->cluster();
+  const std::shared_ptr<Session> session = FindOrCreateSession(request.stream_id);
+
+  PlanResponse response;
+  // Requests on the same stream serialize here; distinct streams proceed
+  // concurrently (their only shared state is the pool, locked per-rebase).
+  std::lock_guard<std::mutex> session_lock(session->mu);
+
+  const auto start = Clock::now();
+  const bool needs_base = !session->planner || !(session->planner->cluster() == spec) ||
+                          !session->planner->has_base() || request.delta == nullptr;
+  bool pooled_rebase = false;
+  if (needs_base) {
+    // (Re)establish the base: capacity pinned from this batch, zone caps
+    // from the cached boundaries, and the memory model as the ceiling for
+    // automatic capacity raises on later growth.
+    DeltaPlannerOptions dopts;
+    dopts.token_capacity = DeriveCapacity(batch, *request.cost_model, spec, request.options);
+    dopts.capacity_ceiling = TokenCapacity(request.cost_model->model(), spec, spec.world_size());
+    if (request.options.zone_aware_thresholds) {
+      const ZoneBoundaries zones = CachedZones(*request.cost_model, spec);
+      dopts.max_inter_threshold = zones.intra_max;
+      dopts.max_local_threshold = zones.local_max;
+    }
+    dopts.replan_threshold = request.options.delta_replan_threshold;
+    dopts.fast_path = true;
+    if (pool_.has_value() && request.options.use_shared_pool) {
+      dopts.pool = &*pool_;
+      dopts.pool_mutex = &pool_mu_;
+      pooled_rebase = true;
+    }
+    if (!session->planner || !(session->planner->cluster() == spec)) {
+      session->planner.emplace(spec, dopts);
+    } else {
+      session->planner->set_options(dopts);
+    }
+    session->planner->Rebase(batch);
+    session->last_outcome = DeltaOutcome::kRebasedNoBase;
+  } else {
+    pooled_rebase = session->planner->options().pool != nullptr;
+    session->last_outcome = session->planner->Apply(*request.delta);
+    ZCHECK_EQ(session->planner->batch().size(), batch.size())
+        << "stream " << request.stream_id
+        << ": request batch does not match the session's tracked batch";
+  }
+  response.stats.partition_time_us = ElapsedUs(start);
+  response.stats.delta_outcome = session->last_outcome;
+  response.stats.engine = session->last_outcome == DeltaOutcome::kApplied
+                              ? PlanEngine::kDeltaPatch
+                              : (pooled_rebase ? PlanEngine::kParallelSharded
+                                               : PlanEngine::kSerialFast);
+  response.stats.token_capacity = session->planner->token_capacity();
+
+  // Materialize the immutable handle: the session's plan keeps evolving with
+  // every request, so the response gets its own copy (a few bulk array
+  // copies regardless of ring count — the flat-plan dividend).
+  const auto copy_start = Clock::now();
+  std::shared_ptr<PartitionPlan> plan = AcquirePlan();
+  *plan = session->planner->plan();
+  response.stats.materialize_time_us = ElapsedUs(copy_start);
+  response.plan = std::move(plan);
+  response.digest = response.plan->StateDigest();
+  return response;
+}
+
+bool PlannerService::HasSession(const std::string& stream_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.count(stream_id) > 0;
+}
+
+size_t PlannerService::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+bool PlannerService::CloseSession(const std::string& stream_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  // In-flight requests that already looked the session up hold their own
+  // shared_ptr, so erasing here only unlinks it; the last holder destroys
+  // it after releasing its lock.
+  return sessions_.erase(stream_id) > 0;
+}
+
+void PlannerService::InvalidateSession(const std::string& stream_id) {
+  const std::shared_ptr<Session> session = FindSession(stream_id);
+  if (!session) {
+    return;
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  if (session->planner) {
+    session->planner->Invalidate();
+  }
+}
+
+bool PlannerService::GetSessionStats(const std::string& stream_id, DeltaStats* out) const {
+  ZCHECK(out != nullptr);
+  const std::shared_ptr<Session> session = FindSession(stream_id);
+  if (!session) {
+    return false;
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  if (!session->planner) {
+    return false;
+  }
+  *out = session->planner->stats();
+  return true;
+}
+
+DeltaOutcome PlannerService::SessionLastOutcome(const std::string& stream_id) const {
+  const std::shared_ptr<Session> session = FindSession(stream_id);
+  if (!session) {
+    return DeltaOutcome::kRebasedNoBase;
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  return session->last_outcome;
+}
+
+}  // namespace zeppelin

@@ -1,0 +1,263 @@
+// PlannerService: the service-oriented planning surface (docs/SERVICE_API.md).
+//
+// Every planning path in the repo — one-shot full plans, the global-ring
+// ablation, and incremental delta streams — is a request/response exchange
+// with one PlannerService:
+//
+//   PlanRequest{batch, cost_model, fabric, options [, stream_id [, delta]]}
+//     -> PlanResponse{shared_ptr<const PartitionPlan>, PlanStats, digest}
+//
+// Plans come back as *immutable handles*: a std::shared_ptr<const
+// PartitionPlan> whose contents never change after the response is built, so
+// callers can cache plans, hand them to other threads, serialize them
+// (src/core/plan_io.h), or keep executing an old plan while a new one is
+// being computed — none of which the stateful Strategy::Plan() surface
+// allowed (one mutable plan per strategy, overwritten in place). Handle
+// storage is recycled through an internal pool once the last reference
+// drops, so steady-state planning stays allocation-light.
+//
+// Sessions. A request with a non-empty `stream_id` addresses a *delta
+// session*: the service keeps one DeltaPlanner (docs/DELTA_PLANS.md) per
+// stream id in a session table, so many concurrent streaming workloads —
+// continuous-batching inference queues, parallel online-training shards —
+// coexist in one process, each with its own incremental state and fallback
+// policy. The first request on a stream (or any request without a `delta`)
+// establishes the session's base plan with a full partition; subsequent
+// requests carry the BatchDelta and are patched per the delta-planning
+// contract. A session's per-iteration plans are deterministic: identical
+// delta streams yield identical per-iteration StateDigests.
+//
+// Concurrency contract (pinned by tests/plan_service_test.cpp, TSAN-clean):
+//   - Requests on *distinct* stream ids (and stateless requests) may be
+//     issued concurrently from any threads.
+//   - Requests on the *same* stream id serialize on the session's lock
+//     (callers need no external synchronization, but see the determinism
+//     caveat in docs/SERVICE_API.md: interleaving order is the caller's
+//     responsibility).
+//   - Full (re)plans share the service's ThreadPool under an internal lock;
+//     delta patches never touch the pool, so concurrent streams only
+//     contend when one of them falls back to a full re-plan.
+//   - Returned handles are immune to later requests; they may outlive the
+//     service itself.
+#ifndef SRC_CORE_PLAN_SERVICE_H_
+#define SRC_CORE_PLAN_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/delta_planner.h"
+#include "src/core/partitioner.h"
+#include "src/core/zones.h"
+#include "src/data/sampler.h"
+#include "src/data/stream.h"
+#include "src/model/cost_model.h"
+#include "src/topology/path.h"
+
+namespace zeppelin {
+
+// Per-request planning knobs (the planning-relevant subset of what used to
+// live behind ZeppelinStrategy's private state).
+struct PlanningOptions {
+  // Token capacity L per device; 0 derives the tight bound from the batch
+  // (average + 25% headroom, capped by the memory model) exactly as
+  // ZeppelinStrategy always has.
+  int64_t token_capacity = 0;
+  // false = every sequence on one global ring spanning all ranks (the
+  // "routing only" ablation layout).
+  bool hierarchical_partitioning = true;
+  // Zone-aware threshold initialization (design ablation D6); boundaries are
+  // computed once per (model, cluster) and cached inside the service.
+  bool zone_aware_thresholds = false;
+  // false forces the reference linear-scan greedy engine.
+  bool planner_fast_path = true;
+  // Run on the service's shared ThreadPool when it has one (the
+  // parallel/sharded engine); false pins this request to the serial fast
+  // path regardless of the service pool. Plans are byte-identical either way.
+  bool use_shared_pool = true;
+  // Streaming fallback knob (sessions only): full re-plan above this churn
+  // fraction or imbalance drift (DeltaPlannerOptions::replan_threshold).
+  double delta_replan_threshold = 0.05;
+};
+
+// One planning request. `batch`, `cost_model`, and `fabric` are borrowed for
+// the duration of the call only.
+struct PlanRequest {
+  const Batch* batch = nullptr;
+  const CostModel* cost_model = nullptr;
+  const FabricResources* fabric = nullptr;
+  PlanningOptions options;
+  // Empty = stateless one-shot plan. Non-empty = the delta session to plan
+  // through (created on first use).
+  std::string stream_id;
+  // Sessions only: the delta between the previously planned batch and
+  // `batch` (already applied — `batch` is the new batch). Null forces a full
+  // re-plan that (re)bases the session on `batch`.
+  const BatchDelta* delta = nullptr;
+};
+
+// Which engine produced the response's plan.
+enum class PlanEngine : uint8_t {
+  kNaive = 0,        // Reference linear-scan greedy.
+  kSerialFast,       // O((S+P) log P) heap-based serial fast path.
+  kParallelSharded,  // Pool-sharded engine (byte-identical at any threads).
+  kDeltaPatch,       // Session request patched incrementally.
+  kGlobalRing,       // hierarchical_partitioning = false ablation layout.
+};
+
+const char* PlanEngineName(PlanEngine engine);
+
+struct PlanStats {
+  PlanEngine engine = PlanEngine::kSerialFast;
+  // Wall time of the partitioning step alone (Partition / Apply / Rebase) —
+  // the same quantity ZeppelinStrategy::partition_time_us always reported.
+  double partition_time_us = 0;
+  // Wall time spent materializing the immutable handle: zero when the
+  // engine emits straight into the response plan (full plans), the O(plan)
+  // bulk copy out of the session's live plan for delta patches.
+  double materialize_time_us = 0;
+  // Sessions: why the request patched or fell back (kApplied = patched).
+  // Stateless requests report kRebasedNoBase (not meaningful).
+  DeltaOutcome delta_outcome = DeltaOutcome::kRebasedNoBase;
+  // The capacity the plan was computed at (after derivation / auto-raise).
+  int64_t token_capacity = 0;
+};
+
+struct PlanResponse {
+  std::shared_ptr<const PartitionPlan> plan;
+  PlanStats stats;
+  // plan->StateDigest(): the per-response determinism/equivalence currency
+  // (twin streams must produce identical digest sequences) and the value
+  // the wire format's trailer authenticates.
+  uint64_t digest = 0;
+};
+
+struct PlanServiceOptions {
+  // Execution contexts of the shared planning pool (including the calling
+  // thread): 0 = no pool (every full plan runs the serial fast path), N >= 1
+  // = pooled sharded engine for full (re)plans. Same semantics as
+  // ZeppelinOptions::num_planner_threads.
+  int num_planner_threads = 1;
+  // Immutable-plan storage recycled through the internal pool; handles
+  // released beyond this cap free normally.
+  int plan_pool_limit = 16;
+};
+
+// The planning service. Thread-safe per the concurrency contract above.
+class PlannerService {
+ public:
+  explicit PlannerService(PlanServiceOptions options = {});
+  ~PlannerService();
+
+  PlannerService(const PlannerService&) = delete;
+  PlannerService& operator=(const PlannerService&) = delete;
+
+  // Plans one request. Aborts (ZCHECK) on malformed requests: null
+  // batch/cost_model/fabric, or a session delta whose batch disagrees with
+  // the session's tracked batch.
+  PlanResponse Plan(const PlanRequest& request);
+
+  // --- Session management ----------------------------------------------------
+
+  bool HasSession(const std::string& stream_id) const;
+  size_t session_count() const;
+  // Drops a session and its incremental state entirely. Returns false if the
+  // stream id names no session. Plans already handed out stay valid.
+  bool CloseSession(const std::string& stream_id);
+  // Keeps the session but drops its base plan, forcing the next request on
+  // the stream to re-plan fully (kRebasedNoBase) — the "external planning
+  // bypassed this stream" hook.
+  void InvalidateSession(const std::string& stream_id);
+  // Copies the session's cumulative delta telemetry into `*out`. Returns
+  // false if the stream id names no session.
+  bool GetSessionStats(const std::string& stream_id, DeltaStats* out) const;
+  // The session's last outcome (kApplied / kRebased*); kRebasedNoBase if the
+  // stream id names no session.
+  DeltaOutcome SessionLastOutcome(const std::string& stream_id) const;
+
+  const PlanServiceOptions& options() const { return options_; }
+
+ private:
+  // One delta stream's state. `mu` serializes requests on the same stream;
+  // everything inside is owned by whoever holds `mu`.
+  struct Session {
+    std::mutex mu;
+    std::optional<DeltaPlanner> planner;
+    DeltaOutcome last_outcome = DeltaOutcome::kRebasedNoBase;
+  };
+
+  // Reusable workspace for stateless full plans: checked out of a free list
+  // per request, so concurrent stateless requests never share scratch while
+  // steady-state traffic stays allocation-free.
+  struct StatelessCtx {
+    std::optional<SequencePartitioner> partitioner;
+    PlannerScratch scratch;
+  };
+
+  // Storage pool behind the immutable handles. Shared with every handle's
+  // deleter so handles may outlive the service.
+  struct PlanPool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<PartitionPlan>> free;
+    int limit = 16;
+  };
+
+  // Cache key is everything a ZoneClassifier's output depends on: the full
+  // model config by value (a name alone is not identity — custom configs
+  // may reuse one), the TP degree, and the cluster.
+  struct ZoneCacheEntry {
+    TransformerConfig model;
+    int tensor_parallel = 1;
+    ClusterSpec cluster;
+    ZoneBoundaries zones;
+  };
+
+  // A mutable plan wired to return its storage to plan_pool_ when the last
+  // handle drops.
+  std::shared_ptr<PartitionPlan> AcquirePlan();
+
+  // Looks up a session, extending its lifetime past any concurrent
+  // CloseSession (callers copy the shared_ptr under sessions_mu_, then lock
+  // the session's own mutex — never a raw pointer across the gap).
+  std::shared_ptr<Session> FindSession(const std::string& stream_id) const;
+
+  PlanResponse PlanStateless(const PlanRequest& request);
+  PlanResponse PlanSession(const PlanRequest& request);
+
+  // Capacity derivation (ZeppelinStrategy's historical policy): explicit
+  // option, or batch average + 25% headroom capped by the memory model.
+  int64_t DeriveCapacity(const Batch& batch, const CostModel& cost_model,
+                         const ClusterSpec& spec, const PlanningOptions& options) const;
+  ZoneBoundaries CachedZones(const CostModel& cost_model, const ClusterSpec& spec);
+  std::shared_ptr<Session> FindOrCreateSession(const std::string& stream_id);
+
+  PlanServiceOptions options_;
+
+  // Declared before the session table: sessions hold DeltaPlanners whose
+  // rebases reference the pool, so the pool must be destroyed last.
+  std::optional<ThreadPool> pool_;
+  // Serializes every use of pool_ (ThreadPool batches are not reentrant and
+  // admit one caller at a time). Delta patches never take this.
+  std::mutex pool_mu_;
+
+  mutable std::mutex sessions_mu_;
+  // shared_ptr values: a session stays alive for any request that looked it
+  // up even if CloseSession erases it concurrently (see FindSession).
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+
+  std::mutex stateless_mu_;
+  std::vector<std::unique_ptr<StatelessCtx>> stateless_free_;
+
+  std::mutex zones_mu_;
+  std::vector<ZoneCacheEntry> zone_cache_;
+
+  std::shared_ptr<PlanPool> plan_pool_;
+};
+
+}  // namespace zeppelin
+
+#endif  // SRC_CORE_PLAN_SERVICE_H_

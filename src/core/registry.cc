@@ -1,7 +1,12 @@
 #include "src/core/registry.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
+
+#include "src/common/thread_pool.h"
 
 #include "src/baselines/double_ring.h"
 #include "src/baselines/hybrid_dp.h"
@@ -16,10 +21,13 @@ namespace {
 
 std::vector<std::string> SplitSpec(const std::string& spec) {
   // "zeppelin+striped-routing" -> {"zeppelin", "+striped", "-routing"}.
+  // Once a part contains '=', only '+' terminates it, so knob values may
+  // carry '-' ("+stream=decode-7", "+delta=1e-3"); a toggle after a knob
+  // therefore needs '+' form or its own spec position.
   std::vector<std::string> parts;
   std::string current;
   for (char c : spec) {
-    if (c == '+' || c == '-') {
+    if (c == '+' || (c == '-' && current.find('=') == std::string::npos)) {
       if (!current.empty()) {
         parts.push_back(current);
       }
@@ -32,6 +40,39 @@ std::vector<std::string> SplitSpec(const std::string& spec) {
     parts.push_back(current);
   }
   return parts;
+}
+
+// Inline knob modifier: "+key=value" -> value when `mod` is "+<key>=...".
+bool KnobValue(const std::string& mod, const std::string& key, std::string* value) {
+  const std::string prefix = "+" + key + "=";
+  if (mod.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  *value = mod.substr(prefix.size());
+  ZCHECK(!value->empty()) << "empty value in spec modifier: " << mod;
+  return true;
+}
+
+int ParseThreads(const std::string& value, const std::string& mod) {
+  if (value == "auto" || value == "hw") {
+    return ThreadPool::HardwareThreads();
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  // Range-check before narrowing: a silently truncated huge value would
+  // select an unintended engine instead of failing the parse.
+  ZCHECK(end != nullptr && *end == '\0' && errno != ERANGE && parsed >= 0 &&
+         parsed <= std::numeric_limits<int>::max())
+      << "bad thread count in spec modifier: " << mod;
+  return static_cast<int>(parsed);
+}
+
+double ParseDouble(const std::string& value, const std::string& mod) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  ZCHECK(end != nullptr && *end == '\0') << "bad numeric value in spec modifier: " << mod;
+  return parsed;
 }
 
 }  // namespace
@@ -68,10 +109,13 @@ std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec,
   }
   if (base == "zeppelin") {
     ZeppelinOptions options;
+    // Defaults first; inline knob modifiers below override them.
     options.num_planner_threads = defaults.num_planner_threads;
     options.delta_replan_threshold = defaults.delta_replan_threshold;
+    options.service = defaults.service;
     for (size_t i = 1; i < parts.size(); ++i) {
       const std::string& mod = parts[i];
+      std::string value;
       if (mod == "-routing") {
         options.routing.enabled = false;
       } else if (mod == "-remap") {
@@ -86,6 +130,20 @@ std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec,
         options.engine.chunk_scheme = ChunkScheme::kContiguous;
       } else if (mod == "+localfirst") {
         options.engine.forward_order = QueueOrder::kLocalIntraInter;
+      } else if (KnobValue(mod, "threads", &value)) {
+        options.num_planner_threads = ParseThreads(value, mod);
+      } else if (KnobValue(mod, "delta", &value)) {
+        options.delta_replan_threshold = ParseDouble(value, mod);
+      } else if (KnobValue(mod, "capacity", &value)) {
+        const double capacity = ParseDouble(value, mod);
+        // The upper bound keeps the double -> int64 cast defined (a value
+        // past INT64_MAX is UB and lands negative on x86).
+        ZCHECK(capacity >= 0 &&
+               capacity < static_cast<double>(std::numeric_limits<int64_t>::max()))
+            << "capacity out of range in spec modifier: " << mod;
+        options.token_capacity = static_cast<int64_t>(capacity);
+      } else if (KnobValue(mod, "stream", &value)) {
+        options.stream_id = value;
       } else {
         ZCHECK(false) << "unknown zeppelin modifier: " << mod;
       }

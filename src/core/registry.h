@@ -9,9 +9,23 @@
 //   hybrid-dp        FLOP-balanced hybrid data parallelism
 //   pack-ulysses     input-balanced packing + Ulysses SP
 //   zeppelin         the full system
-//   zeppelin+...     modifiers: -routing, -remap, +zones (zone-aware
+//   zeppelin+...     toggle modifiers: -routing, -remap, +zones (zone-aware
 //                    thresholds), +striped / +contiguous (chunk scheme),
 //                    +localfirst (queue-order ablation)
+//
+// Zeppelin specs also accept inline *knob* modifiers (`+key=value`), so a
+// single spec string fully describes a configuration without side-channel
+// flags:
+//   zeppelin+threads=4               planner pool contexts (0 = serial fast
+//                                    path; "auto" = hardware concurrency)
+//   zeppelin+delta=0.02              delta-replan threshold (PlanDelta)
+//   zeppelin+capacity=8192           explicit token capacity L per device
+//   zeppelin+stream=decode-7         PlannerService session key (distinct
+//                                    ids = independent delta streams)
+//   zeppelin+threads=4+delta=0.02    modifiers compose left to right
+// The corresponding StrategyDefaults fields remain as aliases (typically fed
+// from --planner_threads / --delta_threshold flags); inline knobs take
+// precedence over defaults.
 //
 // Cluster spec grammar: A|B|C (paper presets), case-insensitive.
 #ifndef SRC_CORE_REGISTRY_H_
@@ -26,17 +40,26 @@
 
 namespace zeppelin {
 
+class PlannerService;  // src/core/plan_service.h
+
 // Knobs that tools pass alongside a spec string (typically straight from
 // command-line flags) and that apply across specs rather than naming a
-// variant.
+// variant. Each field is the *alias* of an inline knob modifier (see the
+// grammar above); an inline knob on the spec wins over the default.
 struct StrategyDefaults {
   // ZeppelinOptions::num_planner_threads for zeppelin specs: 0 = serial PR-1
   // fast path, N >= 1 = sharded engine on N contexts. Ignored by baselines.
+  // Inline form: +threads=N.
   int num_planner_threads = 1;
   // ZeppelinOptions::delta_replan_threshold for zeppelin specs: streaming
   // (PlanDelta) fallback knob — full re-plan above this churn fraction or
   // imbalance drift. Ignored by baselines (their PlanDelta re-plans fully).
+  // Inline form: +delta=X.
   double delta_replan_threshold = 0.05;
+  // Shared PlannerService for zeppelin specs (null = each strategy gets a
+  // private service). Tools that drive several concurrent streams pass one
+  // service here and give each spec its own +stream=<id> knob.
+  std::shared_ptr<PlannerService> service;
 };
 
 // Creates a strategy from a spec string; aborts (ZCHECK) on unknown specs.

@@ -11,6 +11,7 @@
 #ifndef SRC_CORE_STRATEGY_H_
 #define SRC_CORE_STRATEGY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,8 @@
 
 namespace zeppelin {
 
-struct BatchDelta;  // src/data/stream.h
+struct BatchDelta;      // src/data/stream.h
+struct PartitionPlan;   // src/core/partitioner.h
 
 class Strategy {
  public:
@@ -36,16 +38,27 @@ class Strategy {
 
   // Streaming/online form: plans `batch`, which differs from the previously
   // planned batch by exactly `delta` (already applied — `batch` is the new
-  // batch; see src/data/stream.h for the slot semantics). The default simply
-  // re-plans from scratch; strategies with incremental planners (Zeppelin's
-  // delta-planning subsystem, docs/DELTA_PLANS.md) override this to patch
-  // the previous plan instead. Interchangeable with Plan() for correctness:
-  // after either call, EmitLayer() emits a valid layout for `batch`.
+  // batch; see src/data/stream.h for the slot semantics). The default is the
+  // stateless adapter: it re-plans from scratch via Plan() — exactly what a
+  // PlannerService request without a stream id does. Strategies with
+  // incremental planners (ZeppelinStrategy routes this through a
+  // PlannerService delta session, docs/SERVICE_API.md + docs/DELTA_PLANS.md)
+  // override it to patch the previous plan instead. Interchangeable with
+  // Plan() for correctness: after either call, EmitLayer() emits a valid
+  // layout for `batch`.
   virtual void PlanDelta(const Batch& batch, const BatchDelta& delta,
                          const CostModel& cost_model, const FabricResources& fabric) {
     (void)delta;
     Plan(batch, cost_model, fabric);
   }
+
+  // Immutable handle to the partition plan behind the last Plan()/PlanDelta()
+  // call, for strategies that plan through the PlannerService
+  // (src/core/plan_service.h). The handle is safe to retain across later
+  // planning calls, share between threads, and serialize
+  // (src/core/plan_io.h). Strategies that do not produce a PartitionPlan
+  // (most baselines build their own execution layout) return null.
+  virtual std::shared_ptr<const PartitionPlan> plan_handle() const { return nullptr; }
 
   // Emits one transformer layer (attention + linear modules + any data
   // movement the strategy needs) into `graph`. Returns one done-task per rank.

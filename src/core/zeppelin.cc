@@ -1,17 +1,13 @@
 #include "src/core/zeppelin.h"
 
-#include <algorithm>
-#include <chrono>
-#include <numeric>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/core/linear_stage.h"
-#include "src/core/zones.h"
-#include "src/model/memory.h"
 
 namespace zeppelin {
 
-ZeppelinStrategy::ZeppelinStrategy(ZeppelinOptions options) : options_(options) {}
+ZeppelinStrategy::ZeppelinStrategy(ZeppelinOptions options) : options_(std::move(options)) {}
 
 std::string ZeppelinStrategy::name() const {
   std::string n = "Zeppelin";
@@ -27,109 +23,54 @@ std::string ZeppelinStrategy::name() const {
   return n;
 }
 
-int64_t ZeppelinStrategy::DeriveCapacity(const Batch& batch, const CostModel& cost_model,
-                                         const ClusterSpec& spec) const {
-  if (options_.token_capacity != 0) {
-    return options_.token_capacity;
+PlannerService& ZeppelinStrategy::service() {
+  if (options_.service) {
+    return *options_.service;
   }
-  // L is the per-device *memory* capacity (Alg. 1/2 input). The paper's
-  // workloads size the batch to nearly fill memory (4k tokens/GPU), so L
-  // sits a modest headroom above the batch average; we model that with a
-  // 25% slack, additionally capped by the memory model when it binds.
-  const int world = spec.world_size();
-  const int64_t average = (batch.total_tokens() + world - 1) / world;
-  int64_t with_slack = average + average / 4;
-  const int64_t memory_cap = TokenCapacity(cost_model.model(), spec, world);
-  if (memory_cap > 0) {
-    with_slack = std::min(with_slack, memory_cap);
+  if (!owned_service_) {
+    owned_service_ = std::make_shared<PlannerService>(
+        PlanServiceOptions{.num_planner_threads =
+                               options_.planner_fast_path ? options_.num_planner_threads : 0});
   }
-  return std::max(average, with_slack);
+  return *owned_service_;
 }
 
-const ZoneBoundaries& ZeppelinStrategy::CachedZones(const CostModel& cost_model,
-                                                    const ClusterSpec& spec) {
-  // Keyed on the cost model's identity and the cluster value: an address
-  // alone can be reused by a different model, so the model name and the
-  // cluster spec participate in the comparison.
-  if (!zone_cache_ || zone_cache_model_ != &cost_model ||
-      zone_cache_model_name_ != cost_model.model().name || !(zone_cache_cluster_ == spec)) {
-    zone_cache_ = ZoneClassifier(cost_model).Compute();
-    zone_cache_model_ = &cost_model;
-    zone_cache_model_name_ = cost_model.model().name;
-    zone_cache_cluster_ = spec;
-  }
-  return *zone_cache_;
+PlanningOptions ZeppelinStrategy::BuildPlanningOptions() const {
+  PlanningOptions popts;
+  popts.token_capacity = options_.token_capacity;
+  popts.hierarchical_partitioning = options_.hierarchical_partitioning;
+  popts.zone_aware_thresholds = options_.zone_aware_thresholds;
+  popts.planner_fast_path = options_.planner_fast_path;
+  // 0 planner threads historically meant "serial fast path": opt out of
+  // whatever pool the service carries.
+  popts.use_shared_pool = options_.num_planner_threads >= 1;
+  popts.delta_replan_threshold = options_.delta_replan_threshold;
+  return popts;
 }
 
-ThreadPool* ZeppelinStrategy::PlannerPool() {
-  if (!options_.planner_fast_path || options_.num_planner_threads < 1) {
-    return nullptr;
-  }
-  // Compare against the pool's own clamp so an out-of-range knob does not
-  // rebuild the pool on every Plan() call.
-  const int contexts = std::clamp(options_.num_planner_threads, 1, ThreadPool::kMaxContexts);
-  if (!planner_pool_ || planner_pool_->num_contexts() != contexts) {
-    planner_pool_.emplace(contexts);
-  }
-  return &*planner_pool_;
+const PartitionPlan& ZeppelinStrategy::partition_plan() const {
+  ZCHECK(current_plan_ != nullptr) << "no plan yet: call Plan()/PlanDelta()/AdoptPlan() first";
+  return *current_plan_;
 }
 
 void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
                             const FabricResources& fabric) {
   cost_model_ = &cost_model;
   fabric_ = &fabric;
-  const ClusterSpec& spec = fabric.cluster();
-  const int world = spec.world_size();
 
-  // Full planning bypasses the incremental state; the next PlanDelta()
+  // Full planning bypasses the incremental session; the next PlanDelta()
   // re-establishes its base with a fresh full partition.
-  if (delta_) {
-    delta_->Invalidate();
-  }
-  current_plan_ = &plan_;
+  PlannerService& svc = service();
+  svc.InvalidateSession(options_.stream_id);
 
-  auto start = std::chrono::steady_clock::now();
-
-  if (options_.hierarchical_partitioning) {
-    SequencePartitioner::Options popts{.token_capacity = DeriveCapacity(batch, cost_model, spec),
-                                       .fast_path = options_.planner_fast_path,
-                                       .pool = PlannerPool()};
-    if (options_.zone_aware_thresholds) {
-      const ZoneBoundaries& zones = CachedZones(cost_model, spec);
-      popts.max_inter_threshold = zones.intra_max;
-      popts.max_local_threshold = zones.local_max;
-    }
-    // Rebuild only when the topology actually changed (compared by value:
-    // a different fabric can reuse a freed fabric's address).
-    if (!partitioner_ || !(partitioner_->cluster() == spec)) {
-      partitioner_.emplace(spec, popts);
-    } else {
-      partitioner_->set_options(popts);
-    }
-    start = std::chrono::steady_clock::now();  // Time the partitioner itself.
-    partitioner_->Partition(batch, &planner_scratch_, &plan_);
-    partition_time_us_ = std::chrono::duration<double, std::micro>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-  } else {
-    // Ablation baseline: every sequence on one global ring spanning all ranks
-    // (the TE CP layout), so the only Zeppelin component in play is routing.
-    plan_ = PartitionPlan{};
-    plan_.tokens_per_rank.assign(world, 0);
-    plan_.threshold_s0.assign(spec.num_nodes, 0);
-    std::vector<int> all_ranks(world);
-    std::iota(all_ranks.begin(), all_ranks.end(), 0);
-    for (int id = 0; id < batch.size(); ++id) {
-      const int64_t len = batch.seq_lens[id];
-      plan_.AddRing(plan_.inter_node, id, len, Zone::kInterNode, all_ranks);
-      for (int r = 0; r < world; ++r) {
-        plan_.tokens_per_rank[r] += len * (r + 1) / world - len * r / world;
-      }
-    }
-    partition_time_us_ = std::chrono::duration<double, std::micro>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-  }
+  PlanRequest request;
+  request.batch = &batch;
+  request.cost_model = &cost_model;
+  request.fabric = &fabric;
+  request.options = BuildPlanningOptions();
+  PlanResponse response = svc.Plan(request);
+  current_plan_ = std::move(response.plan);
+  last_stats_ = response.stats;
 
   FinishPlanning(cost_model, fabric);
 }
@@ -137,49 +78,49 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
 void ZeppelinStrategy::PlanDelta(const Batch& batch, const BatchDelta& delta,
                                  const CostModel& cost_model, const FabricResources& fabric) {
   if (!options_.hierarchical_partitioning || !options_.planner_fast_path) {
-    // The delta planner patches the hierarchical fast-path state; without it
+    // The delta session patches the hierarchical fast-path state; without it
     // streaming degenerates to per-iteration full planning.
     Plan(batch, cost_model, fabric);
     return;
   }
   cost_model_ = &cost_model;
   fabric_ = &fabric;
-  const ClusterSpec& spec = fabric.cluster();
 
-  const auto start = std::chrono::steady_clock::now();
-  if (!delta_ || !(delta_->cluster() == spec) || !delta_->has_base()) {
-    // (Re)establish the base: capacity pinned from this batch, zone caps
-    // from the cached boundaries, and the memory model as the ceiling for
-    // automatic capacity raises on later growth.
-    DeltaPlannerOptions dopts;
-    dopts.token_capacity = DeriveCapacity(batch, cost_model, spec);
-    dopts.capacity_ceiling = TokenCapacity(cost_model.model(), spec, spec.world_size());
-    if (options_.zone_aware_thresholds) {
-      const ZoneBoundaries& zones = CachedZones(cost_model, spec);
-      dopts.max_inter_threshold = zones.intra_max;
-      dopts.max_local_threshold = zones.local_max;
-    }
-    dopts.replan_threshold = options_.delta_replan_threshold;
-    dopts.fast_path = true;
-    dopts.pool = PlannerPool();
-    if (!delta_ || !(delta_->cluster() == spec)) {
-      delta_.emplace(spec, dopts);
-    } else {
-      delta_->set_options(dopts);
-    }
-    delta_->Rebase(batch);
-    last_delta_outcome_ = DeltaOutcome::kRebasedNoBase;
-  } else {
-    last_delta_outcome_ = delta_->Apply(delta);
-    ZCHECK_EQ(delta_->batch().size(), batch.size())
-        << "PlanDelta batch does not match the delta planner's batch";
-  }
-  partition_time_us_ = std::chrono::duration<double, std::micro>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-  current_plan_ = &delta_->plan();
+  PlanRequest request;
+  request.batch = &batch;
+  request.cost_model = &cost_model;
+  request.fabric = &fabric;
+  request.options = BuildPlanningOptions();
+  request.stream_id = options_.stream_id;
+  request.delta = &delta;
+  PlanResponse response = service().Plan(request);
+  current_plan_ = std::move(response.plan);
+  last_stats_ = response.stats;
+  last_delta_outcome_ = response.stats.delta_outcome;
 
   FinishPlanning(cost_model, fabric);
+}
+
+void ZeppelinStrategy::AdoptPlan(std::shared_ptr<const PartitionPlan> plan,
+                                 const CostModel& cost_model, const FabricResources& fabric) {
+  ZCHECK(plan != nullptr) << "AdoptPlan requires a plan";
+  ZCHECK_EQ(static_cast<int>(plan->tokens_per_rank.size()), fabric.cluster().world_size())
+      << "adopted plan's rank layout does not match the cluster";
+  cost_model_ = &cost_model;
+  fabric_ = &fabric;
+  service().InvalidateSession(options_.stream_id);
+  current_plan_ = std::move(plan);
+  last_stats_ = PlanStats{};
+  last_stats_.token_capacity = options_.token_capacity;
+  FinishPlanning(cost_model, fabric);
+}
+
+const DeltaStats* ZeppelinStrategy::delta_stats() const {
+  PlannerService* svc = options_.service ? options_.service.get() : owned_service_.get();
+  if (svc == nullptr || !svc->GetSessionStats(options_.stream_id, &delta_stats_cache_)) {
+    return nullptr;
+  }
+  return &delta_stats_cache_;
 }
 
 void ZeppelinStrategy::FinishPlanning(const CostModel& cost_model, const FabricResources& fabric) {
@@ -209,6 +150,7 @@ void ZeppelinStrategy::FinishPlanning(const CostModel& cost_model, const FabricR
 
 std::vector<TaskId> ZeppelinStrategy::EmitLayer(TaskGraph& graph, Direction direction) {
   ZCHECK(cost_model_ != nullptr) << "Plan() must run before EmitLayer()";
+  ZCHECK(current_plan_ != nullptr) << "Plan() must run before EmitLayer()";
   const std::string tag = direction == Direction::kForward ? "fwd" : "bwd";
 
   if (direction == Direction::kForward) {

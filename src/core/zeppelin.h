@@ -2,6 +2,15 @@
 // components — sequence partitioner, attention engine, communication routing
 // layer, and remapping layer. Every component can be toggled independently,
 // which is how the ablation study (Fig. 11) is reproduced.
+//
+// Since the PlannerService redesign the strategy is a *thin adapter* over the
+// service (src/core/plan_service.h): Plan() issues a stateless request,
+// PlanDelta() a session request on `ZeppelinOptions::stream_id`, and the
+// partition plan is held as an immutable std::shared_ptr<const PartitionPlan>
+// handle — the strategy keeps no mutable planning state of its own beyond
+// the routing/engine/remapping layers it emits through. Several strategies
+// can share one service (and thus one planning pool and session table) via
+// ZeppelinOptions::service.
 #ifndef SRC_CORE_ZEPPELIN_H_
 #define SRC_CORE_ZEPPELIN_H_
 
@@ -11,10 +20,10 @@
 #include <string>
 #include <vector>
 
-#include "src/common/thread_pool.h"
 #include "src/core/attention_engine.h"
 #include "src/core/delta_planner.h"
 #include "src/core/partitioner.h"
+#include "src/core/plan_service.h"
 #include "src/core/remapping.h"
 #include "src/core/routing.h"
 #include "src/core/strategy.h"
@@ -54,7 +63,8 @@ struct ZeppelinOptions {
   // materialization-bound points can tie it), N > 1 adds N-1 pool workers
   // for the per-node intra stage and merges, and 0 opts out, forcing the
   // PR-1 serial fast path (the bench baseline). Plans are bit-identical at
-  // every setting.
+  // every setting. Applies to the strategy's private service only; a shared
+  // `service` brings its own pool.
   int num_planner_threads = 1;
 
   // Streaming (PlanDelta) fallback knob: the delta planner re-plans from
@@ -62,6 +72,17 @@ struct ZeppelinOptions {
   // token imbalance drifts more than this above the last full re-plan's
   // (DeltaPlannerOptions::replan_threshold; see docs/DELTA_PLANS.md).
   double delta_replan_threshold = 0.05;
+
+  // Session key for PlanDelta() on the planner service. Strategies sharing a
+  // service must use distinct stream ids or they will share (and fight over)
+  // one delta session.
+  std::string stream_id = "default";
+
+  // Planner service to plan through. Null = the strategy lazily creates a
+  // private service sized by `num_planner_threads`. Supplying a shared
+  // service lets many strategies/streams plan through one pool and one
+  // session table (see docs/SERVICE_API.md).
+  std::shared_ptr<PlannerService> service;
 };
 
 class ZeppelinStrategy : public Strategy {
@@ -70,85 +91,83 @@ class ZeppelinStrategy : public Strategy {
 
   // Strategy name with the active ablation toggles appended (Fig. 11 bars).
   std::string name() const override;
-  // Runs the per-iteration planning pipeline: capacity derivation ->
-  // partitioner engine (per options) -> remapping solve. Reuses the
-  // partitioner, scratch, and pool across calls (steady-state allocation-free).
+  // Runs the per-iteration planning pipeline: stateless PlannerService
+  // request (capacity derivation -> partitioner engine per options) ->
+  // remapping solve. Invalidates the strategy's delta session, so the next
+  // PlanDelta() re-establishes its base with a fresh full partition.
   void Plan(const Batch& batch, const CostModel& cost_model,
             const FabricResources& fabric) override;
-  // Streaming form: patches the previous plan through the delta-planning
-  // subsystem (src/core/delta_planner.h) instead of re-partitioning all S
-  // sequences, falling back to a full re-plan per the delta_replan_threshold
-  // policy. The first call (or any call after Plan(), which invalidates the
-  // incremental state) establishes the base plan with a full partition. The
-  // token capacity is pinned at the base plan and auto-raised only when the
-  // batch outgrows it. Requires hierarchical partitioning + the planner fast
-  // path; otherwise falls back to Plan().
+  // Streaming form: a session request on `options.stream_id` — the service
+  // patches the previous plan through the delta-planning subsystem instead
+  // of re-partitioning all S sequences, falling back to a full re-plan per
+  // the delta_replan_threshold policy. The first call (or any call after
+  // Plan()) establishes the base plan with a full partition; the token
+  // capacity is pinned at the base plan and auto-raised only when the batch
+  // outgrows it. Requires hierarchical partitioning + the planner fast path;
+  // otherwise falls back to Plan().
   void PlanDelta(const Batch& batch, const BatchDelta& delta, const CostModel& cost_model,
                  const FabricResources& fabric) override;
   // Emits one transformer layer for the planned batch into `graph`:
-  // attention queues + remap + linear stage (mirrored in backward). Plan()
-  // must have run first.
+  // attention queues + remap + linear stage (mirrored in backward). Plan(),
+  // PlanDelta(), or AdoptPlan() must have run first.
   std::vector<TaskId> EmitLayer(TaskGraph& graph, Direction direction) override;
   // Post-remap token layout the linear modules see (balanced if remapping on).
   std::vector<int64_t> LinearTokensPerRank() const override;
 
+  // Adopts an externally produced plan — typically one deserialized from the
+  // wire format (plan_io.h, `zeppelin_cli --plan_in`) or shared from another
+  // process' PlannerService — and rebuilds the routing/engine/remapping
+  // layers for it, without re-planning. After this call EmitLayer() executes
+  // `plan` exactly; the strategy's delta session is invalidated.
+  void AdoptPlan(std::shared_ptr<const PartitionPlan> plan, const CostModel& cost_model,
+                 const FabricResources& fabric);
+
+  // Immutable handle to the current plan (null before the first planning
+  // call). Stays valid across later Plan()/PlanDelta() calls.
+  std::shared_ptr<const PartitionPlan> plan_handle() const override { return current_plan_; }
+
   // Planning artefacts (for tests, benches, and the Table 3 case study).
-  // After PlanDelta() this is the delta planner's patched plan; after Plan()
-  // it is the full-partition plan.
-  const PartitionPlan& partition_plan() const { return *current_plan_; }
+  // After PlanDelta() this is the session's patched plan; after Plan() the
+  // full-partition plan. Requires a prior planning call.
+  const PartitionPlan& partition_plan() const;
   const RemapSolution& remap_solution() const { return remap_solution_; }
   // Wall time of the sequence-partitioning step in the last Plan()/
   // PlanDelta() call — for PlanDelta, the patch (or fallback re-plan) time.
-  double partition_time_us() const { return partition_time_us_; }
-  // Delta-planning telemetry (valid after the first PlanDelta() call).
-  const DeltaStats* delta_stats() const { return delta_ ? &delta_->stats() : nullptr; }
+  double partition_time_us() const { return last_stats_.partition_time_us; }
+  // Full service-side telemetry of the last planning call (engine used,
+  // partition/materialize split, fallback reason, capacity).
+  const PlanStats& last_plan_stats() const { return last_stats_; }
+  // Delta-planning telemetry (valid after the first PlanDelta() call; null
+  // before, or after the session was closed).
+  const DeltaStats* delta_stats() const;
   DeltaOutcome last_delta_outcome() const { return last_delta_outcome_; }
 
+  const ZeppelinOptions& options() const { return options_; }
+  // The service this strategy plans through (shared or private; created on
+  // first use for private instances).
+  PlannerService& service();
+
  private:
-  // Per-device token capacity L for `batch` (explicit option, or the tight
-  // average + 25% headroom capped by the memory model).
-  int64_t DeriveCapacity(const Batch& batch, const CostModel& cost_model,
-                         const ClusterSpec& spec) const;
-  // Zone boundaries for the zone-aware-thresholds extension, cached across
-  // Plan() calls and recomputed only when the cost model or cluster changes
-  // (the Fig. 5 crossover scan is ~10^4 cost-model probes — pure overhead
-  // when repeated on an unchanged cluster every iteration).
-  const ZoneBoundaries& CachedZones(const CostModel& cost_model, const ClusterSpec& spec);
-  ThreadPool* PlannerPool();
-  // Shared tail of Plan()/PlanDelta(): routing/engine/remapping (re)build,
-  // remap solve on the current plan, and the linear-stage token layout.
+  PlanningOptions BuildPlanningOptions() const;
+  // Shared tail of Plan()/PlanDelta()/AdoptPlan(): routing/engine/remapping
+  // (re)build, remap solve on the current plan, and the linear-stage layout.
   void FinishPlanning(const CostModel& cost_model, const FabricResources& fabric);
 
   ZeppelinOptions options_;
   const CostModel* cost_model_ = nullptr;
   const FabricResources* fabric_ = nullptr;
 
-  PartitionPlan plan_;
-  const PartitionPlan* current_plan_ = &plan_;
+  // Lazily created when options_.service is null.
+  std::shared_ptr<PlannerService> owned_service_;
+
+  std::shared_ptr<const PartitionPlan> current_plan_;
+  PlanStats last_stats_;
+  DeltaOutcome last_delta_outcome_ = DeltaOutcome::kRebasedNoBase;
+  mutable DeltaStats delta_stats_cache_;
+
   RemapSolution remap_solution_;
   std::vector<int64_t> linear_tokens_;
-  double partition_time_us_ = 0;
-
-  // Reused across Plan() calls so steady-state planning stays free of
-  // intermediate allocations (the partitioner is rebuilt only when the
-  // fabric changes; options are refreshed per batch).
-  std::optional<SequencePartitioner> partitioner_;
-  PlannerScratch planner_scratch_;
   RemapScratch remap_scratch_;
-  // Lazily built when num_planner_threads >= 1; rebuilt if the count changes.
-  std::optional<ThreadPool> planner_pool_;
-
-  // Streaming state (PlanDelta): rebuilt when the cluster changes; holds the
-  // patched plan and the persistent planner state between iterations.
-  std::optional<DeltaPlanner> delta_;
-  DeltaOutcome last_delta_outcome_ = DeltaOutcome::kRebasedNoBase;
-
-  // Zone-boundary cache (zone_aware_thresholds): invalidated only when the
-  // cost model or cluster actually changes.
-  std::optional<ZoneBoundaries> zone_cache_;
-  const CostModel* zone_cache_model_ = nullptr;
-  std::string zone_cache_model_name_;
-  ClusterSpec zone_cache_cluster_;
 
   std::optional<RoutingLayer> routing_;
   std::optional<AttentionEngine> engine_;

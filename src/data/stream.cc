@@ -52,7 +52,9 @@ void ApplyBatchDelta(const BatchDelta& delta, Batch* batch,
 
 WorkloadStream::WorkloadStream(LengthDistribution dist, Batch initial,
                                StreamOptions options, uint64_t seed)
-    : dist_(std::move(dist)), batch_(std::move(initial)), options_(options), rng_(seed) {
+    : dist_(std::move(dist)), batch_(std::move(initial)), options_(std::move(options)), rng_(seed) {
+  stream_id_ =
+      options_.stream_id.empty() ? "stream-" + std::to_string(seed) : options_.stream_id;
   ZCHECK_GT(batch_.size(), 0);
   ZCHECK(options_.churn_fraction >= 0 && options_.churn_fraction <= 1.0);
   ZCHECK(options_.resize_fraction >= 0 && options_.resize_fraction <= 1.0);

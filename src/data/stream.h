@@ -22,6 +22,7 @@
 #define SRC_DATA_STREAM_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -56,6 +57,12 @@ void ApplyBatchDelta(const BatchDelta& delta, Batch* batch,
 
 // Churn-generation knobs for WorkloadStream.
 struct StreamOptions {
+  // Identifies this stream to planning-side consumers: drivers that feed a
+  // PlannerService (src/core/plan_service.h) use it as the delta-session key,
+  // so concurrent streams get independent incremental state. Empty = the
+  // stream synthesizes "stream-<seed>" (deterministic, collision-free across
+  // distinct seeds).
+  std::string stream_id = {};
   // Fraction of live (non-tombstone) slots changed per Next() call; at least
   // one sequence changes when the batch is non-empty.
   double churn_fraction = 0.01;
@@ -84,6 +91,10 @@ class WorkloadStream {
   // The current batch (after all deltas emitted so far).
   const Batch& batch() const { return batch_; }
 
+  // The stream's planning-session key (StreamOptions::stream_id, or the
+  // seed-derived default).
+  const std::string& stream_id() const { return stream_id_; }
+
   // Advances one iteration: picks churned slots, applies the changes to the
   // internal batch, and returns the delta it just applied.
   BatchDelta Next();
@@ -94,6 +105,7 @@ class WorkloadStream {
   LengthDistribution dist_;
   Batch batch_;
   StreamOptions options_;
+  std::string stream_id_;
   Rng rng_;
   std::vector<int> pick_buf_;       // Scratch for distinct-slot selection.
   std::vector<int> pending_revive_;  // Tombstones created by the last Next().

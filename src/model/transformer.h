@@ -38,6 +38,11 @@ struct TransformerConfig {
   int64_t ParamsPerLayer() const;
 
   void Validate() const;
+
+  // Value identity — two configs with equal fields cost identically (used by
+  // caches keyed on the model, e.g. the PlannerService zone cache; a name
+  // alone is not identity, custom configs may reuse one).
+  bool operator==(const TransformerConfig&) const = default;
 };
 
 // --- Presets used in the paper's evaluation (§5) ---------------------------

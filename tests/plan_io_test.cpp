@@ -1,0 +1,252 @@
+// Plan wire format (src/core/plan_io.h): byte-identical round trips across
+// all three planner engines, digest authentication, and defensive rejection
+// of malformed inputs (bad magic/version, truncation anywhere, corrupted
+// headers, altered payloads, trailing garbage).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/delta_planner.h"
+#include "src/core/partitioner.h"
+#include "src/core/plan_io.h"
+#include "src/data/datasets.h"
+#include "src/data/stream.h"
+#include "src/topology/cluster.h"
+
+namespace zeppelin {
+namespace {
+
+Batch SampleBatch(int num_seqs, uint64_t seed) {
+  const LengthDistribution dist = DatasetByName("github");
+  Rng rng(seed);
+  Batch batch;
+  batch.seq_lens.reserve(num_seqs);
+  for (int i = 0; i < num_seqs; ++i) {
+    batch.seq_lens.push_back(dist.Sample(rng));
+  }
+  return batch;
+}
+
+// Small S on a large cluster puts github's 64-256k tail above the local
+// threshold, and the two explicit multi-node-length heads above node
+// capacity — so the plan carries inter-node AND intra-node rings (not just
+// locals), exercising every wire section.
+Batch RingHeavyBatch(int num_seqs, uint64_t seed) {
+  Batch batch = SampleBatch(num_seqs, seed);
+  batch.seq_lens.insert(batch.seq_lens.begin(), {1500000, 1400000});
+  return batch;
+}
+
+PartitionPlan MakePlan(const Batch& batch, const ClusterSpec& cluster, bool fast_path,
+                       ThreadPool* pool) {
+  const int64_t world = cluster.world_size();
+  const int64_t average = (batch.total_tokens() + world - 1) / world;
+  SequencePartitioner partitioner(
+      cluster, SequencePartitioner::Options{
+                   .token_capacity = average + average / 4, .fast_path = fast_path, .pool = pool});
+  return partitioner.Partition(batch);
+}
+
+// Round-trip contract: Deserialize(Serialize(p)) == p (operator==, i.e.
+// byte-identity including arena offsets), the digest survives, and
+// re-serialization reproduces the exact byte string.
+void CheckRoundTrip(const PartitionPlan& plan) {
+  const std::string bytes = plan.Serialize();
+  PartitionPlan decoded;
+  const PlanIoResult result = ParsePlan(bytes, &decoded);
+  ASSERT_TRUE(result.ok()) << PlanIoStatusName(result.status) << ": " << result.message;
+  EXPECT_TRUE(decoded == plan);
+  EXPECT_EQ(decoded.StateDigest(), plan.StateDigest());
+  EXPECT_EQ(decoded.Serialize(), bytes);
+}
+
+TEST(PlanIoTest, RoundTripAcrossAllThreeEngines) {
+  const ClusterSpec cluster = MakeClusterA(16);
+  const Batch batch = RingHeavyBatch(512, 0x5eed);
+
+  const PartitionPlan naive = MakePlan(batch, cluster, /*fast_path=*/false, nullptr);
+  const PartitionPlan fast = MakePlan(batch, cluster, /*fast_path=*/true, nullptr);
+  ThreadPool pool(3);
+  const PartitionPlan parallel = MakePlan(batch, cluster, /*fast_path=*/true, &pool);
+
+  // The engines agree (the planner contract), so one wire image serves all.
+  ASSERT_TRUE(naive == fast);
+  ASSERT_TRUE(naive == parallel);
+  CheckRoundTrip(naive);
+  CheckRoundTrip(fast);
+  CheckRoundTrip(parallel);
+  EXPECT_EQ(naive.Serialize(), parallel.Serialize());
+}
+
+TEST(PlanIoTest, RoundTripEmptyAndTinyPlans) {
+  CheckRoundTrip(PartitionPlan{});
+
+  PartitionPlan tiny;
+  tiny.tokens_per_rank = {128, 0};
+  tiny.threshold_s1 = 4096;
+  tiny.threshold_s0 = {512};
+  tiny.local.push_back({0, 128, 0});
+  const std::vector<int> ring = {0, 1};
+  tiny.AddRing(tiny.intra_node, 1, 96, Zone::kIntraNode, ring);
+  CheckRoundTrip(tiny);
+}
+
+TEST(PlanIoTest, RoundTripDeltaPatchedPlanWithArenaSlack) {
+  // Delta-patched plans relax the tight-arena invariant (free-listed spans);
+  // the wire format must carry them verbatim all the same.
+  const ClusterSpec cluster = MakeClusterA(2);
+  Batch batch = SampleBatch(1024, 0xabc);
+  const int64_t world = cluster.world_size();
+  const int64_t average = (batch.total_tokens() + world - 1) / world;
+  DeltaPlanner dp(cluster,
+                  DeltaPlannerOptions{.token_capacity = average + average / 4,
+                                      .replan_threshold = 0.5});
+  dp.Rebase(batch);
+  WorkloadStream stream(DatasetByName("github"), batch, StreamOptions{.churn_fraction = 0.02},
+                        0xfeed);
+  bool patched = false;
+  for (int i = 0; i < 20; ++i) {
+    patched = dp.Apply(stream.Next()) == DeltaOutcome::kApplied || patched;
+  }
+  ASSERT_TRUE(patched);
+  CheckRoundTrip(dp.plan());
+}
+
+TEST(PlanIoTest, RejectsBadMagicAndVersion) {
+  const PartitionPlan plan = MakePlan(SampleBatch(256, 1), MakeClusterA(2), true, nullptr);
+  std::string bytes = plan.Serialize();
+  PartitionPlan decoded;
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_EQ(ParsePlan(wrong_magic, &decoded).status, PlanIoStatus::kBadMagic);
+
+  std::string wrong_version = bytes;
+  wrong_version[4] = static_cast<char>(kPlanFormatVersion + 1);
+  EXPECT_EQ(ParsePlan(wrong_version, &decoded).status, PlanIoStatus::kBadVersion);
+
+  EXPECT_EQ(ParsePlan(std::string_view(), &decoded).status, PlanIoStatus::kTruncated);
+  EXPECT_EQ(ParsePlan("ZP", &decoded).status, PlanIoStatus::kTruncated);
+}
+
+TEST(PlanIoTest, RejectsTruncationAtEveryBoundary) {
+  const PartitionPlan plan = MakePlan(SampleBatch(512, 2), MakeClusterA(2), true, nullptr);
+  const std::string bytes = plan.Serialize();
+  PartitionPlan decoded;
+  // Chop inside the counts, inside the headers, inside the arena, and just
+  // before the trailer — every prefix must read as truncation, never OOB.
+  for (const size_t keep : {size_t{12}, size_t{40}, size_t{80}, bytes.size() / 2,
+                            bytes.size() - 9, bytes.size() - 1}) {
+    ASSERT_LT(keep, bytes.size());
+    EXPECT_EQ(ParsePlan(std::string_view(bytes).substr(0, keep), &decoded).status,
+              PlanIoStatus::kTruncated)
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+TEST(PlanIoTest, RejectsCorruptedHeaderSpan) {
+  const PartitionPlan plan = MakePlan(RingHeavyBatch(512, 3), MakeClusterA(16), true, nullptr);
+  ASSERT_FALSE(plan.intra_node.empty());
+  std::string bytes = plan.Serialize();
+  // First intra_node header's rank_offset lives right after the inter_node
+  // queue: preamble(8) + counts(48) + s1(8) + inter headers, then
+  // seq_id(4) + length(8) + zone(4) = offset 16 into the record.
+  const size_t ring_record = 24;
+  const size_t offset_pos = 8 + 48 + 8 + plan.inter_node.size() * ring_record + 16;
+  const uint32_t huge = 0x7fffffff;
+  std::memcpy(bytes.data() + offset_pos, &huge, sizeof(huge));
+  PartitionPlan decoded;
+  const PlanIoResult result = ParsePlan(bytes, &decoded);
+  EXPECT_EQ(result.status, PlanIoStatus::kCorrupt);
+  EXPECT_NE(result.message.find("exceeds the arena"), std::string::npos) << result.message;
+}
+
+TEST(PlanIoTest, RejectsAlteredPayloadViaDigest) {
+  const PartitionPlan plan = MakePlan(RingHeavyBatch(512, 4), MakeClusterA(16), true, nullptr);
+  ASSERT_FALSE(plan.rank_arena.empty());
+  std::string bytes = plan.Serialize();
+  // Flip one arena rank (structurally valid — ranks are not bounds-checked
+  // against the world size by the parser): only the digest trailer can
+  // catch it.
+  const size_t ring_record = 24;
+  const size_t local_record = 16;
+  const size_t arena_pos = 8 + 48 + 8 +
+                           (plan.inter_node.size() + plan.intra_node.size()) * ring_record +
+                           plan.local.size() * local_record;
+  bytes[arena_pos] = static_cast<char>(bytes[arena_pos] ^ 0x1);
+  PartitionPlan decoded;
+  EXPECT_EQ(ParsePlan(bytes, &decoded).status, PlanIoStatus::kDigestMismatch);
+
+  // Same for a token count deep in the payload.
+  std::string bytes2 = plan.Serialize();
+  bytes2[bytes2.size() - 9 - 8 * plan.threshold_s0.size()] ^= 0x40;
+  EXPECT_EQ(ParsePlan(bytes2, &decoded).status, PlanIoStatus::kDigestMismatch);
+}
+
+TEST(PlanIoTest, RejectsOutOfUniverseRanks) {
+  // Not tampering: the producer re-serializes after planting a bogus rank,
+  // so the digest trailer matches — only the rank-universe check (against
+  // the plan's own tokens_per_rank count) can reject it before it drives
+  // EmitLayer out of bounds.
+  PartitionPlan plan = MakePlan(RingHeavyBatch(512, 9), MakeClusterA(16), true, nullptr);
+  ASSERT_FALSE(plan.rank_arena.empty());
+  PartitionPlan decoded;
+
+  PartitionPlan bad_arena = plan;
+  bad_arena.rank_arena[0] = 9999;
+  PlanIoResult result = ParsePlan(bad_arena.Serialize(), &decoded);
+  EXPECT_EQ(result.status, PlanIoStatus::kCorrupt);
+  EXPECT_NE(result.message.find("rank universe"), std::string::npos) << result.message;
+
+  PartitionPlan bad_local = plan;
+  ASSERT_FALSE(bad_local.local.empty());
+  bad_local.local[0].rank = -1;
+  EXPECT_EQ(ParsePlan(bad_local.Serialize(), &decoded).status, PlanIoStatus::kCorrupt);
+}
+
+TEST(PlanIoTest, RejectsTrailingGarbage) {
+  const PartitionPlan plan = MakePlan(SampleBatch(256, 5), MakeClusterA(2), true, nullptr);
+  std::string bytes = plan.Serialize();
+  bytes += "extra";
+  PartitionPlan decoded;
+  EXPECT_EQ(ParsePlan(bytes, &decoded).status, PlanIoStatus::kCorrupt);
+}
+
+TEST(PlanIoTest, RejectsHugeCountsWithoutAllocating) {
+  // A corrupted count field must read as truncation (payload is the
+  // authority), not drive a giant resize.
+  std::string bytes = MakePlan(SampleBatch(64, 6), MakeClusterA(1), true, nullptr).Serialize();
+  const uint64_t huge = ~uint64_t{0} / 4;
+  std::memcpy(bytes.data() + 8 + 24, &huge, sizeof(huge));  // arena_count slot.
+  PartitionPlan decoded;
+  EXPECT_EQ(ParsePlan(bytes, &decoded).status, PlanIoStatus::kTruncated);
+}
+
+TEST(PlanIoTest, FileRoundTripAndIoErrors) {
+  const PartitionPlan plan = MakePlan(SampleBatch(512, 7), MakeClusterB(2), true, nullptr);
+  const std::string path = ::testing::TempDir() + "/plan_io_test.zpln";
+  ASSERT_TRUE(SavePlanFile(path, plan).ok());
+  PartitionPlan loaded;
+  const PlanIoResult result = LoadPlanFile(path, &loaded);
+  ASSERT_TRUE(result.ok()) << result.message;
+  EXPECT_TRUE(loaded == plan);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(LoadPlanFile(path + ".does-not-exist", &loaded).status, PlanIoStatus::kIoError);
+}
+
+TEST(PlanIoTest, DeserializeMemberMirrorsParse) {
+  const PartitionPlan plan = MakePlan(SampleBatch(256, 8), MakeClusterA(2), true, nullptr);
+  PartitionPlan decoded;
+  EXPECT_TRUE(decoded.Deserialize(plan.Serialize()));
+  EXPECT_TRUE(decoded == plan);
+  EXPECT_FALSE(decoded.Deserialize("not a plan"));
+}
+
+}  // namespace
+}  // namespace zeppelin

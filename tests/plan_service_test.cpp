@@ -1,0 +1,452 @@
+// PlannerService (src/core/plan_service.h): stateless plans byte-identical
+// to the direct partitioner at every engine/thread setting, immutable handle
+// semantics (stable across later requests, storage recycling never aliases a
+// live handle), the multi-stream session table (independent per-stream
+// state and fallback policies, per-stream twin-digest determinism), and the
+// concurrency contract (N streams driven from N threads through one service
+// over a shared pool — the TSAN target, see the sanitizer recipe in
+// CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/delta_planner.h"
+#include "src/core/plan_io.h"
+#include "src/core/plan_service.h"
+#include "src/core/zeppelin.h"
+#include "src/data/datasets.h"
+#include "src/data/stream.h"
+#include "src/model/transformer.h"
+#include "src/sim/graph.h"
+#include "src/topology/cluster.h"
+#include "src/topology/path.h"
+
+namespace zeppelin {
+namespace {
+
+constexpr double kThreshold = 0.08;
+constexpr double kEps = kThreshold + 0.05;
+
+Batch SampleBatch(int num_seqs, uint64_t seed) {
+  const LengthDistribution dist = DatasetByName("github");
+  Rng rng(seed);
+  Batch batch;
+  batch.seq_lens.reserve(num_seqs);
+  for (int i = 0; i < num_seqs; ++i) {
+    batch.seq_lens.push_back(dist.Sample(rng));
+  }
+  return batch;
+}
+
+int64_t SlackCapacity(const Batch& batch, const ClusterSpec& cluster) {
+  const int64_t world = cluster.world_size();
+  const int64_t average = (batch.total_tokens() + world - 1) / world;
+  return average + average / 4;
+}
+
+struct TestRig {
+  ClusterSpec cluster = MakeClusterA(2);
+  FabricResources fabric{cluster};
+  CostModel cost_model{MakeLlama3B(), cluster};
+
+  PlanRequest Request(const Batch& batch) const {
+    PlanRequest request;
+    request.batch = &batch;
+    request.cost_model = &cost_model;
+    request.fabric = &fabric;
+    return request;
+  }
+};
+
+TEST(PlanServiceTest, StatelessByteIdenticalToDirectPartitionerAtEverySetting) {
+  TestRig rig;
+  const Batch batch = SampleBatch(1024, 0xa11);
+  const int64_t capacity = SlackCapacity(batch, rig.cluster);
+
+  SequencePartitioner direct(rig.cluster,
+                             SequencePartitioner::Options{.token_capacity = capacity});
+  const PartitionPlan reference = direct.Partition(batch);
+
+  struct Setting {
+    int threads;
+    bool fast_path;
+    PlanEngine expect;
+  };
+  const std::vector<Setting> settings = {
+      {0, false, PlanEngine::kNaive},          {0, true, PlanEngine::kSerialFast},
+      {1, true, PlanEngine::kParallelSharded}, {2, true, PlanEngine::kParallelSharded},
+      {4, true, PlanEngine::kParallelSharded},
+  };
+  for (const Setting& setting : settings) {
+    PlannerService service(PlanServiceOptions{.num_planner_threads = setting.threads});
+    PlanRequest request = rig.Request(batch);
+    request.options.token_capacity = capacity;
+    request.options.planner_fast_path = setting.fast_path;
+    const PlanResponse response = service.Plan(request);
+    ASSERT_NE(response.plan, nullptr);
+    EXPECT_TRUE(*response.plan == reference)
+        << "threads=" << setting.threads << " fast=" << setting.fast_path;
+    EXPECT_EQ(response.stats.engine, setting.expect);
+    EXPECT_EQ(response.digest, reference.StateDigest());
+    EXPECT_EQ(response.stats.token_capacity, capacity);
+    EXPECT_GT(response.stats.partition_time_us, 0);
+  }
+}
+
+TEST(PlanServiceTest, GlobalRingLayout) {
+  TestRig rig;
+  Batch batch;
+  batch.seq_lens = {16384, 16384, 16384, 16384};
+  PlannerService service;
+  PlanRequest request = rig.Request(batch);
+  request.options.hierarchical_partitioning = false;
+  const PlanResponse response = service.Plan(request);
+  EXPECT_EQ(response.stats.engine, PlanEngine::kGlobalRing);
+  EXPECT_EQ(response.plan->inter_node.size(), 4u);
+  EXPECT_TRUE(response.plan->intra_node.empty());
+  EXPECT_EQ(response.plan->total_tokens(), batch.total_tokens());
+  for (const RingRef& ring : response.plan->inter_node) {
+    EXPECT_EQ(ring.group_size(), rig.cluster.world_size());
+  }
+}
+
+TEST(PlanServiceTest, HandlesAreImmutableAcrossLaterRequestsAndRecycling) {
+  TestRig rig;
+  PlannerService service(PlanServiceOptions{.num_planner_threads = 0, .plan_pool_limit = 2});
+  const Batch first = SampleBatch(512, 1);
+  PlanResponse kept = service.Plan(rig.Request(first));
+  const uint64_t kept_digest = kept.digest;
+  const PartitionPlan kept_copy = *kept.plan;
+
+  // Churn through more plans than the recycling pool holds, dropping each
+  // handle immediately — storage reuse must never touch the live handle.
+  for (int i = 0; i < 8; ++i) {
+    const Batch other = SampleBatch(512, 100 + i);
+    const PlanResponse response = service.Plan(rig.Request(other));
+    ASSERT_NE(response.plan, kept.plan);
+  }
+  EXPECT_EQ(kept.plan->StateDigest(), kept_digest);
+  EXPECT_TRUE(*kept.plan == kept_copy);
+}
+
+TEST(PlanServiceTest, HandleOutlivesTheService) {
+  TestRig rig;
+  std::shared_ptr<const PartitionPlan> survivor;
+  uint64_t digest = 0;
+  {
+    PlannerService service;
+    const Batch batch = SampleBatch(256, 2);
+    PlanResponse response = service.Plan(rig.Request(batch));
+    survivor = response.plan;
+    digest = response.digest;
+  }
+  EXPECT_EQ(survivor->StateDigest(), digest);
+}
+
+TEST(PlanServiceTest, SessionPatchesAndStaysEquivalent) {
+  TestRig rig;
+  PlannerService service;
+  const Batch initial = SampleBatch(1024, 0xbee);
+  WorkloadStream stream(DatasetByName("github"), initial,
+                        StreamOptions{.stream_id = "s0", .churn_fraction = 0.01}, 0x11);
+
+  PlanRequest base = rig.Request(stream.batch());
+  base.stream_id = stream.stream_id();
+  base.options.delta_replan_threshold = kThreshold;
+  const PlanResponse base_response = service.Plan(base);
+  EXPECT_EQ(base_response.stats.delta_outcome, DeltaOutcome::kRebasedNoBase);
+  ASSERT_TRUE(service.HasSession("s0"));
+
+  SequencePartitioner ref(
+      rig.cluster,
+      SequencePartitioner::Options{.token_capacity = SlackCapacity(initial, rig.cluster)});
+  PlannerScratch ref_scratch;
+  PartitionPlan ref_plan;
+  int applied = 0;
+  for (int it = 0; it < 30; ++it) {
+    const BatchDelta delta = stream.Next();
+    PlanRequest request = rig.Request(stream.batch());
+    request.stream_id = "s0";
+    request.options.delta_replan_threshold = kThreshold;
+    request.delta = &delta;
+    const PlanResponse response = service.Plan(request);
+    applied += response.stats.delta_outcome == DeltaOutcome::kApplied ? 1 : 0;
+    if (response.stats.engine == PlanEngine::kDeltaPatch) {
+      EXPECT_EQ(response.stats.delta_outcome, DeltaOutcome::kApplied);
+    }
+
+    ref.set_options(
+        SequencePartitioner::Options{.token_capacity = response.stats.token_capacity});
+    ref.Partition(stream.batch(), &ref_scratch, &ref_plan);
+    const DeltaEquivalenceResult eq =
+        CheckDeltaEquivalence(*response.plan, ref_plan, stream.batch(), kEps);
+    ASSERT_TRUE(eq.ok) << "iter " << it << ": " << eq.failure;
+  }
+  EXPECT_GT(applied, 0);
+
+  DeltaStats stats;
+  ASSERT_TRUE(service.GetSessionStats("s0", &stats));
+  EXPECT_EQ(stats.applied, applied);
+}
+
+TEST(PlanServiceTest, SessionsHaveIndependentFallbackPolicies) {
+  TestRig rig;
+  PlannerService service;
+  const Batch initial = SampleBatch(1024, 0xcafe);
+
+  // Same churn stream twice; the strict session re-plans every iteration
+  // (threshold 0 => any churn falls back), the lenient one patches.
+  for (const char* id : {"strict", "lenient"}) {
+    PlanRequest base = rig.Request(initial);
+    base.stream_id = id;
+    base.options.delta_replan_threshold = std::string(id) == "strict" ? 0.0 : 0.5;
+    service.Plan(base);
+  }
+  EXPECT_EQ(service.session_count(), 2u);
+
+  WorkloadStream strict_stream(DatasetByName("github"), initial,
+                               StreamOptions{.churn_fraction = 0.01}, 0x77);
+  WorkloadStream lenient_stream(DatasetByName("github"), initial,
+                                StreamOptions{.churn_fraction = 0.01}, 0x77);
+  int strict_applied = 0;
+  int lenient_applied = 0;
+  for (int it = 0; it < 10; ++it) {
+    const BatchDelta strict_delta = strict_stream.Next();
+    PlanRequest request = rig.Request(strict_stream.batch());
+    request.stream_id = "strict";
+    request.options.delta_replan_threshold = 0.0;
+    request.delta = &strict_delta;
+    strict_applied +=
+        service.Plan(request).stats.delta_outcome == DeltaOutcome::kApplied ? 1 : 0;
+
+    const BatchDelta lenient_delta = lenient_stream.Next();
+    PlanRequest lenient = rig.Request(lenient_stream.batch());
+    lenient.stream_id = "lenient";
+    lenient.options.delta_replan_threshold = 0.5;
+    lenient.delta = &lenient_delta;
+    lenient_applied +=
+        service.Plan(lenient).stats.delta_outcome == DeltaOutcome::kApplied ? 1 : 0;
+  }
+  // Threshold 0 turns any churn into a fallback; the lenient stream patches.
+  EXPECT_EQ(strict_applied, 0);
+  EXPECT_GT(lenient_applied, 0);
+  DeltaStats strict_stats;
+  ASSERT_TRUE(service.GetSessionStats("strict", &strict_stats));
+  EXPECT_EQ(strict_stats.rebase_churn, 10);
+}
+
+TEST(PlanServiceTest, SessionLifecycle) {
+  TestRig rig;
+  PlannerService service;
+  const Batch batch = SampleBatch(256, 9);
+
+  PlanRequest base = rig.Request(batch);
+  base.stream_id = "life";
+  service.Plan(base);
+  EXPECT_TRUE(service.HasSession("life"));
+  EXPECT_EQ(service.SessionLastOutcome("life"), DeltaOutcome::kRebasedNoBase);
+
+  // A few streamed steps (patched or fallen back per policy — either way the
+  // session keeps a base), then invalidation: the next request must re-base.
+  WorkloadStream stream(DatasetByName("github"), batch, StreamOptions{.churn_fraction = 0.01},
+                        0x3);
+  for (int it = 0; it < 3; ++it) {
+    const BatchDelta delta = stream.Next();
+    PlanRequest step = rig.Request(stream.batch());
+    step.stream_id = "life";
+    step.options.delta_replan_threshold = 0.5;
+    step.delta = &delta;
+    service.Plan(step);
+  }
+  EXPECT_NE(service.SessionLastOutcome("life"), DeltaOutcome::kRebasedNoBase);
+
+  service.InvalidateSession("life");
+  const BatchDelta empty;
+  PlanRequest after = rig.Request(stream.batch());
+  after.stream_id = "life";
+  after.delta = &empty;
+  EXPECT_EQ(service.Plan(after).stats.delta_outcome, DeltaOutcome::kRebasedNoBase);
+
+  EXPECT_TRUE(service.CloseSession("life"));
+  EXPECT_FALSE(service.HasSession("life"));
+  EXPECT_FALSE(service.CloseSession("life"));
+  EXPECT_EQ(service.session_count(), 0u);
+}
+
+// Runs `streams` WorkloadStreams through `service`, one thread per stream
+// when `threaded`, recording every iteration's response digest per stream.
+std::vector<std::vector<uint64_t>> DriveStreams(PlannerService& service, const TestRig& rig,
+                                                int streams, int iters, bool threaded) {
+  std::vector<std::vector<uint64_t>> digests(streams);
+  auto drive = [&](int s) {
+    const Batch initial = SampleBatch(768, 0x1000 + s);
+    WorkloadStream stream(DatasetByName("github"), initial,
+                          StreamOptions{.stream_id = "soak-" + std::to_string(s),
+                                        .churn_fraction = 0.01},
+                          0x2000 + s);
+    PlanRequest base = rig.Request(stream.batch());
+    base.stream_id = stream.stream_id();
+    base.options.delta_replan_threshold = kThreshold;
+    digests[s].push_back(service.Plan(base).digest);
+    for (int it = 0; it < iters; ++it) {
+      const BatchDelta delta = stream.Next();
+      PlanRequest request = rig.Request(stream.batch());
+      request.stream_id = stream.stream_id();
+      request.options.delta_replan_threshold = kThreshold;
+      request.delta = &delta;
+      digests[s].push_back(service.Plan(request).digest);
+    }
+  };
+  if (threaded) {
+    std::vector<std::thread> workers;
+    workers.reserve(streams);
+    for (int s = 0; s < streams; ++s) {
+      workers.emplace_back(drive, s);
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  } else {
+    for (int s = 0; s < streams; ++s) {
+      drive(s);
+    }
+  }
+  return digests;
+}
+
+TEST(PlanServiceTest, ConcurrentMultiStreamSoakIsDeterministicPerStream) {
+  // The headline contract: N interleaved streams from N threads through one
+  // service (sharing its pool for fallback re-plans) produce, per stream,
+  // exactly the digest sequence a serial twin run produces. Run under TSAN
+  // via the sanitizer recipe (plan_service is in the regex).
+  constexpr int kStreams = 4;
+  constexpr int kIters = 25;
+  TestRig rig;
+
+  PlannerService concurrent(PlanServiceOptions{.num_planner_threads = 2});
+  const std::vector<std::vector<uint64_t>> threaded =
+      DriveStreams(concurrent, rig, kStreams, kIters, /*threaded=*/true);
+  EXPECT_EQ(concurrent.session_count(), static_cast<size_t>(kStreams));
+
+  PlannerService serial(PlanServiceOptions{.num_planner_threads = 0});
+  const std::vector<std::vector<uint64_t>> reference =
+      DriveStreams(serial, rig, kStreams, kIters, /*threaded=*/false);
+
+  for (int s = 0; s < kStreams; ++s) {
+    ASSERT_EQ(threaded[s].size(), reference[s].size());
+    for (size_t it = 0; it < threaded[s].size(); ++it) {
+      EXPECT_EQ(threaded[s][it], reference[s][it]) << "stream " << s << " iter " << it;
+    }
+  }
+}
+
+TEST(PlanServiceTest, ConcurrentStatelessAndSessionTrafficCoexist) {
+  TestRig rig;
+  PlannerService service(PlanServiceOptions{.num_planner_threads = 2});
+  const Batch batch = SampleBatch(512, 0xd00d);
+  const uint64_t expect = service.Plan(rig.Request(batch)).digest;
+
+  std::vector<std::thread> workers;
+  std::vector<uint64_t> stateless_digests(3, 0);
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 5; ++i) {
+        stateless_digests[t] = service.Plan(rig.Request(batch)).digest;
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    DriveStreams(service, rig, /*streams=*/1, /*iters=*/10, /*threaded=*/false);
+  });
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  for (uint64_t digest : stateless_digests) {
+    EXPECT_EQ(digest, expect);
+  }
+}
+
+TEST(PlanServiceTest, ZeppelinStrategyIsAThinAdapter) {
+  // The strategy surface (Plan / PlanDelta / plan_handle / partition_plan)
+  // now rides on the service; its plans must match a direct service request
+  // and survive the strategy re-planning.
+  TestRig rig;
+  const Batch batch = SampleBatch(768, 0xf00);
+
+  ZeppelinStrategy strategy;
+  strategy.Plan(batch, rig.cost_model, rig.fabric);
+  const std::shared_ptr<const PartitionPlan> handle = strategy.plan_handle();
+  ASSERT_NE(handle, nullptr);
+  EXPECT_TRUE(*handle == strategy.partition_plan());
+  const uint64_t first_digest = handle->StateDigest();
+
+  PlannerService service(PlanServiceOptions{.num_planner_threads = 1});
+  PlanRequest request = rig.Request(batch);
+  const PlanResponse response = service.Plan(request);
+  EXPECT_TRUE(*response.plan == *handle);
+
+  // Handle stability: re-planning a different batch must not mutate it.
+  strategy.Plan(SampleBatch(768, 0xf01), rig.cost_model, rig.fabric);
+  EXPECT_EQ(handle->StateDigest(), first_digest);
+  EXPECT_NE(strategy.plan_handle(), handle);
+}
+
+TEST(PlanServiceTest, SharedServiceAcrossStrategiesWithDistinctStreams) {
+  TestRig rig;
+  auto shared = std::make_shared<PlannerService>(PlanServiceOptions{.num_planner_threads = 1});
+  ZeppelinOptions a_opts;
+  a_opts.service = shared;
+  a_opts.stream_id = "a";
+  ZeppelinOptions b_opts;
+  b_opts.service = shared;
+  b_opts.stream_id = "b";
+  ZeppelinStrategy a(a_opts);
+  ZeppelinStrategy b(b_opts);
+
+  WorkloadStream sa(DatasetByName("github"), SampleBatch(512, 1), StreamOptions{}, 10);
+  WorkloadStream sb(DatasetByName("github"), SampleBatch(512, 2), StreamOptions{}, 20);
+  a.PlanDelta(sa.batch(), BatchDelta{}, rig.cost_model, rig.fabric);
+  b.PlanDelta(sb.batch(), BatchDelta{}, rig.cost_model, rig.fabric);
+  EXPECT_EQ(shared->session_count(), 2u);
+  for (int it = 0; it < 5; ++it) {
+    const BatchDelta da = sa.Next();
+    a.PlanDelta(sa.batch(), da, rig.cost_model, rig.fabric);
+    const BatchDelta db = sb.Next();
+    b.PlanDelta(sb.batch(), db, rig.cost_model, rig.fabric);
+  }
+  EXPECT_EQ(a.partition_plan().total_tokens(), sa.batch().total_tokens());
+  EXPECT_EQ(b.partition_plan().total_tokens(), sb.batch().total_tokens());
+  EXPECT_NE(a.delta_stats(), nullptr);
+  EXPECT_NE(b.delta_stats(), nullptr);
+}
+
+TEST(PlanServiceTest, AdoptedSerializedPlanDrivesEmitLayer) {
+  // Cross-process distribution in miniature: plan -> wire bytes -> fresh
+  // strategy -> EmitLayer, without re-planning.
+  TestRig rig;
+  const Batch batch = SampleBatch(512, 0xace);
+  ZeppelinStrategy producer;
+  producer.Plan(batch, rig.cost_model, rig.fabric);
+  const std::string bytes = producer.plan_handle()->Serialize();
+
+  PartitionPlan decoded;
+  ASSERT_TRUE(decoded.Deserialize(bytes));
+  auto plan = std::make_shared<const PartitionPlan>(std::move(decoded));
+
+  ZeppelinStrategy consumer;
+  consumer.AdoptPlan(plan, rig.cost_model, rig.fabric);
+  EXPECT_EQ(consumer.plan_handle(), plan);
+  TaskGraph graph;
+  const std::vector<TaskId> done = consumer.EmitLayer(graph, Direction::kForward);
+  EXPECT_EQ(static_cast<int>(done.size()), rig.cluster.world_size());
+  EXPECT_GT(graph.size(), 0);
+  EXPECT_EQ(consumer.LinearTokensPerRank(), producer.LinearTokensPerRank());
+}
+
+}  // namespace
+}  // namespace zeppelin
