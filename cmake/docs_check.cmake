@@ -12,7 +12,8 @@ set(required_docs
     docs/ARCHITECTURE.md
     docs/PLAN_FORMAT.md
     docs/DELTA_PLANS.md
-    docs/SERVICE_API.md)
+    docs/SERVICE_API.md
+    docs/ELASTIC.md)
 
 foreach(doc ${required_docs})
   if(NOT EXISTS "${REPO_ROOT}/${doc}")

@@ -31,6 +31,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "src/common/flags.h"
@@ -74,6 +75,11 @@ void PrintUsage() {
       "  --churn=0.01          fraction of sequences changed per iteration\n"
       "  --delta_threshold=0.05  Zeppelin delta fallback knob (churn or\n"
       "                        imbalance drift above this -> full re-plan)\n"
+      "  --fault_rate=0        stream mode: expected rank kills per iteration\n"
+      "                        divided by world size (seeded FaultStream;\n"
+      "                        kills restore after a few iterations)\n"
+      "  --fault_seed=0        fault injector seed (0 = derive from --seed;\n"
+      "                        same seed -> identical schedules per strategy)\n"
       "  --plan_out=path       plan the first batch with the first zeppelin\n"
       "                        spec, write the plan (wire format), print digest\n"
       "  --plan_in=path        load a serialized plan and emit/simulate one\n"
@@ -144,6 +150,8 @@ int main(int argc, char** argv) {
   const int stream_iters = std::max(1, static_cast<int>(flags.GetInt("stream_iters", 50)));
   const int stream_seqs = std::max(1, static_cast<int>(flags.GetInt("stream_seqs", 1024)));
   const double churn = flags.GetDouble("churn", 0.01);
+  const double fault_rate = flags.GetDouble("fault_rate", 0.0);
+  const uint64_t fault_seed_flag = static_cast<uint64_t>(flags.GetInt("fault_seed", 0));
   const LengthDistribution stream_dist = DatasetByName(flags.GetString("dataset", "github"));
   const std::string plan_out = flags.GetString("plan_out", "");
   const std::string plan_in = flags.GetString("plan_in", "");
@@ -169,7 +177,8 @@ int main(int argc, char** argv) {
     // Deserialize-and-emit: the plan is authenticated by its digest trailer
     // and drives one simulated layer in each direction without re-planning.
     PartitionPlan loaded;
-    const PlanIoResult result = LoadPlanFile(plan_in, &loaded);
+    const PlanIoResult result =
+        LoadPlanFile(plan_in, &loaded, trainer.fabric().cluster().world_size());
     if (!result.ok()) {
       std::fprintf(stderr, "cannot load %s: %s (%s)\n", plan_in.c_str(),
                    result.message.c_str(), PlanIoStatusName(result.status));
@@ -243,19 +252,47 @@ int main(int argc, char** argv) {
                 stream_iters, churn * 100, initial.size(),
                 static_cast<long>(initial.total_tokens()));
 
-    Table table({"strategy", "plan ms/iter", "p50 ms", "patched", "replanned", "final tok/s"});
+    Table table({"strategy", "plan ms/iter", "p50 ms", "patched", "replanned", "topo", "migrated",
+                 "final tok/s"});
     for (const std::string& spec : SplitCommas(strategy_specs)) {
       auto strategy = MakeStrategyByName(spec, strategy_defaults);
       WorkloadStream stream(stream_dist, initial, StreamOptions{.churn_fraction = churn},
                             static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0x5eedull);
+      // Per-strategy fault injector (inline spec knobs win over the flags):
+      // identical seeds give every strategy the identical kill/restore
+      // schedule, so the comparison stays apples-to-apples.
+      double strategy_fault_rate = fault_rate;
+      uint64_t strategy_fault_seed = fault_seed_flag;
+      if (const auto* zeppelin = dynamic_cast<const ZeppelinStrategy*>(strategy.get())) {
+        if (zeppelin->options().fault_rate > 0) {
+          strategy_fault_rate = zeppelin->options().fault_rate;
+        }
+        if (zeppelin->options().fault_seed != 0) {
+          strategy_fault_seed = zeppelin->options().fault_seed;
+        }
+      }
+      if (strategy_fault_seed == 0) {
+        strategy_fault_seed = static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0xfa17ull;
+      }
+      std::optional<FaultStream> faults;
+      if (strategy_fault_rate > 0) {
+        faults.emplace(trainer.fabric().cluster().world_size(),
+                       FaultStreamOptions{.fault_rate = strategy_fault_rate},
+                       strategy_fault_seed);
+      }
       // Establish the base plan on the initial batch, then stream deltas.
       strategy->PlanDelta(stream.batch(), BatchDelta{}, trainer.cost_model(), trainer.fabric());
       RunningStats plan_ms;
       std::vector<double> plan_samples;
       for (int it = 0; it < stream_iters; ++it) {
         const BatchDelta delta = stream.Next();
+        TopologyDelta topo;
+        if (faults) {
+          topo = faults->Next();
+        }
         const auto t0 = std::chrono::steady_clock::now();
-        strategy->PlanDelta(stream.batch(), delta, trainer.cost_model(), trainer.fabric());
+        strategy->PlanDelta(stream.batch(), delta, trainer.cost_model(), trainer.fabric(),
+                            faults ? &topo : nullptr);
         const double ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
@@ -268,17 +305,23 @@ int main(int argc, char** argv) {
       // Patch/fallback split (Zeppelin only; baselines re-plan every time).
       std::string patched = "-";
       std::string replanned = Table::Cell(static_cast<int64_t>(stream_iters));
+      std::string topo_applied = "-";
+      std::string migrated = "-";
       if (const auto* zeppelin = dynamic_cast<const ZeppelinStrategy*>(strategy.get())) {
         if (const DeltaStats* stats = zeppelin->delta_stats()) {
           patched = Table::Cell(stats->applied);
           replanned = Table::Cell(stats->rebased);
+          topo_applied = Table::Cell(stats->applied_topology);
+          migrated = Table::Cell(stats->migrated_sequences);
         }
       }
       // One simulated iteration on the final batch sanity-checks that the
-      // streamed plan still executes (Run() re-plans internally).
+      // streamed plan still executes (Run() re-plans internally, on the full
+      // fabric — the simulator does not model dead ranks).
       const IterationResult r = trainer.Run(*strategy, stream.batch());
       table.AddRow({strategy->name(), Table::Cell(plan_ms.mean(), 3), Table::Cell(p50, 3),
-                    patched, replanned, Table::Cell(r.tokens_per_second, 0)});
+                    patched, replanned, topo_applied, migrated,
+                    Table::Cell(r.tokens_per_second, 0)});
     }
     table.Print();
     return 0;

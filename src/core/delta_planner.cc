@@ -27,6 +27,12 @@ const char* DeltaOutcomeName(DeltaOutcome outcome) {
       return "rebased:capacity";
     case DeltaOutcome::kRebasedImbalance:
       return "rebased:imbalance";
+    case DeltaOutcome::kAppliedTopology:
+      return "applied:topology";
+    case DeltaOutcome::kRebasedTopology:
+      return "rebased:topology";
+    case DeltaOutcome::kRebasedMigration:
+      return "rebased:migration";
   }
   return "unknown";
 }
@@ -45,17 +51,24 @@ DeltaPlanner::DeltaPlanner(const ClusterSpec& cluster, DeltaPlannerOptions optio
   cluster_.Validate();
   ZCHECK_GT(options_.token_capacity, 0);
   ZCHECK_GE(options_.replan_threshold, 0);
+  ZCHECK_GE(options_.migration_budget, 0);
+  topo_.Reset(cluster_.world_size());
 }
 
 void DeltaPlanner::set_options(DeltaPlannerOptions options) {
   options_ = options;
   ZCHECK_GT(options_.token_capacity, 0);
   ZCHECK_GE(options_.replan_threshold, 0);
+  ZCHECK_GE(options_.migration_budget, 0);
   has_base_ = false;  // Thresholds derive from the options; state is stale.
 }
 
 void DeltaPlanner::EnsureCapacityFits(int64_t total_tokens) {
-  const int64_t world = cluster_.world_size();
+  // The fabric the batch must fit is the *alive* device count, not the
+  // nominal world: on a degraded fabric the same batch needs more headroom
+  // per surviving device.
+  const int64_t world = topo_.alive_count();
+  ZCHECK_GT(world, 0) << "no alive ranks";
   if (total_tokens <= world * options_.token_capacity) {
     return;
   }
@@ -77,6 +90,12 @@ void DeltaPlanner::Rebase(const Batch& batch) {
 void DeltaPlanner::RebaseInternal() {
   ZCHECK_GT(batch_.size(), 0);
   EnsureCapacityFits(batch_.total_tokens());
+  if (topo_.degraded()) {
+    // SequencePartitioner assumes a uniform fabric; holes and speed skews go
+    // through the elastic from-scratch path (which captures its own state).
+    ElasticReplan();
+    return;
+  }
   partitioner_.set_options(SequencePartitioner::Options{
       .token_capacity = options_.token_capacity,
       .max_inter_threshold = options_.max_inter_threshold,
@@ -179,13 +198,22 @@ void DeltaPlanner::CaptureState() {
 }
 
 double DeltaPlanner::Imbalance() const {
+  // Speed-weighted effective loads over the alive ranks: on a clean topology
+  // this is exactly max/mean of tokens_per_rank (eff == raw at nominal
+  // speed), so the homogeneous guard is unchanged.
   int64_t total = 0;
   int64_t max_load = 0;
-  for (int64_t tokens : plan_.tokens_per_rank) {
-    total += tokens;
-    max_load = std::max(max_load, tokens);
+  int alive = 0;
+  for (size_t r = 0; r < plan_.tokens_per_rank.size(); ++r) {
+    if (!topo_.alive[r]) {
+      continue;
+    }
+    const int64_t eff = topo_.EffectiveLoad(static_cast<int>(r), plan_.tokens_per_rank[r]);
+    total += eff;
+    max_load = std::max(max_load, eff);
+    ++alive;
   }
-  const double mean = static_cast<double>(total) / std::max<size_t>(plan_.tokens_per_rank.size(), 1);
+  const double mean = static_cast<double>(total) / std::max(alive, 1);
   return mean > 0 ? static_cast<double>(max_load) / mean : 1.0;
 }
 
@@ -210,8 +238,15 @@ void DeltaPlanner::CountOutcome(DeltaOutcome reason) {
     case DeltaOutcome::kRebasedImbalance:
       ++stats_.rebase_imbalance;
       break;
+    case DeltaOutcome::kRebasedTopology:
+      ++stats_.rebase_topology;
+      break;
+    case DeltaOutcome::kRebasedMigration:
+      ++stats_.rebase_migration;
+      break;
     case DeltaOutcome::kApplied:
-      ZCHECK(false) << "kApplied is not a rebase outcome";
+    case DeltaOutcome::kAppliedTopology:
+      ZCHECK(false) << "applied outcomes are not rebase outcomes";
   }
 }
 
@@ -329,15 +364,24 @@ bool DeltaPlanner::PlaceLocal(int slot, int node) {
   const int p = cluster_.gpus_per_node;
   const int rank_base = node * p;
   const int64_t len = batch_.seq_lens[slot];
-  // Least-loaded device, ties to the lowest index — the packing rule every
-  // engine shares. p is small (gpus per node); a scan beats a heap here.
-  int best = 0;
-  for (int d = 1; d < p; ++d) {
-    if (plan_.tokens_per_rank[rank_base + d] < plan_.tokens_per_rank[rank_base + best]) {
+  // Least-effective-loaded alive device, ties to the lowest index. On a clean
+  // topology effective == raw load and every device is alive, so this is
+  // byte-identical to the packing rule every engine shares. p is small (gpus
+  // per node); a scan beats a heap here.
+  int best = -1;
+  int64_t best_eff = 0;
+  for (int d = 0; d < p; ++d) {
+    if (!topo_.alive[rank_base + d]) {
+      continue;
+    }
+    const int64_t eff = topo_.EffectiveLoad(rank_base + d, plan_.tokens_per_rank[rank_base + d]);
+    if (best < 0 || eff < best_eff) {
       best = d;
+      best_eff = eff;
     }
   }
-  if (plan_.tokens_per_rank[rank_base + best] + len > options_.token_capacity) {
+  if (best < 0 ||
+      plan_.tokens_per_rank[rank_base + best] + len > options_.token_capacity) {
     return false;  // Device overflow: Alg. 2 refinement (dirty re-run) handles it.
   }
   plan_.tokens_per_rank[rank_base + best] += len;
@@ -443,21 +487,36 @@ DeltaOutcome DeltaPlanner::Apply(const BatchDelta& delta) {
     return la != lb ? la > lb : a < b;
   });
 
-  // Node-level packing of the delta set in one round-batched GreedyPacker
-  // pass, seeded from the live node loads (LoadTracker snapshot/restore).
+  // Node-level packing of the delta set: on a clean fabric, one round-batched
+  // GreedyPacker pass seeded from the live node loads (LoadTracker
+  // snapshot/restore); on a degraded one, the elastic scan packer (alive
+  // capacities, speed-normalized loads).
   const int count = static_cast<int>(place_.size());
-  node_loads_.Snapshot(&loads_buf_);
-  delta_packer_.Assign(loads_buf_);
   place_node_.resize(count);
-  const int packed =
-      delta_packer_.Pack(count, node_capacity_,
-                         [&](int i) { return batch_.seq_lens[place_[i]]; },
-                         [&](int i, int bucket, int64_t) { place_node_[i] = bucket; });
-  if (packed < count) {
-    return FallBack(DeltaOutcome::kRebasedCapacity);
+  if (topo_.degraded()) {
+    RefreshNodeTopology();
+    for (int i = 0; i < count; ++i) {
+      const int64_t len = batch_.seq_lens[place_[i]];
+      const int node = PickNodeElastic(len);
+      if (node < 0) {
+        return FallBack(DeltaOutcome::kRebasedCapacity);
+      }
+      node_loads_.add(node, len);
+      place_node_[i] = node;
+    }
+  } else {
+    node_loads_.Snapshot(&loads_buf_);
+    delta_packer_.Assign(loads_buf_);
+    const int packed =
+        delta_packer_.Pack(count, node_capacity_,
+                           [&](int i) { return batch_.seq_lens[place_[i]]; },
+                           [&](int i, int bucket, int64_t) { place_node_[i] = bucket; });
+    if (packed < count) {
+      return FallBack(DeltaOutcome::kRebasedCapacity);
+    }
+    delta_packer_.Loads(&loads_buf_);
+    node_loads_.Restore(loads_buf_);
   }
-  delta_packer_.Loads(&loads_buf_);
-  node_loads_.Restore(loads_buf_);
 
   for (int i = 0; i < count; ++i) {
     const int slot = place_[i];
@@ -477,7 +536,7 @@ DeltaOutcome DeltaPlanner::Apply(const BatchDelta& delta) {
   }
 
   for (int node : dirty_nodes_) {
-    RepackNode(node);
+    RepackNodeDispatch(node);
   }
   MaybeCompact();
 
@@ -626,6 +685,638 @@ void DeltaPlanner::RepackNode(int node) {
   ZCHECK_EQ(device_total, node_loads_.load(node))
       << "intra re-run must conserve node " << node << " tokens";
   plan_.threshold_s0[node] = s0;
+}
+
+// --- Elastic topology patching ------------------------------------------------
+
+void DeltaPlanner::RefreshNodeTopology() {
+  const int num_nodes = cluster_.num_nodes;
+  const int p = cluster_.gpus_per_node;
+  node_alive_.assign(num_nodes, 0);
+  node_rate_.assign(num_nodes, 0);
+  for (int node = 0; node < num_nodes; ++node) {
+    for (int d = 0; d < p; ++d) {
+      const int rank = node * p + d;
+      if (topo_.alive[rank]) {
+        ++node_alive_[node];
+        node_rate_[node] += topo_.speed_q[rank];
+      }
+    }
+  }
+}
+
+int DeltaPlanner::PickNodeElastic(int64_t len) const {
+  // Speed-normalized node load: raw tokens rescaled to the full-node nominal
+  // rate p * kSpeedScale, so a half-alive or half-speed node looks twice as
+  // loaded per token and naturally receives less work. Raw capacity is the
+  // alive-device count times L. Deterministic: ties go to the lowest index.
+  const int num_nodes = cluster_.num_nodes;
+  const int64_t full_rate = static_cast<int64_t>(cluster_.gpus_per_node) * kSpeedScale;
+  int best = -1;
+  int64_t best_key = 0;
+  for (int node = 0; node < num_nodes; ++node) {
+    if (node_alive_[node] == 0) {
+      continue;
+    }
+    const int64_t raw = node_loads_.load(node);
+    if (raw + len > static_cast<int64_t>(node_alive_[node]) * options_.token_capacity) {
+      continue;
+    }
+    const int64_t key = raw * full_rate / node_rate_[node];
+    if (best < 0 || key < best_key) {
+      best = node;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+bool DeltaPlanner::NodeHasChunks(int node) const {
+  // Every recorded chunk lands in exactly one remainder bucket (including
+  // r == 0), so the bucket sum is the node's chunk count.
+  if (chunk_rem_.empty()) {
+    return false;
+  }
+  const int p = cluster_.gpus_per_node;
+  for (int r = 0; r < p; ++r) {
+    if (chunk_rem_[static_cast<size_t>(node) * p + r] > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DeltaPlanner::NodeClean(int node) const {
+  const int p = cluster_.gpus_per_node;
+  for (int d = 0; d < p; ++d) {
+    const int rank = node * p + d;
+    if (!topo_.alive[rank] || topo_.speed_q[rank] != kSpeedScale) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DeltaPlanner::RepackNodeDispatch(int node) {
+  if (NodeClean(node)) {
+    RepackNode(node);
+    return;
+  }
+  const int p = cluster_.gpus_per_node;
+  int alive = 0;
+  for (int d = 0; d < p; ++d) {
+    alive += topo_.alive[node * p + d] ? 1 : 0;
+  }
+  if (alive == 0) {
+    // Fully-dead nodes own no members or load by the time dirty nodes re-run
+    // (ApplyTopology migrated them off before dirtying).
+    ZCHECK(node_members_[node].empty()) << "dead node " << node << " still owns members";
+    ZCHECK_EQ(node_loads_.load(node), 0) << "dead node " << node << " still owns load";
+    return;
+  }
+  ++stats_.repacked_nodes;
+  RepackNodeElastic(node);
+}
+
+DeltaOutcome DeltaPlanner::ApplyTopology(const TopologyDelta& delta) {
+  // Scale-up detection (before the fold: it compares against the old
+  // speeds): rank restores and speed increases add capacity a patch cannot
+  // exploit — migration only moves load *off* dead and slowed ranks, and the
+  // drift guard's base reference predates the improvement, so a patched
+  // plan would leave the new capacity idle while still passing the guard.
+  bool fabric_improved = !delta.added_ranks.empty();
+  for (const auto& [rank, factor] : delta.speed_factors) {
+    if (QuantizeSpeed(factor) > topo_.speed_q[rank]) {
+      fabric_improved = true;
+      break;
+    }
+  }
+  // The fabric state always advances, even when the plan cannot be patched:
+  // every later Rebase/Apply must honor the new topology.
+  topo_.Apply(delta);
+  if (!has_base_) {
+    // Nothing to patch yet; not counted (no planning happened). The next
+    // Apply()/Rebase() plans against the recorded fabric.
+    return DeltaOutcome::kRebasedNoBase;
+  }
+  if (delta.empty()) {
+    ++stats_.applied_topology;
+    return DeltaOutcome::kAppliedTopology;
+  }
+  if (base_refined_) {
+    // Capacity-tight base (refined s1): incremental surgery could silently
+    // diverge from what refinement would choose — same rule as Apply().
+    return FallBack(DeltaOutcome::kRebasedRefined);
+  }
+  if (fabric_improved) {
+    // Scale-up is structural: re-plan so restored/accelerated ranks take
+    // load immediately (docs/ELASTIC.md "Scale-up rebases").
+    return FallBack(DeltaOutcome::kRebasedTopology);
+  }
+  const int p = cluster_.gpus_per_node;
+  RefreshNodeTopology();
+
+  // Structural fallbacks. Chunk aggregates are keyed by the alive count they
+  // were recorded under, so a liveness change on a chunk-carrying node (which
+  // includes every node a z2 ring touches) invalidates them; a surviving
+  // node whose raw load exceeds its reduced alive capacity cannot be fixed
+  // by an intra re-run alone.
+  for (int rank : delta.removed_ranks) {
+    if (NodeHasChunks(rank / p)) {
+      return FallBack(DeltaOutcome::kRebasedTopology);
+    }
+  }
+  int64_t migrations = 0;
+  for (int node = 0; node < cluster_.num_nodes; ++node) {
+    if (node_alive_[node] == 0) {
+      migrations += static_cast<int64_t>(node_members_[node].size());
+    } else if (node_loads_.load(node) >
+               static_cast<int64_t>(node_alive_[node]) * options_.token_capacity) {
+      return FallBack(DeltaOutcome::kRebasedTopology);
+    }
+  }
+  if (migrations > options_.migration_budget) {
+    return FallBack(DeltaOutcome::kRebasedMigration);
+  }
+
+  // ---- Patch path ----------------------------------------------------------
+  ++epoch_;
+  dirty_nodes_.clear();
+
+  // Every surviving node the delta touches re-runs its intra stage: kills
+  // change the device set, slowdowns change the effective-load balance
+  // within the node (restores never reach here — scale-up rebases above).
+  auto touch = [&](int rank) {
+    const int node = rank / p;
+    if (node_alive_[node] > 0) {
+      MarkDirty(node);
+    }
+  };
+  for (int rank : delta.removed_ranks) {
+    touch(rank);
+  }
+  for (const auto& [rank, factor] : delta.speed_factors) {
+    touch(rank);
+  }
+
+  // Evict the members of fully-dead nodes into the migration set (copy the
+  // member list first: EvictSlot swap-erases the list it walks).
+  migrate_buf_.clear();
+  for (int rank : delta.removed_ranks) {
+    const int node = rank / p;
+    if (node_alive_[node] > 0 || node_members_[node].empty()) {
+      continue;
+    }
+    const size_t start = migrate_buf_.size();
+    migrate_buf_.insert(migrate_buf_.end(), node_members_[node].begin(),
+                        node_members_[node].end());
+    for (size_t i = start; i < migrate_buf_.size(); ++i) {
+      EvictSlot(migrate_buf_[i]);
+    }
+  }
+  stats_.migrated_sequences += static_cast<int64_t>(migrate_buf_.size());
+
+  // Re-pack migrants cross-node, longest first (the shared packing order),
+  // through the elastic node packer; then the usual local/dirty split.
+  std::sort(migrate_buf_.begin(), migrate_buf_.end(), [&](int a, int b) {
+    const int64_t la = batch_.seq_lens[a];
+    const int64_t lb = batch_.seq_lens[b];
+    return la != lb ? la > lb : a < b;
+  });
+  for (int slot : migrate_buf_) {
+    const int64_t len = batch_.seq_lens[slot];
+    const int node = PickNodeElastic(len);
+    if (node < 0) {
+      return FallBack(DeltaOutcome::kRebasedCapacity);
+    }
+    node_loads_.add(node, len);
+    SeqLocation& loc = locations_[slot];
+    loc.kind = SeqLocation::Kind::kPending;
+    loc.node = node;
+    loc.member_pos = static_cast<uint32_t>(node_members_[node].size());
+    node_members_[node].push_back(slot);
+    if (len >= plan_.threshold_s0[node]) {
+      MarkDirty(node);
+    } else if (!IsDirty(node) && !PlaceLocal(slot, node)) {
+      MarkDirty(node);
+    }
+  }
+
+  for (int node : dirty_nodes_) {
+    RepackNodeDispatch(node);
+  }
+  MaybeCompact();
+
+  const double imbalance = Imbalance();
+  if (imbalance > base_imbalance_ + options_.replan_threshold) {
+    return FallBack(DeltaOutcome::kRebasedImbalance);
+  }
+  base_imbalance_ = std::min(base_imbalance_, imbalance);
+  ++stats_.applied_topology;
+  return DeltaOutcome::kAppliedTopology;
+}
+
+// --- Elastic intra-node re-run (Alg. 2 over the alive devices) ----------------
+
+void DeltaPlanner::RepackNodeElastic(int node) {
+  const int p = cluster_.gpus_per_node;
+  const int rank_base = node * p;
+  const int64_t capacity = options_.token_capacity;
+  alive_buf_.clear();
+  for (int d = 0; d < p; ++d) {
+    if (topo_.alive[rank_base + d]) {
+      alive_buf_.push_back(d);
+    }
+  }
+  const int m = static_cast<int>(alive_buf_.size());
+  ZCHECK_GT(m, 0) << "elastic repack on a fully-dead node " << node;
+  std::vector<int>& members = node_members_[node];
+
+  // Evict every member's current plan entry; pending members have none.
+  for (int slot : members) {
+    SeqLocation& loc = locations_[slot];
+    switch (loc.kind) {
+      case SeqLocation::Kind::kIntraRing:
+        FreeRingSpan(plan_.intra_node[loc.pos]);
+        RemoveIntraHeaderAt(loc.pos);
+        break;
+      case SeqLocation::Kind::kLocal:
+        RemoveLocalAt(loc.pos);
+        break;
+      case SeqLocation::Kind::kPending:
+        break;
+      case SeqLocation::Kind::kZ2Ring:
+      case SeqLocation::Kind::kNone:
+        ZCHECK(false) << "invalid member state on node " << node;
+    }
+    loc.kind = SeqLocation::Kind::kPending;
+  }
+
+  std::sort(members.begin(), members.end(), [&](int a, int b) {
+    const int64_t la = batch_.seq_lens[a];
+    const int64_t lb = batch_.seq_lens[b];
+    return la != lb ? la > lb : a < b;
+  });
+  for (uint32_t i = 0; i < members.size(); ++i) {
+    locations_[members[i]].member_pos = i;
+  }
+
+  // Elastic chunk-base expansion: the aggregates were recorded with divisor
+  // m (ApplyTopology falls back before any liveness change on a chunk-
+  // carrying node, so the divisor always matches), and device d here is the
+  // d-th *alive* device. Buckets at r >= m must therefore be empty.
+  chunk_base_.resize(m);
+  for (int r = m; r < p; ++r) {
+    ZCHECK_EQ(chunk_rem_[static_cast<size_t>(node) * p + r], 0)
+        << "chunk aggregate divisor drift on node " << node;
+  }
+  for (int d = 0; d < m; ++d) {
+    int64_t share = chunk_whole_[node];
+    for (int r = 1; r < m; ++r) {
+      share += chunk_rem_[static_cast<size_t>(node) * p + r] * ((d + 1) * r / m - d * r / m);
+    }
+    chunk_base_[d] = share;
+  }
+
+  const int n = static_cast<int>(members.size());
+  int64_t s0 = capacity;
+  if (options_.max_local_threshold > 0) {
+    s0 = std::min(s0, options_.max_local_threshold);
+  }
+  int boundary = static_cast<int>(
+      std::partition_point(members.begin(), members.end(),
+                           [&](int slot) { return batch_.seq_lens[slot] >= s0; }) -
+      members.begin());
+
+  int restarts = 0;
+  for (;;) {
+    dev_raw_.assign(chunk_base_.begin(), chunk_base_.end());
+    ring_buf_.clear();
+    z0_buf_.clear();
+    z1_buf_.clear();
+
+    // The shared Alg. 2 fragmentation pass with p -> m: fragments spread
+    // round-robin over the alive devices only.
+    planner_internal::FragmentZone1(
+        boundary, m, [&](int i) { return batch_.seq_lens[members[i]]; },
+        [&](int i, int64_t len, int fragments, int cursor) {
+          ring_buf_.push_back({members[i], len, fragments, cursor});
+          planner_internal::ForEachFragment(
+              len, fragments, cursor, m,
+              [&](int /*f*/, int device, int64_t share) { dev_raw_[device] += share; });
+        },
+        [&](int i, int64_t len, int device) {
+          z1_buf_.push_back({members[i], len, rank_base + alive_buf_[device]});
+          dev_raw_[device] += len;
+        });
+
+    // z0: least *effective*-loaded alive device that still fits the raw
+    // capacity. (Differs from the homogeneous argmin-or-overflow pack_min by
+    // design: on a skewed fabric the argmin by effective load may be raw-
+    // full while another device still fits.)
+    bool overflowed = false;
+    for (int i = boundary; i < n; ++i) {
+      const int slot = members[i];
+      const int64_t len = batch_.seq_lens[slot];
+      int best = -1;
+      int64_t best_eff = 0;
+      for (int d = 0; d < m; ++d) {
+        if (dev_raw_[d] + len > capacity) {
+          continue;
+        }
+        const int64_t eff = topo_.EffectiveLoad(rank_base + alive_buf_[d], dev_raw_[d]);
+        if (best < 0 || eff < best_eff) {
+          best = d;
+          best_eff = eff;
+        }
+      }
+      if (best < 0) {
+        boundary = planner_internal::AdvanceZoneBoundary(
+            n, i, [&](int j) { return batch_.seq_lens[members[j]]; }, &s0);
+        overflowed = true;
+        break;
+      }
+      dev_raw_[best] += len;
+      z0_buf_.push_back({slot, len, rank_base + alive_buf_[best]});
+    }
+    if (!overflowed) {
+      break;
+    }
+    ZCHECK_LE(++restarts, n) << "elastic intra-node restart chain exceeded its bound";
+  }
+
+  for (const PendingRing& ring : ring_buf_) {
+    const uint32_t offset = AllocSpan(static_cast<uint32_t>(ring.fragments));
+    for (int f = 0; f < ring.fragments; ++f) {
+      plan_.rank_arena[offset + f] = rank_base + alive_buf_[(ring.cursor_start + f) % m];
+    }
+    SeqLocation& loc = locations_[ring.slot];
+    loc.kind = SeqLocation::Kind::kIntraRing;
+    loc.pos = static_cast<uint32_t>(plan_.intra_node.size());
+    plan_.intra_node.push_back({ring.slot, ring.length, Zone::kIntraNode, offset,
+                                static_cast<uint32_t>(ring.fragments)});
+    live_ranks_ += static_cast<uint32_t>(ring.fragments);
+  }
+  auto commit_local = [&](const LocalSequence& seq) {
+    SeqLocation& loc = locations_[seq.seq_id];
+    loc.kind = SeqLocation::Kind::kLocal;
+    loc.pos = static_cast<uint32_t>(plan_.local.size());
+    plan_.local.push_back(seq);
+  };
+  for (const LocalSequence& seq : z0_buf_) {
+    commit_local(seq);
+  }
+  for (const LocalSequence& seq : z1_buf_) {
+    commit_local(seq);
+  }
+  int64_t device_total = 0;
+  for (int d = 0; d < p; ++d) {
+    plan_.tokens_per_rank[rank_base + d] = 0;
+  }
+  for (int d = 0; d < m; ++d) {
+    plan_.tokens_per_rank[rank_base + alive_buf_[d]] = dev_raw_[d];
+    device_total += dev_raw_[d];
+  }
+  ZCHECK_EQ(device_total, node_loads_.load(node))
+      << "elastic intra re-run must conserve node " << node << " tokens";
+  plan_.threshold_s0[node] = s0;
+}
+
+// --- Elastic full re-plan (degraded-fabric Alg. 1 + per-node Alg. 2) ---------
+
+void DeltaPlanner::ElasticReplan() {
+  const int num_nodes = cluster_.num_nodes;
+  const int p = cluster_.gpus_per_node;
+  const int world = cluster_.world_size();
+  const int n = batch_.size();
+  const int64_t capacity = options_.token_capacity;
+
+  RefreshNodeTopology();
+  int alive_nodes = 0;
+  int64_t fabric_capacity = 0;
+  int64_t max_node_cap = 0;
+  for (int node = 0; node < num_nodes; ++node) {
+    const int64_t cap = static_cast<int64_t>(node_alive_[node]) * capacity;
+    alive_nodes += node_alive_[node] > 0 ? 1 : 0;
+    fabric_capacity += cap;
+    max_node_cap = std::max(max_node_cap, cap);
+  }
+  ZCHECK_GT(alive_nodes, 0) << "no alive nodes";
+  const int64_t total = batch_.total_tokens();
+  ZCHECK_LE(total, fabric_capacity)
+      << "batch does not fit the surviving fabric at capacity L=" << capacity;
+
+  node_capacity_ = static_cast<int64_t>(p) * capacity;
+  int64_t s1_init = std::min(node_capacity_, std::max<int64_t>(max_node_cap, 1));
+  if (options_.max_inter_threshold > 0) {
+    s1_init = std::min(s1_init, options_.max_inter_threshold);
+  }
+  s1_initial_ = s1_init;
+
+  plan_.tokens_per_rank.assign(world, 0);
+  plan_.threshold_s0.assign(num_nodes, 0);
+  slot_epoch_.assign(n, 0);
+  node_dirty_epoch_.assign(num_nodes, 0);
+  epoch_ = 0;
+  node_members_.resize(num_nodes);
+  free_spans_.clear();
+  free_total_ = 0;
+
+  // Length-descending, id-ascending order (Alg. 1 line 1).
+  order_buf_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    order_buf_[i] = i;
+  }
+  std::sort(order_buf_.begin(), order_buf_.end(), [&](int a, int b) {
+    const int64_t la = batch_.seq_lens[a];
+    const int64_t lb = batch_.seq_lens[b];
+    return la != lb ? la > lb : a < b;
+  });
+
+  int64_t s1 = s1_init;
+  for (bool retry = true; retry;) {
+    retry = false;
+    plan_.inter_node.clear();
+    plan_.intra_node.clear();
+    plan_.local.clear();
+    plan_.rank_arena.clear();
+    live_ranks_ = 0;
+    locations_.assign(n, SeqLocation{});
+    for (std::vector<int>& members : node_members_) {
+      members.clear();
+    }
+    chunk_whole_.assign(num_nodes, 0);
+    chunk_rem_.assign(static_cast<size_t>(num_nodes) * p, 0);
+    loads_buf_.assign(num_nodes, 0);
+
+    const int boundary = static_cast<int>(
+        std::partition_point(order_buf_.begin(), order_buf_.end(),
+                             [&](int id) { return batch_.seq_lens[id] >= s1; }) -
+        order_buf_.begin());
+
+    // z2: chunk over the k least speed-normalized-loaded alive nodes
+    // (Alg. 1 lines 7-10 with N -> alive node count), spanning only alive
+    // devices; grow k when a chunk would overflow a small surviving node.
+    int64_t z2_total = 0;
+    for (int i = 0; i < boundary; ++i) {
+      z2_total += batch_.seq_lens[order_buf_[i]];
+    }
+    const double s_avg = static_cast<double>(z2_total) / alive_nodes;
+    const int64_t full_rate = static_cast<int64_t>(p) * kSpeedScale;
+    for (int i = 0; i < boundary; ++i) {
+      const int id = order_buf_[i];
+      const int64_t len = batch_.seq_lens[id];
+      int k = planner_internal::InterNodeChunkCount(len, s_avg, alive_nodes);
+      // All alive nodes by (speed-normalized load, index).
+      node_sel_.clear();
+      for (int node = 0; node < num_nodes; ++node) {
+        if (node_alive_[node] > 0) {
+          node_sel_.emplace_back(loads_buf_[node] * full_rate / node_rate_[node], node);
+        }
+      }
+      std::sort(node_sel_.begin(), node_sel_.end());
+      // Even chunks first, growing k while any chunk overflows its node.
+      // Even chunking can be infeasible outright on unevenly-degraded
+      // fabrics (len / alive_nodes exceeds a half-dead node's remaining
+      // room even though the total fits); then fall back to a
+      // capacity-greedy split that fills the least-loaded nodes first.
+      bool even = false;
+      for (; k <= alive_nodes; ++k) {
+        bool fits = true;
+        for (int c = 0; c < k; ++c) {
+          const int64_t chunk = len * (c + 1) / k - len * c / k;
+          const int node = node_sel_[c].second;
+          if (loads_buf_[node] + chunk >
+              static_cast<int64_t>(node_alive_[node]) * capacity) {
+            fits = false;
+            break;
+          }
+        }
+        if (fits) {
+          even = true;
+          break;
+        }
+      }
+      chunk_split_.assign(node_sel_.size(), 0);
+      if (even) {
+        chunk_split_.resize(k);
+        for (int c = 0; c < k; ++c) {
+          chunk_split_[c] = len * (c + 1) / k - len * c / k;
+        }
+      } else {
+        int64_t unplaced = len;
+        for (size_t c = 0; c < node_sel_.size() && unplaced > 0; ++c) {
+          const int node = node_sel_[c].second;
+          const int64_t room =
+              static_cast<int64_t>(node_alive_[node]) * capacity - loads_buf_[node];
+          const int64_t take = std::min(unplaced, std::max<int64_t>(room, 0));
+          chunk_split_[c] = take;
+          unplaced -= take;
+        }
+        ZCHECK_EQ(unplaced, 0)
+            << "z2 sequence " << id << " does not fit the surviving fabric";
+      }
+
+      int span = 0;
+      int used_nodes = 0;
+      for (size_t c = 0; c < chunk_split_.size(); ++c) {
+        if (chunk_split_[c] > 0) {
+          span += node_alive_[node_sel_[c].second];
+          ++used_nodes;
+        }
+      }
+      const bool inter = used_nodes > 1;
+      const uint32_t offset = AllocSpan(static_cast<uint32_t>(span));
+      int* out = plan_.rank_arena.data() + offset;
+      for (size_t c = 0; c < chunk_split_.size(); ++c) {
+        if (chunk_split_[c] == 0) {
+          continue;
+        }
+        const int node = node_sel_[c].second;
+        for (int d = 0; d < p; ++d) {
+          if (topo_.alive[node * p + d]) {
+            *out++ = node * p + d;
+          }
+        }
+      }
+      SeqLocation& loc = locations_[id];
+      loc.kind = SeqLocation::Kind::kZ2Ring;
+      loc.inter_queue = inter;
+      std::vector<RingRef>& queue = inter ? plan_.inter_node : plan_.intra_node;
+      loc.pos = static_cast<uint32_t>(queue.size());
+      loc.node = node_sel_[0].second;
+      queue.push_back({id, len, inter ? Zone::kInterNode : Zone::kIntraNode, offset,
+                       static_cast<uint32_t>(span)});
+      live_ranks_ += static_cast<uint32_t>(span);
+      for (size_t c = 0; c < chunk_split_.size(); ++c) {
+        const int64_t chunk = chunk_split_[c];
+        if (chunk == 0) {
+          continue;
+        }
+        const int node = node_sel_[c].second;
+        const int m = node_alive_[node];
+        const int64_t q = chunk / m;
+        chunk_whole_[node] += q;
+        ++chunk_rem_[static_cast<size_t>(node) * p + (chunk - q * m)];
+        loads_buf_[node] += chunk;
+      }
+    }
+
+    // z01 packing onto the best-fitting alive node by speed-normalized load
+    // (lines 11-19); an unplaceable sequence promotes the zone boundary.
+    for (int i = boundary; i < n; ++i) {
+      const int id = order_buf_[i];
+      const int64_t len = batch_.seq_lens[id];
+      int best = -1;
+      int64_t best_key = 0;
+      for (int node = 0; node < num_nodes; ++node) {
+        if (node_alive_[node] == 0 ||
+            loads_buf_[node] + len > static_cast<int64_t>(node_alive_[node]) * capacity) {
+          continue;
+        }
+        const int64_t key = loads_buf_[node] * full_rate / node_rate_[node];
+        if (best < 0 || key < best_key) {
+          best = node;
+          best_key = key;
+        }
+      }
+      if (best < 0) {
+        s1 = len;  // len == max remaining: the order is length-descending.
+        retry = true;
+        break;
+      }
+      loads_buf_[best] += len;
+      SeqLocation& loc = locations_[id];
+      loc.kind = SeqLocation::Kind::kPending;
+      loc.node = best;
+      loc.member_pos = static_cast<uint32_t>(node_members_[best].size());
+      node_members_[best].push_back(id);
+    }
+  }
+  plan_.threshold_s1 = s1;
+  base_refined_ = s1 < s1_initial_;
+
+  // Intra stage per surviving node (elastic Alg. 2 over the alive devices).
+  node_loads_.Restore(loads_buf_);
+  int64_t s0_default = capacity;
+  if (options_.max_local_threshold > 0) {
+    s0_default = std::min(s0_default, options_.max_local_threshold);
+  }
+  for (int node = 0; node < num_nodes; ++node) {
+    plan_.threshold_s0[node] = s0_default;
+    if (node_alive_[node] == 0) {
+      ZCHECK(node_members_[node].empty()) << "dead node " << node << " was packed";
+      continue;
+    }
+    RepackNodeElastic(node);
+  }
+
+  live_count_ = 0;
+  for (int64_t len : batch_.seq_lens) {
+    live_count_ += len > 0 ? 1 : 0;
+  }
+  base_imbalance_ = Imbalance();
+  has_base_ = true;
 }
 
 // --- Arena span management ----------------------------------------------------
@@ -797,6 +1488,120 @@ DeltaEquivalenceResult CheckDeltaEquivalence(const PartitionPlan& patched,
       replan_max > 0 ? static_cast<double>(patched_max) / static_cast<double>(replan_max) : 1.0;
   if (static_cast<double>(patched_max) > (1.0 + eps) * static_cast<double>(replan_max)) {
     result.failure = "patched max rank load exceeds the eps bound";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+DeltaEquivalenceResult CheckDeltaEquivalence(const PartitionPlan& patched,
+                                             const PartitionPlan& replan,
+                                             const Batch& batch,
+                                             const RankTopology& topology, double eps) {
+  if (!topology.degraded()) {
+    return CheckDeltaEquivalence(patched, replan, batch, eps);
+  }
+
+  // Degraded fabric: the s1-identity and z2-set-identity clauses are dropped
+  // (the patched plan legitimately carries pre-failure zone structure the
+  // elastic replan would not reproduce); in their place, no plan may touch a
+  // dead rank and the eps bound moves to *effective* loads over the
+  // surviving ranks.
+  DeltaEquivalenceResult result;
+  std::vector<int> counts;
+  if (!CoverageCounts(patched, batch.size(), &counts)) {
+    result.failure = "patched plan does not cover every sequence exactly once";
+    return result;
+  }
+  if (!CoverageCounts(replan, batch.size(), &counts)) {
+    result.failure = "replan does not cover every sequence exactly once";
+    return result;
+  }
+
+  std::vector<uint8_t> used(patched.rank_arena.size(), 0);
+  auto check_queue = [&](const std::vector<RingRef>& queue) {
+    for (const RingRef& ring : queue) {
+      if (static_cast<size_t>(ring.rank_offset) + ring.rank_count > patched.rank_arena.size()) {
+        return false;
+      }
+      for (uint32_t f = 0; f < ring.rank_count; ++f) {
+        if (used[ring.rank_offset + f]++) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  if (!check_queue(patched.inter_node) || !check_queue(patched.intra_node)) {
+    result.failure = "patched plan arena spans out of bounds or overlapping";
+    return result;
+  }
+
+  const int64_t batch_tokens = batch.total_tokens();
+  if (patched.total_tokens() != batch_tokens) {
+    result.failure = "patched plan does not conserve tokens";
+    return result;
+  }
+  if (replan.total_tokens() != batch_tokens) {
+    result.failure = "replan does not conserve tokens";
+    return result;
+  }
+
+  const int world = topology.world();
+  auto excludes_dead = [&](const PartitionPlan& plan) {
+    if (static_cast<int>(plan.tokens_per_rank.size()) != world) {
+      return false;
+    }
+    auto ranks_alive = [&](const std::vector<RingRef>& queue) {
+      for (const RingRef& ring : queue) {
+        for (int rank : plan.ranks(ring)) {
+          if (rank < 0 || rank >= world || !topology.alive[rank]) {
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    if (!ranks_alive(plan.inter_node) || !ranks_alive(plan.intra_node)) {
+      return false;
+    }
+    for (const LocalSequence& seq : plan.local) {
+      if (seq.length > 0 &&
+          (seq.rank < 0 || seq.rank >= world || !topology.alive[seq.rank])) {
+        return false;
+      }
+    }
+    for (int rank = 0; rank < world; ++rank) {
+      if (!topology.alive[rank] && plan.tokens_per_rank[rank] != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!excludes_dead(patched)) {
+    result.failure = "patched plan assigns work to a dead rank";
+    return result;
+  }
+  if (!excludes_dead(replan)) {
+    result.failure = "replan assigns work to a dead rank";
+    return result;
+  }
+
+  int64_t patched_max = 0;
+  int64_t replan_max = 0;
+  for (int rank = 0; rank < world; ++rank) {
+    if (!topology.alive[rank]) {
+      continue;
+    }
+    patched_max =
+        std::max(patched_max, topology.EffectiveLoad(rank, patched.tokens_per_rank[rank]));
+    replan_max =
+        std::max(replan_max, topology.EffectiveLoad(rank, replan.tokens_per_rank[rank]));
+  }
+  result.max_load_ratio =
+      replan_max > 0 ? static_cast<double>(patched_max) / static_cast<double>(replan_max) : 1.0;
+  if (static_cast<double>(patched_max) > (1.0 + eps) * static_cast<double>(replan_max)) {
+    result.failure = "patched max effective rank load exceeds the eps bound";
     return result;
   }
   result.ok = true;

@@ -91,6 +91,11 @@ struct DeltaPlannerOptions {
   // when the patched plan's token imbalance (max/mean) drifts more than this
   // above the best imbalance since the last full re-plan.
   double replan_threshold = 0.05;
+  // Elastic fallback knob: ApplyTopology() migrates at most this many
+  // sequences off dead nodes per delta; past the budget it falls back to a
+  // full (elastic) re-plan instead (kRebasedMigration) — patching each
+  // migrant individually would cost more than re-planning.
+  int64_t migration_budget = 256;
   // Engine selection for full re-plans, as in SequencePartitioner::Options.
   bool fast_path = true;
   ThreadPool* pool = nullptr;  // Non-owning; must outlive the planner.
@@ -101,7 +106,8 @@ struct DeltaPlannerOptions {
   std::mutex* pool_mutex = nullptr;
 };
 
-// Why the last Apply() patched or fell back (also counted in DeltaStats).
+// Why the last Apply()/ApplyTopology() patched or fell back (also counted in
+// DeltaStats).
 enum class DeltaOutcome : uint8_t {
   kApplied = 0,       // Patched incrementally.
   kRebasedNoBase,     // No base plan yet (first call or invalidated state).
@@ -110,6 +116,10 @@ enum class DeltaOutcome : uint8_t {
   kRebasedRefined,    // Base plan refined s1 (capacity-tight batch).
   kRebasedCapacity,   // Packing overflow or batch outgrew the capacity.
   kRebasedImbalance,  // Patched imbalance drifted past the threshold.
+  kAppliedTopology,   // Topology delta patched incrementally.
+  kRebasedTopology,   // Topology change was structural (chunk-carrying node
+                      // changed liveness, or a survivor node overloaded).
+  kRebasedMigration,  // Dead-node migration exceeded migration_budget.
 };
 
 const char* DeltaOutcomeName(DeltaOutcome outcome);
@@ -117,13 +127,17 @@ const char* DeltaOutcomeName(DeltaOutcome outcome);
 // Cumulative counters over a DeltaPlanner's lifetime.
 struct DeltaStats {
   int64_t applied = 0;            // Apply() calls that patched in place.
-  int64_t rebased = 0;            // Apply() calls that fell back (all reasons).
+  int64_t rebased = 0;            // Patch calls that fell back (all reasons).
   int64_t rebase_no_base = 0;
   int64_t rebase_churn = 0;
   int64_t rebase_zone = 0;
   int64_t rebase_refined = 0;
   int64_t rebase_capacity = 0;
   int64_t rebase_imbalance = 0;
+  int64_t applied_topology = 0;   // ApplyTopology() calls that patched.
+  int64_t rebase_topology = 0;    // Structural topology fallbacks.
+  int64_t rebase_migration = 0;   // Migration-budget fallbacks.
+  int64_t migrated_sequences = 0;  // Sequences moved off dead nodes in place.
   int64_t patched_sequences = 0;  // Sequences placed by the delta path.
   int64_t evicted_rings = 0;      // Ring spans freed (delta + dirty re-runs).
   int64_t repacked_nodes = 0;     // Dirty-node Alg. 2 re-runs.
@@ -148,6 +162,32 @@ class DeltaPlanner {
   // patches the plan in place or falls back to a full re-plan, per the
   // policy above. Slot ids must be valid and not repeated within one delta.
   DeltaOutcome Apply(const BatchDelta& delta);
+
+  // Folds a topology change (rank kills/restores/slowdowns) into the planner
+  // and patches the plan under the surviving fabric. The patch policy mirrors
+  // Apply(): migrate only the plan entries touching lost or slowed ranks —
+  // a partially-killed or slowed node is re-run through the intra stage on
+  // its alive devices; a fully-dead node's members are evicted and re-packed
+  // cross-node through the node-packing path — and fall back to a full
+  // (elastic, dead-rank-excluding) re-plan when the change is structural:
+  //   kRebasedTopology  — the fabric *improved* (a rank restored or sped
+  //                       up: patches only move load off dead/slowed ranks,
+  //                       so a re-plan is what puts new capacity to work),
+  //                       liveness changed on a node carrying inter-node
+  //                       chunks (the chunk aggregates are keyed by the alive
+  //                       count they were recorded under), or a surviving
+  //                       node's load exceeds its reduced alive capacity;
+  //   kRebasedMigration — dead-node migration exceeds migration_budget;
+  // plus the shared capacity/imbalance guards. The topology state persists
+  // across rebases: every subsequent full re-plan excludes dead ranks and
+  // balances on speed-weighted effective loads. With no base plan the state
+  // is recorded and kRebasedNoBase is returned without planning (uncounted;
+  // the next Apply()/Rebase() plans against the new fabric).
+  DeltaOutcome ApplyTopology(const TopologyDelta& delta);
+
+  // The fabric state all planning paths currently honor (dead ranks receive
+  // no work; slow ranks are balanced by effective load).
+  const RankTopology& topology() const { return topo_; }
 
   // Drops the base plan; the next Apply() rebases (kRebasedNoBase). Called
   // when external planning bypasses this planner.
@@ -199,6 +239,28 @@ class DeltaPlanner {
   void RebaseInternal();
   void CaptureState();
   void EnsureCapacityFits(int64_t total_tokens);
+
+  // From-scratch plan on a degraded fabric (dead or off-speed ranks), used by
+  // every rebase while topology() stays degraded: an elastic Alg. 1 over the
+  // alive node capacities (z2 rings span only alive devices, z01 packed onto
+  // the node with the lowest speed-normalized load that fits), then the
+  // elastic intra stage per alive node. Captures incremental state itself;
+  // SequencePartitioner cannot represent holes in the fabric, so this is a
+  // separate path — the clean fabric keeps the byte-identical engine path.
+  void ElasticReplan();
+  // Per-node alive-device list/rate caches (refreshed from topo_ on demand).
+  void RefreshNodeTopology();
+  // Node with the lowest speed-normalized load whose raw load still fits
+  // `len` under its alive capacity; -1 when none fits. Elastic counterpart of
+  // the GreedyPacker node-packing (scan-based; only runs on degraded fabrics).
+  int PickNodeElastic(int64_t len) const;
+  // True when `node` carries inter-node chunk aggregates (z2 chunk counts are
+  // keyed by the alive count they were recorded under, so liveness changes on
+  // such a node are structural).
+  bool NodeHasChunks(int node) const;
+  // True when every device of `node` is alive at nominal speed (the node
+  // qualifies for the byte-identical homogeneous repack path).
+  bool NodeClean(int node) const;
   DeltaOutcome ApplyViaRebase(const BatchDelta& delta, DeltaOutcome reason);
   DeltaOutcome FallBack(DeltaOutcome reason);  // Mid-patch: batch_ already new.
   void CountOutcome(DeltaOutcome reason);
@@ -224,6 +286,13 @@ class DeltaPlanner {
   // tail arena spans. Mirrors SequencePartitioner::PartitionIntraNodeFast
   // (shared fragment math via partitioner_internal.h).
   void RepackNode(int node);
+  // Elastic variant for degraded nodes: fragments and packs over the node's
+  // m alive devices only (chunk math with p -> m), balancing z0 placement on
+  // speed-weighted effective loads. RepackNodeDispatch routes clean nodes to
+  // the byte-identical homogeneous path and skips fully-dead nodes (which by
+  // then own no members or load).
+  void RepackNodeElastic(int node);
+  void RepackNodeDispatch(int node);
 
   uint32_t AllocSpan(uint32_t count);
   void FreeRingSpan(const RingRef& ring);
@@ -239,6 +308,7 @@ class DeltaPlanner {
   Batch batch_;
 
   bool has_base_ = false;
+  RankTopology topo_;          // Fabric state (persists across rebases).
   int64_t node_capacity_ = 0;  // gpus_per_node * token_capacity.
   int64_t s1_initial_ = 0;     // Initial inter-node threshold (pre-refinement).
   bool base_refined_ = false;  // Base plan ended with s1 < s1_initial_.
@@ -272,6 +342,16 @@ class DeltaPlanner {
   std::vector<LocalSequence> z1_buf_;
   std::vector<int> compact_buf_;
 
+  // Elastic scratch (RefreshNodeTopology output + repack/migration buffers).
+  std::vector<int> node_alive_;       // Per node: alive device count m.
+  std::vector<int64_t> node_rate_;    // Per node: sum of alive speed_q.
+  std::vector<int> alive_buf_;        // One node's alive local device list.
+  std::vector<int64_t> dev_raw_;      // Per alive device: raw token load.
+  std::vector<int> migrate_buf_;      // Slots evicted off dead nodes.
+  std::vector<int> order_buf_;        // ElasticReplan sequence order.
+  std::vector<std::pair<int64_t, int>> node_sel_;  // ElasticReplan z2 node choice.
+  std::vector<int64_t> chunk_split_;  // ElasticReplan per-node chunk sizes.
+
   DeltaStats stats_;
 };
 
@@ -296,6 +376,22 @@ struct DeltaEquivalenceResult {
 DeltaEquivalenceResult CheckDeltaEquivalence(const PartitionPlan& patched,
                                              const PartitionPlan& replan,
                                              const Batch& batch, double eps);
+
+// Topology-aware form for post-failure plans. On a clean topology it is the
+// check above. On a degraded one, clauses 4–5 change shape — zone thresholds
+// and z2 chunking are load-dependent on the surviving fabric, so s1 identity
+// and z2-ring-set identity cannot be required of a patched plan — and the
+// contract becomes:
+//   4'. dead-rank exclusion in BOTH plans — no ring span contains a dead
+//       rank, no live (length > 0) local sits on one, and every dead rank's
+//       tokens_per_rank is zero;
+//   5'. ε-bound on speed-weighted *effective* loads over the surviving
+//       fabric: max alive eff(patched) <= (1+eps) * max alive eff(replan).
+DeltaEquivalenceResult CheckDeltaEquivalence(const PartitionPlan& patched,
+                                             const PartitionPlan& replan,
+                                             const Batch& batch,
+                                             const RankTopology& topology,
+                                             double eps);
 
 }  // namespace zeppelin
 

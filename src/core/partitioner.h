@@ -237,8 +237,10 @@ struct PartitionPlan {
   // string (magic + version + headers + arena + digest trailer; round-trips
   // byte-identically), Deserialize() parses and digest-checks it, returning
   // false on any corruption — plan_io.h exposes the granular status codes.
+  // `max_world` > 0 additionally rejects plans whose rank universe exceeds
+  // the target fabric (PlanIoStatus::kRankUniverse).
   std::string Serialize() const;
-  bool Deserialize(std::string_view bytes);
+  bool Deserialize(std::string_view bytes, int max_world = 0);
 
   // Byte-identity across planner paths (the fast-path equivalence contract):
   // headers compare field-wise, the rank arena as one flat array.

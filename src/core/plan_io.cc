@@ -85,6 +85,8 @@ const char* PlanIoStatusName(PlanIoStatus status) {
       return "corrupt";
     case PlanIoStatus::kDigestMismatch:
       return "digest-mismatch";
+    case PlanIoStatus::kRankUniverse:
+      return "rank-universe";
   }
   return "unknown";
 }
@@ -135,7 +137,7 @@ std::string SerializePlan(const PartitionPlan& plan) {
   return out;
 }
 
-PlanIoResult ParsePlan(std::string_view bytes, PartitionPlan* plan) {
+PlanIoResult ParsePlan(std::string_view bytes, PartitionPlan* plan, int max_world) {
   Reader in{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size()};
   if (!in.Have(kPreambleBytes)) {
     return Fail(PlanIoStatus::kTruncated, "input shorter than the preamble");
@@ -160,6 +162,16 @@ PlanIoResult ParsePlan(std::string_view bytes, PartitionPlan* plan) {
   const uint64_t tokens_count = in.GetU64();
   const uint64_t s0_count = in.GetU64();
   const int64_t threshold_s1 = in.GetI64();
+
+  // Rank-universe gate: a structurally valid, digest-authentic plan for a
+  // *bigger* fabric must still be refused before any rank of it reaches the
+  // target cluster — checked first, on the declared universe, so even a
+  // truncated oversized plan reports the real problem.
+  if (max_world > 0 && tokens_count > static_cast<uint64_t>(max_world)) {
+    return Fail(PlanIoStatus::kRankUniverse,
+                "plan targets " + std::to_string(tokens_count) +
+                    " ranks but the fabric has " + std::to_string(max_world));
+  }
 
   // Bound every count before allocating: the payload size is the authority,
   // so a corrupted (huge) count reads as truncation, never as a giant
@@ -283,7 +295,7 @@ PlanIoResult SavePlanFile(const std::string& path, const PartitionPlan& plan) {
   return PlanIoResult{};
 }
 
-PlanIoResult LoadPlanFile(const std::string& path, PartitionPlan* plan) {
+PlanIoResult LoadPlanFile(const std::string& path, PartitionPlan* plan, int max_world) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Fail(PlanIoStatus::kIoError, "cannot open " + path);
@@ -299,15 +311,15 @@ PlanIoResult LoadPlanFile(const std::string& path, PartitionPlan* plan) {
   if (read_error) {
     return Fail(PlanIoStatus::kIoError, "read error on " + path);
   }
-  return ParsePlan(bytes, plan);
+  return ParsePlan(bytes, plan, max_world);
 }
 
 // PartitionPlan wire-format members (declared in partitioner.h, implemented
 // here so the plan type itself stays free of I/O includes).
 std::string PartitionPlan::Serialize() const { return SerializePlan(*this); }
 
-bool PartitionPlan::Deserialize(std::string_view bytes) {
-  return ParsePlan(bytes, this).ok();
+bool PartitionPlan::Deserialize(std::string_view bytes, int max_world) {
+  return ParsePlan(bytes, this, max_world).ok();
 }
 
 }  // namespace zeppelin

@@ -54,6 +54,9 @@ enum class PlanIoStatus : uint8_t {
                      //   of arena bounds, or an unknown zone tag.
   kDigestMismatch,   // Sections decoded but the StateDigest trailer differs:
                      //   the payload was altered after serialization.
+  kRankUniverse,     // The plan is valid but targets more ranks than the
+                     //   caller's fabric (`max_world`) — executing it would
+                     //   index out of the cluster.
 };
 
 const char* PlanIoStatusName(PlanIoStatus status);
@@ -72,12 +75,16 @@ std::string SerializePlan(const PartitionPlan& plan);
 
 // Decodes `bytes` into `*plan`. On failure `*plan` is left in an
 // unspecified-but-valid state and the result carries the reason; on success
-// the decoded plan is byte-identical to the serialized one.
-PlanIoResult ParsePlan(std::string_view bytes, PartitionPlan* plan);
+// the decoded plan is byte-identical to the serialized one. `max_world` > 0
+// bounds the plan's rank universe by the target fabric: a plan declaring
+// more ranks than the cluster executing it is rejected at load time
+// (kRankUniverse) instead of indexing out of the cluster mid-execution.
+// 0 accepts any universe (offline inspection tools).
+PlanIoResult ParsePlan(std::string_view bytes, PartitionPlan* plan, int max_world = 0);
 
 // File convenience wrappers (binary, whole-file).
 PlanIoResult SavePlanFile(const std::string& path, const PartitionPlan& plan);
-PlanIoResult LoadPlanFile(const std::string& path, PartitionPlan* plan);
+PlanIoResult LoadPlanFile(const std::string& path, PartitionPlan* plan, int max_world = 0);
 
 }  // namespace zeppelin
 

@@ -145,6 +145,7 @@ PlanResponse PlannerService::PlanStateless(const PlanRequest& request) {
     }
     response.stats.engine = PlanEngine::kGlobalRing;
     response.stats.partition_time_us = ElapsedUs(start);
+    response.stats.session_count = session_count();
     response.plan = std::move(plan);
     response.digest = response.plan->StateDigest();
     return response;
@@ -198,6 +199,7 @@ PlanResponse PlannerService::PlanStateless(const PlanRequest& request) {
                           : pooled ? PlanEngine::kParallelSharded
                                    : PlanEngine::kSerialFast;
   response.stats.token_capacity = popts.token_capacity;
+  response.stats.session_count = session_count();
 
   {
     std::lock_guard<std::mutex> lock(stateless_mu_);
@@ -267,22 +269,50 @@ PlanResponse PlannerService::PlanSession(const PlanRequest& request) {
     } else {
       session->planner->set_options(dopts);
     }
+    if (request.topology != nullptr) {
+      // The rebase below replans fully anyway; drop the base first so the
+      // topology delta only advances the fabric state instead of patching a
+      // plan we are about to discard.
+      session->planner->Invalidate();
+      session->planner->ApplyTopology(*request.topology);
+    }
     session->planner->Rebase(batch);
     session->last_outcome = DeltaOutcome::kRebasedNoBase;
   } else {
     pooled_rebase = session->planner->options().pool != nullptr;
-    session->last_outcome = session->planner->Apply(*request.delta);
+    // Fabric churn first (a topology fallback replans against the session's
+    // tracked batch), then the batch delta patches on whatever base that
+    // left. The reported outcome is the *dominant* one: a topology rebase
+    // wins; otherwise a fully-patched iteration with fabric churn reports
+    // kAppliedTopology; otherwise the batch outcome stands.
+    const bool topo_active = request.topology != nullptr && !request.topology->empty();
+    DeltaOutcome topo_outcome = DeltaOutcome::kAppliedTopology;
+    if (topo_active) {
+      topo_outcome = session->planner->ApplyTopology(*request.topology);
+    }
+    const DeltaOutcome batch_outcome = session->planner->Apply(*request.delta);
+    if (topo_active && topo_outcome != DeltaOutcome::kAppliedTopology) {
+      session->last_outcome = topo_outcome;
+    } else if (topo_active && batch_outcome == DeltaOutcome::kApplied) {
+      session->last_outcome = DeltaOutcome::kAppliedTopology;
+    } else {
+      session->last_outcome = batch_outcome;
+    }
     ZCHECK_EQ(session->planner->batch().size(), batch.size())
         << "stream " << request.stream_id
         << ": request batch does not match the session's tracked batch";
   }
   response.stats.partition_time_us = ElapsedUs(start);
   response.stats.delta_outcome = session->last_outcome;
-  response.stats.engine = session->last_outcome == DeltaOutcome::kApplied
-                              ? PlanEngine::kDeltaPatch
-                              : (pooled_rebase ? PlanEngine::kParallelSharded
-                                               : PlanEngine::kSerialFast);
+  const bool patched = session->last_outcome == DeltaOutcome::kApplied ||
+                       session->last_outcome == DeltaOutcome::kAppliedTopology;
+  // Degraded-fabric rebases run the serial elastic engine, never the pool.
+  const bool degraded = session->planner->topology().degraded();
+  response.stats.engine = patched ? PlanEngine::kDeltaPatch
+                          : (pooled_rebase && !degraded) ? PlanEngine::kParallelSharded
+                                                         : PlanEngine::kSerialFast;
   response.stats.token_capacity = session->planner->token_capacity();
+  response.stats.session_count = session_count();
 
   // Materialize the immutable handle: the session's plan keeps evolving with
   // every request, so the response gets its own copy (a few bulk array

@@ -98,6 +98,11 @@ struct PlanRequest {
   // `batch` (already applied — `batch` is the new batch). Null forces a full
   // re-plan that (re)bases the session on `batch`.
   const BatchDelta* delta = nullptr;
+  // Sessions only: fabric churn since the previous request on this stream
+  // (rank kills/restores/slowdowns), applied to the session's topology state
+  // *before* the batch delta. The fabric state advances even when the plan
+  // cannot be patched incrementally. Stateless requests ignore this field.
+  const TopologyDelta* topology = nullptr;
 };
 
 // Which engine produced the response's plan.
@@ -125,6 +130,10 @@ struct PlanStats {
   DeltaOutcome delta_outcome = DeltaOutcome::kRebasedNoBase;
   // The capacity the plan was computed at (after derivation / auto-raise).
   int64_t token_capacity = 0;
+  // Open delta sessions at response time — the daemon-leak telemetry a
+  // long-running service watches to confirm CloseSession keeps up with
+  // stream churn.
+  size_t session_count = 0;
 };
 
 struct PlanResponse {

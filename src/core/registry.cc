@@ -144,6 +144,22 @@ std::unique_ptr<Strategy> MakeStrategyByName(const std::string& spec,
         options.token_capacity = static_cast<int64_t>(capacity);
       } else if (KnobValue(mod, "stream", &value)) {
         options.stream_id = value;
+      } else if (KnobValue(mod, "faults", &value)) {
+        // "+faults=RATE[@SEED]": fault-injection rate with an optional
+        // injector seed (drivers derive one from the workload seed if absent).
+        const size_t at = value.find('@');
+        options.fault_rate = ParseDouble(value.substr(0, at), mod);
+        ZCHECK(options.fault_rate >= 0.0 && options.fault_rate <= 1.0)
+            << "fault rate out of [0, 1] in spec modifier: " << mod;
+        if (at != std::string::npos) {
+          const std::string seed = value.substr(at + 1);
+          errno = 0;
+          char* end = nullptr;
+          const unsigned long long parsed = std::strtoull(seed.c_str(), &end, 10);
+          ZCHECK(!seed.empty() && end != nullptr && *end == '\0' && errno != ERANGE)
+              << "bad fault seed in spec modifier: " << mod;
+          options.fault_seed = static_cast<uint64_t>(parsed);
+        }
       } else {
         ZCHECK(false) << "unknown zeppelin modifier: " << mod;
       }

@@ -22,6 +22,9 @@
 //   zeppelin+capacity=8192           explicit token capacity L per device
 //   zeppelin+stream=decode-7         PlannerService session key (distinct
 //                                    ids = independent delta streams)
+//   zeppelin+faults=0.01@7           fault-injection rate (and optional
+//                                    injector seed) for streaming drivers;
+//                                    wins over --fault_rate/--fault_seed
 //   zeppelin+threads=4+delta=0.02    modifiers compose left to right
 // The corresponding StrategyDefaults fields remain as aliases (typically fed
 // from --planner_threads / --delta_threshold flags); inline knobs take

@@ -24,6 +24,7 @@
 namespace zeppelin {
 
 struct BatchDelta;      // src/data/stream.h
+struct TopologyDelta;   // src/data/stream.h
 struct PartitionPlan;   // src/core/partitioner.h
 
 class Strategy {
@@ -46,9 +47,22 @@ class Strategy {
   // override it to patch the previous plan instead. Interchangeable with
   // Plan() for correctness: after either call, EmitLayer() emits a valid
   // layout for `batch`.
+  // The 4-arg form is the historical batch-churn-only entry point; it
+  // forwards to the topology-aware overload with no fabric churn.
+  void PlanDelta(const Batch& batch, const BatchDelta& delta, const CostModel& cost_model,
+                 const FabricResources& fabric) {
+    PlanDelta(batch, delta, cost_model, fabric, nullptr);
+  }
+  // Elastic form: `topology` (may be null = unchanged fabric) carries rank
+  // kills/restores/slowdowns since the previous planning call on this
+  // strategy; the strategy must stop scheduling work on dead ranks and
+  // rebalance around slowed ones (docs/ELASTIC.md). The default stateless
+  // adapter ignores fabric churn it cannot express and re-plans via Plan().
   virtual void PlanDelta(const Batch& batch, const BatchDelta& delta,
-                         const CostModel& cost_model, const FabricResources& fabric) {
+                         const CostModel& cost_model, const FabricResources& fabric,
+                         const TopologyDelta* topology) {
     (void)delta;
+    (void)topology;
     Plan(batch, cost_model, fabric);
   }
 

@@ -76,7 +76,8 @@ void ZeppelinStrategy::Plan(const Batch& batch, const CostModel& cost_model,
 }
 
 void ZeppelinStrategy::PlanDelta(const Batch& batch, const BatchDelta& delta,
-                                 const CostModel& cost_model, const FabricResources& fabric) {
+                                 const CostModel& cost_model, const FabricResources& fabric,
+                                 const TopologyDelta* topology) {
   if (!options_.hierarchical_partitioning || !options_.planner_fast_path) {
     // The delta session patches the hierarchical fast-path state; without it
     // streaming degenerates to per-iteration full planning.
@@ -93,6 +94,7 @@ void ZeppelinStrategy::PlanDelta(const Batch& batch, const BatchDelta& delta,
   request.options = BuildPlanningOptions();
   request.stream_id = options_.stream_id;
   request.delta = &delta;
+  request.topology = topology;
   PlanResponse response = service().Plan(request);
   current_plan_ = std::move(response.plan);
   last_stats_ = response.stats;

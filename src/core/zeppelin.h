@@ -83,6 +83,14 @@ struct ZeppelinOptions {
   // service lets many strategies/streams plan through one pool and one
   // session table (see docs/SERVICE_API.md).
   std::shared_ptr<PlannerService> service;
+
+  // Deterministic fault injection (docs/ELASTIC.md). The strategy never runs
+  // the injector itself — drivers (zeppelin_cli's stream mode) construct one
+  // FaultStream per strategy from these knobs and feed the resulting
+  // TopologyDeltas through PlanDelta(). Inline spec form
+  // `+faults=RATE[@SEED]`; a spec value wins over the driver's flags.
+  double fault_rate = 0.0;   // expected rank kills per iteration / world.
+  uint64_t fault_seed = 0;   // 0 = derive from the driver's workload seed.
 };
 
 class ZeppelinStrategy : public Strategy {
@@ -104,9 +112,13 @@ class ZeppelinStrategy : public Strategy {
   // Plan()) establishes the base plan with a full partition; the token
   // capacity is pinned at the base plan and auto-raised only when the batch
   // outgrows it. Requires hierarchical partitioning + the planner fast path;
-  // otherwise falls back to Plan().
+  // otherwise falls back to Plan(). `topology` (null = unchanged fabric)
+  // carries rank kills/restores/slowdowns: the session migrates work off
+  // dead ranks and rebalances by effective load, falling back to a full
+  // elastic re-plan per the migration-budget policy (docs/ELASTIC.md).
+  using Strategy::PlanDelta;
   void PlanDelta(const Batch& batch, const BatchDelta& delta, const CostModel& cost_model,
-                 const FabricResources& fabric) override;
+                 const FabricResources& fabric, const TopologyDelta* topology) override;
   // Emits one transformer layer for the planned batch into `graph`:
   // attention queues + remap + linear stage (mirrored in backward). Plan(),
   // PlanDelta(), or AdoptPlan() must have run first.

@@ -50,6 +50,130 @@ void ApplyBatchDelta(const BatchDelta& delta, Batch* batch,
   }
 }
 
+int64_t QuantizeSpeed(double factor) {
+  ZCHECK_GT(factor, 0.0) << "speed factor must be positive";
+  const double scaled = factor * static_cast<double>(kSpeedScale) + 0.5;
+  const int64_t q = static_cast<int64_t>(scaled);
+  return std::clamp<int64_t>(q, 1, 64 * kSpeedScale);
+}
+
+void RankTopology::Reset(int world) {
+  ZCHECK_GT(world, 0);
+  alive.assign(world, 1);
+  speed_q.assign(world, kSpeedScale);
+}
+
+void RankTopology::Apply(const TopologyDelta& delta) {
+  for (int rank : delta.removed_ranks) {
+    ZCHECK(rank >= 0 && rank < world()) << "removed rank out of range: " << rank;
+    ZCHECK(alive[rank]) << "removed rank already dead: " << rank;
+    alive[rank] = 0;
+  }
+  for (int rank : delta.added_ranks) {
+    ZCHECK(rank >= 0 && rank < world()) << "added rank out of range: " << rank;
+    ZCHECK(!alive[rank]) << "added rank already alive: " << rank;
+    alive[rank] = 1;
+  }
+  for (const auto& [rank, factor] : delta.speed_factors) {
+    ZCHECK(rank >= 0 && rank < world()) << "speed rank out of range: " << rank;
+    speed_q[rank] = QuantizeSpeed(factor);
+  }
+}
+
+int RankTopology::alive_count() const {
+  int count = 0;
+  for (uint8_t a : alive) {
+    count += a ? 1 : 0;
+  }
+  return count;
+}
+
+bool RankTopology::degraded() const {
+  for (uint8_t a : alive) {
+    if (!a) {
+      return true;
+    }
+  }
+  for (int64_t q : speed_q) {
+    if (q != kSpeedScale) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultStream::FaultStream(int world, FaultStreamOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  topo_.Reset(world);
+  ZCHECK(options_.fault_rate >= 0 && options_.fault_rate <= 1.0);
+  ZCHECK(options_.slowdown_rate >= 0 && options_.slowdown_rate <= 1.0);
+  ZCHECK(options_.min_speed > 0 && options_.min_speed <= 1.0);
+  ZCHECK_GE(options_.restore_after, 0);
+  ZCHECK(options_.min_alive >= 1 && options_.min_alive <= world);
+}
+
+TopologyDelta FaultStream::Next() {
+  TopologyDelta delta;
+
+  // Restores due this iteration come first (FIFO by due time; pending_restore_
+  // is appended in kill order, so it is already sorted by due iteration).
+  size_t due = 0;
+  while (due < pending_restore_.size() && pending_restore_[due].first <= iter_) {
+    delta.added_ranks.push_back(pending_restore_[due].second);
+    ++due;
+  }
+  pending_restore_.erase(pending_restore_.begin(), pending_restore_.begin() + due);
+
+  // Kill victims are drawn from the ranks alive *before* the restores above,
+  // so one delta never removes and adds the same rank.
+  const int world = topo_.world();
+  pick_buf_.clear();
+  for (int rank = 0; rank < world; ++rank) {
+    if (topo_.alive[rank]) {
+      pick_buf_.push_back(rank);
+    }
+  }
+  const int alive = static_cast<int>(pick_buf_.size());
+  const int alive_after_restores = alive + static_cast<int>(delta.added_ranks.size());
+
+  // Fractional kill expectations accumulate so sub-1-per-iteration rates
+  // still fire deterministically.
+  kill_accum_ += options_.fault_rate * alive;
+  int kills = static_cast<int>(kill_accum_);
+  kills = std::clamp(kills, 0, std::max(0, alive_after_restores - options_.min_alive));
+  kills = std::min(kills, alive);
+  kill_accum_ -= kills;
+
+  for (int i = 0; i < kills; ++i) {
+    const int j = i + static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(alive - i)));
+    std::swap(pick_buf_[i], pick_buf_[j]);
+    const int rank = pick_buf_[i];
+    delta.removed_ranks.push_back(rank);
+    if (options_.restore_after > 0) {
+      pending_restore_.emplace_back(iter_ + options_.restore_after, rank);
+    }
+  }
+
+  // Slowdowns re-rate survivors (alive before restores, not killed above).
+  slow_accum_ += options_.slowdown_rate * (alive - kills);
+  int slows = static_cast<int>(slow_accum_);
+  slows = std::clamp(slows, 0, alive - kills);
+  slow_accum_ -= slows;
+  for (int i = 0; i < slows; ++i) {
+    const int j =
+        kills + i + static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(alive - kills - i)));
+    std::swap(pick_buf_[kills + i], pick_buf_[j]);
+    const int rank = pick_buf_[kills + i];
+    const double factor =
+        options_.min_speed + (1.0 - options_.min_speed) * rng_.NextDouble();
+    delta.speed_factors.emplace_back(rank, factor);
+  }
+
+  topo_.Apply(delta);
+  ++iter_;
+  return delta;
+}
+
 WorkloadStream::WorkloadStream(LengthDistribution dist, Batch initial,
                                StreamOptions options, uint64_t seed)
     : dist_(std::move(dist)), batch_(std::move(initial)), options_(std::move(options)), rng_(seed) {

@@ -55,6 +55,117 @@ struct BatchDelta {
 void ApplyBatchDelta(const BatchDelta& delta, Batch* batch,
                      std::vector<int>* added_slots = nullptr);
 
+// --- Topology churn ---------------------------------------------------------
+//
+// Production clusters churn *topology* as well as batches: a GPU drops
+// mid-run, a preempted node rejoins, a straggler runs slow. A TopologyDelta is
+// the fabric-side sibling of BatchDelta: the difference between two
+// consecutive fabric states, expressed against a fixed rank universe (ranks
+// never renumber; a dead rank is a hole, not a shift — the same stability
+// contract tombstone slots give sequences).
+
+// Fixed-point scale for rank speed factors. Speeds are quantized once at the
+// delta boundary so every consumer (planner, equivalence checker, cost model
+// callers) sees the identical integer and load comparisons stay deterministic.
+inline constexpr int64_t kSpeedScale = 1024;
+
+// Quantizes a relative speed factor (1.0 = nominal) to kSpeedScale fixed
+// point. factor must be > 0; results clamp to [1, 64 * kSpeedScale].
+int64_t QuantizeSpeed(double factor);
+
+// The difference between two consecutive fabric states. Ranks in
+// `removed_ranks` must be alive, ranks in `added_ranks` must be dead; a rank
+// may not appear in both within one delta. `speed_factors` entries re-rate a
+// rank (alive or dead — a dead rank's factor sticks and applies on restore).
+struct TopologyDelta {
+  std::vector<int> removed_ranks;                    // Ranks killed.
+  std::vector<int> added_ranks;                      // Ranks restored.
+  std::vector<std::pair<int, double>> speed_factors;  // (rank, new factor).
+
+  int size() const {
+    return static_cast<int>(removed_ranks.size() + added_ranks.size() +
+                            speed_factors.size());
+  }
+  bool empty() const { return size() == 0; }
+};
+
+// The running fabric state a consumer folds TopologyDeltas into: per-rank
+// liveness plus quantized speed. Value type, cheap to copy/compare.
+struct RankTopology {
+  std::vector<uint8_t> alive;    // 1 = rank accepts work.
+  std::vector<int64_t> speed_q;  // Quantized speed, kSpeedScale = nominal.
+
+  // (Re)initializes to `world` ranks, all alive at nominal speed.
+  void Reset(int world);
+  // Folds one delta in. ZCHECKs the liveness preconditions above.
+  void Apply(const TopologyDelta& delta);
+
+  int world() const { return static_cast<int>(alive.size()); }
+  int alive_count() const;
+  // True when any rank is dead or off nominal speed — the planner's trigger
+  // for heterogeneous-aware paths (the clean fabric keeps byte-identical
+  // plans through the homogeneous code path).
+  bool degraded() const;
+  double speed(int rank) const {
+    return static_cast<double>(speed_q[rank]) / static_cast<double>(kSpeedScale);
+  }
+  // Load of `tokens` on `rank` in speed-normalized units: tokens at nominal
+  // speed, proportionally more on slow ranks. Integer and exact at nominal
+  // speed so homogeneous comparisons are unchanged.
+  int64_t EffectiveLoad(int rank, int64_t tokens) const {
+    return tokens * kSpeedScale / speed_q[rank];
+  }
+
+  bool operator==(const RankTopology&) const = default;
+};
+
+// Fault-injection knobs for FaultStream.
+struct FaultStreamOptions {
+  // Expected fraction of currently-alive ranks killed per Next(). Fractional
+  // expectations accumulate across iterations (0.001 on 64 ranks kills one
+  // rank roughly every 16 calls), so low rates still fire.
+  double fault_rate = 0.01;
+  // Iterations a killed rank stays dead before the stream restores it.
+  // 0 = killed ranks never come back.
+  int restore_after = 4;
+  // Expected fraction of alive ranks whose speed factor is re-drawn per
+  // Next() (stragglers). Accumulates like fault_rate.
+  double slowdown_rate = 0.0;
+  // Re-drawn factors are uniform on [min_speed, 1.0].
+  double min_speed = 0.5;
+  // Kills never take the alive count below this floor.
+  int min_alive = 1;
+};
+
+// Deterministic fault injector: owns the evolving RankTopology and emits the
+// TopologyDelta of each step — kill/restore/slowdown schedules in the
+// WorkloadStream style. Two streams with the same world, options, and seed
+// produce bit-identical delta sequences (the twin-stream soak contract).
+class FaultStream {
+ public:
+  FaultStream(int world, FaultStreamOptions options, uint64_t seed);
+
+  // The current fabric state (after all deltas emitted so far).
+  const RankTopology& topology() const { return topo_; }
+
+  // Advances one iteration: restores due ranks, kills and slows fresh
+  // victims, folds the changes into the internal topology, and returns the
+  // delta it just applied.
+  TopologyDelta Next();
+
+  const FaultStreamOptions& options() const { return options_; }
+
+ private:
+  RankTopology topo_;
+  FaultStreamOptions options_;
+  Rng rng_;
+  int iter_ = 0;
+  double kill_accum_ = 0.0;
+  double slow_accum_ = 0.0;
+  std::vector<std::pair<int, int>> pending_restore_;  // (due iteration, rank).
+  std::vector<int> pick_buf_;  // Scratch for distinct-rank selection.
+};
+
 // Churn-generation knobs for WorkloadStream.
 struct StreamOptions {
   // Identifies this stream to planning-side consumers: drivers that feed a

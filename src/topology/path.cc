@@ -17,6 +17,31 @@ FabricResources::FabricResources(const ClusterSpec& spec) : spec_(spec) {
   nic_tx_base_ = ingress_base_ + gpus;
   nic_rx_base_ = nic_tx_base_ + nics;
   num_resources_ = nic_rx_base_ + nics;
+  rank_speed_.assign(gpus, 1.0);
+}
+
+double FabricResources::rank_speed(int gpu) const {
+  ZCHECK(gpu >= 0 && gpu < spec_.world_size()) << "gpu=" << gpu;
+  return rank_speed_[gpu];
+}
+
+void FabricResources::set_rank_speed(int gpu, double factor) {
+  ZCHECK(gpu >= 0 && gpu < spec_.world_size()) << "gpu=" << gpu;
+  ZCHECK(factor > 0) << "speed factor must be positive: " << factor;
+  rank_speed_[gpu] = factor;
+}
+
+void FabricResources::ResetRankSpeeds() {
+  rank_speed_.assign(spec_.world_size(), 1.0);
+}
+
+bool FabricResources::heterogeneous() const {
+  for (double s : rank_speed_) {
+    if (s != 1.0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 ResourceId FabricResources::ComputeLane(int gpu) const {

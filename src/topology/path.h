@@ -58,8 +58,21 @@ class FabricResources {
   // affinity NIC. NIC choices are ignored for intra-node transfers.
   TransferPath Resolve(int src_gpu, int dst_gpu, int src_nic = -1, int dst_nic = -1) const;
 
+  // --- Per-rank speed factors (heterogeneous fabrics) ------------------------
+  // Relative compute rate of a rank (1.0 = nominal; 0.5 = a straggler at half
+  // speed). The speed-aware CostModel overloads consume these; the elastic
+  // planner quantizes them separately (see RankTopology in src/data/stream.h)
+  // so planning stays integer-deterministic.
+  double rank_speed(int gpu) const;
+  void set_rank_speed(int gpu, double factor);
+  // Restores every rank to nominal speed.
+  void ResetRankSpeeds();
+  // True when any rank is off nominal speed.
+  bool heterogeneous() const;
+
  private:
   ClusterSpec spec_;
+  std::vector<double> rank_speed_;
   int compute_base_ = 0;
   int egress_base_ = 0;
   int ingress_base_ = 0;
