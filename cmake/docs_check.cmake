@@ -13,7 +13,8 @@ set(required_docs
     docs/PLAN_FORMAT.md
     docs/DELTA_PLANS.md
     docs/SERVICE_API.md
-    docs/ELASTIC.md)
+    docs/ELASTIC.md
+    docs/DAEMON.md)
 
 foreach(doc ${required_docs})
   if(NOT EXISTS "${REPO_ROOT}/${doc}")

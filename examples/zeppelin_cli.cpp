@@ -36,6 +36,7 @@
 
 #include "src/common/flags.h"
 #include "src/core/plan_io.h"
+#include "src/net/plan_client.h"
 #include "src/sim/engine.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -83,7 +84,11 @@ void PrintUsage() {
       "  --plan_out=path       plan the first batch with the first zeppelin\n"
       "                        spec, write the plan (wire format), print digest\n"
       "  --plan_in=path        load a serialized plan and emit/simulate one\n"
-      "                        layer from it without re-planning\n");
+      "                        layer from it without re-planning\n"
+      "  --connect=host:port   plan remotely against a zeppelin_served daemon\n"
+      "                        instead of in-process (docs/DAEMON.md); with\n"
+      "                        --stream, runs a remote delta session\n"
+      "  --deadline_ms=0       per-request deadline for --connect (0 = none)\n");
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -155,8 +160,104 @@ int main(int argc, char** argv) {
   const LengthDistribution stream_dist = DatasetByName(flags.GetString("dataset", "github"));
   const std::string plan_out = flags.GetString("plan_out", "");
   const std::string plan_in = flags.GetString("plan_in", "");
+  const std::string connect = flags.GetString("connect", "");
+  const uint32_t deadline_ms = static_cast<uint32_t>(flags.GetInt("deadline_ms", 0));
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s (see --help)\n", unused.c_str());
+  }
+
+  if (!connect.empty()) {
+    // Remote mode: the daemon owns the (model, cluster, TP) surface; this
+    // process only ships batches and planning options over the wire.
+    const size_t colon = connect.rfind(':');
+    const std::string host = colon == std::string::npos ? connect : connect.substr(0, colon);
+    const int port =
+        colon == std::string::npos ? 7077 : std::atoi(connect.c_str() + colon + 1);
+    net::PlanClient client(host, port);
+    const net::PlanClientResult ping = client.Ping();
+    if (!ping.ok()) {
+      std::fprintf(stderr, "cannot reach %s:%d: %s (%s)\n", host.c_str(), port,
+                   ping.message.c_str(), net::WireStatusName(ping.status));
+      return 1;
+    }
+    PlanningOptions options;
+    options.delta_replan_threshold = flags.GetDouble("delta_threshold", 0.05);
+
+    if (stream_mode) {
+      // Remote delta session: base batch first, then per-iteration deltas.
+      // A session failure is surfaced, not retried (docs/DAEMON.md,
+      // "Client retries") — the stream simply rebases on the next request.
+      // The streamed batch is sized by sequence count, as in local --stream.
+      Batch initial = batches.front();
+      if (batch_file.empty()) {
+        Rng stream_rng(static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0xba7c4ull);
+        initial.seq_lens.clear();
+        initial.seq_lens.reserve(stream_seqs);
+        for (int i = 0; i < stream_seqs; ++i) {
+          initial.seq_lens.push_back(stream_dist.Sample(stream_rng));
+        }
+      }
+      WorkloadStream stream(stream_dist, initial, StreamOptions{.churn_fraction = churn},
+                            static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0x5eedull);
+      int patched = 0, rebased = 0, failed = 0;
+      RunningStats rtt_ms;
+      uint64_t last_digest = 0;
+      for (int it = 0; it <= stream_iters; ++it) {
+        net::WireRequest request;
+        request.stream_id = "cli";
+        request.deadline_ms = deadline_ms;
+        request.options = options;
+        if (it > 0) {
+          request.delta = stream.Next();
+        }
+        request.batch = stream.batch();
+        const net::PlanClientResult r = client.Plan(std::move(request));
+        if (!r.ok()) {
+          ++failed;
+          std::fprintf(stderr, "iteration %d failed: %s (%s)\n", it, r.message.c_str(),
+                       net::WireStatusName(r.status));
+          continue;
+        }
+        rtt_ms.Add(r.rtt_us / 1000.0);
+        last_digest = r.digest;
+        if (it > 0) {
+          (r.stats.delta_outcome == DeltaOutcome::kApplied ||
+           r.stats.delta_outcome == DeltaOutcome::kAppliedTopology)
+              ? ++patched
+              : ++rebased;
+        }
+      }
+      client.CloseSession("cli");
+      std::printf(
+          "remote stream vs %s:%d: %d iterations, %d patched, %d rebased, %d failed, "
+          "rtt %.2f ms mean, final digest %016" PRIx64 "\n",
+          host.c_str(), port, stream_iters, patched, rebased, failed, rtt_ms.mean(),
+          last_digest);
+      return failed == 0 ? 0 : 1;
+    }
+
+    Table table({"batch", "tokens", "engine", "capacity", "digest", "rtt ms", "queue us"});
+    for (size_t i = 0; i < batches.size(); ++i) {
+      net::WireRequest request;
+      request.deadline_ms = deadline_ms;
+      request.options = options;
+      request.batch = batches[i];
+      const net::PlanClientResult r = client.Plan(std::move(request));
+      if (!r.ok()) {
+        std::fprintf(stderr, "batch %zu failed: %s (%s)\n", i, r.message.c_str(),
+                     net::WireStatusName(r.status));
+        return 1;
+      }
+      char digest[20];
+      std::snprintf(digest, sizeof(digest), "%016" PRIx64, r.digest);
+      table.AddRow({Table::Cell(static_cast<int64_t>(i)),
+                    Table::Cell(batches[i].total_tokens()),
+                    PlanEngineName(r.stats.engine), Table::Cell(r.stats.token_capacity),
+                    digest, Table::Cell(r.rtt_us / 1000.0, 2),
+                    Table::Cell(r.queue_wait_us, 0)});
+    }
+    table.Print();
+    return 0;
   }
 
   // Picks the first zeppelin-family spec (falling back to plain "zeppelin"):

@@ -1,0 +1,120 @@
+// zeppelin_served — the planner daemon binary (docs/DAEMON.md).
+//
+// Serves one PlannerService for one (model, cluster, TP) over the framed TCP
+// protocol in src/net/. Clients: PlanClient (src/net/plan_client.h) or
+// `zeppelin_cli --connect=host:port`.
+//
+//   $ ./zeppelin_served --port=7077 --model=7B --cluster=A --nodes=2
+//   $ ./zeppelin_served --port=0        # ephemeral; prints the bound port
+//
+// SIGTERM/SIGINT trigger a graceful drain: stop accepting, reject new
+// requests with kShuttingDown, let in-flight requests finish (up to
+// --drain_grace_ms), then stop and print the lifetime counters.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "src/common/flags.h"
+#include "src/core/registry.h"
+#include "src/model/transformer.h"
+#include "src/net/planner_daemon.h"
+#include "src/topology/cluster.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void OnSignal(int) { g_shutdown = 1; }
+
+void PrintUsage() {
+  std::printf(
+      "usage: zeppelin_served [flags]\n"
+      "  --port=7077           TCP port (0 = ephemeral, printed at startup)\n"
+      "  --bind=127.0.0.1      bind address\n"
+      "  --model=7B            3B|7B|13B|30B|8x550M|8B-GQA\n"
+      "  --cluster=A           A|B|C (see zeppelin_cli --help)\n"
+      "  --nodes=2             number of nodes\n"
+      "  --tp=1                tensor parallelism inside nodes\n"
+      "  --planner_threads=1   planning contexts of the owned service\n"
+      "  --max_concurrent=2    requests planning at once (admission permits)\n"
+      "  --queue_limit=64      bounded waiting room; beyond it -> kOverloaded\n"
+      "  --max_frame_bytes=N   frame payload cap (default 16 MiB)\n"
+      "  --idle_timeout_ms=0   close idle connections (0 = never)\n"
+      "  --max_connections=256 accept cap\n"
+      "  --drain_grace_ms=2000 SIGTERM: wait this long for in-flight requests\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zeppelin;
+  const Flags flags(argc, argv);
+  if (flags.GetBool("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  const TransformerConfig model = ModelByName(flags.GetString("model", "7B"));
+  const int nodes = static_cast<int>(flags.GetInt("nodes", 2));
+  const ClusterSpec cluster = MakeClusterByName(flags.GetString("cluster", "A"), nodes);
+
+  net::DaemonOptions options;
+  options.port = static_cast<int>(flags.GetInt("port", 7077));
+  options.bind_address = flags.GetString("bind", "127.0.0.1");
+  options.tensor_parallel = static_cast<int>(flags.GetInt("tp", 1));
+  options.planner_threads = flags.GetThreadCount("planner_threads", 1);
+  options.max_concurrent_plans = static_cast<int>(flags.GetInt("max_concurrent", 2));
+  options.queue_limit = static_cast<int>(flags.GetInt("queue_limit", 64));
+  options.max_frame_bytes =
+      static_cast<uint32_t>(flags.GetInt("max_frame_bytes", net::kDefaultMaxFrameBytes));
+  options.idle_timeout_ms = static_cast<int>(flags.GetInt("idle_timeout_ms", 0));
+  options.max_connections = static_cast<int>(flags.GetInt("max_connections", 256));
+  const int drain_grace_ms = static_cast<int>(flags.GetInt("drain_grace_ms", 2000));
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s (see --help)\n", unused.c_str());
+  }
+
+  net::PlannerDaemon daemon(model, cluster, options);
+  std::string error;
+  if (!daemon.Start(&error)) {
+    std::fprintf(stderr, "zeppelin_served: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  std::printf("zeppelin_served: %s | tp=%d | listening on %s:%d (world %d)\n",
+              model.name.c_str(), options.tensor_parallel, options.bind_address.c_str(),
+              daemon.port(), daemon.cluster().world_size());
+  std::fflush(stdout);
+
+  while (!g_shutdown) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("zeppelin_served: draining (%d ms grace)\n", drain_grace_ms);
+  std::fflush(stdout);
+  daemon.BeginDrain();
+  // Grace period: connections finish their in-flight requests; we leave early
+  // once they have all gone away.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(drain_grace_ms);
+  while (daemon.connection_count() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  daemon.Stop();
+
+  const net::DaemonCounters counters = daemon.counters();
+  std::printf(
+      "zeppelin_served: stopped | ok %llu, shed %llu overload + %llu deadline, "
+      "rejected %llu draining, malformed %llu frames + %llu requests, "
+      "bad %llu, sessions reaped %llu\n",
+      static_cast<unsigned long long>(counters.requests_ok),
+      static_cast<unsigned long long>(counters.shed_overload),
+      static_cast<unsigned long long>(counters.shed_deadline),
+      static_cast<unsigned long long>(counters.rejected_shutdown),
+      static_cast<unsigned long long>(counters.malformed_frames),
+      static_cast<unsigned long long>(counters.malformed_requests),
+      static_cast<unsigned long long>(counters.bad_requests),
+      static_cast<unsigned long long>(counters.sessions_reaped));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Length-prefixed framing for the planner daemon protocol (docs/DAEMON.md).
+//
+// Every message on a daemon connection is one frame:
+//
+//   offset  size  field
+//   0       4     magic 'Z' 'F' 'R' 'M'
+//   4       1     frame type (FrameType)
+//   5       3     reserved, must be zero
+//   8       4     payload length (u32 LE)
+//   12      n     payload (wire.h request/response encoding)
+//
+// The framing layer is the first thing genuinely untrusted bytes hit, so it
+// follows the plan_io.h discipline: every violation maps to a typed
+// FrameStatus (never a crash, never an allocation driven by unvalidated
+// sizes), and the payload-length field is checked against a hard cap before
+// any buffering decision is made from it. A framing error is not recoverable
+// on a byte stream — the decoder cannot know where the next frame begins —
+// so the decoder latches the error (poisoned()) and the daemon/client close
+// the connection after sending/seeing one typed error frame.
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace zeppelin {
+namespace net {
+
+// First bytes of every frame: 'Z' 'F' 'R' 'M'.
+inline constexpr char kFrameMagic[4] = {'Z', 'F', 'R', 'M'};
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+// Protocol ceiling on payload size; no endpoint may accept more regardless
+// of configuration. Daemons usually run with the tighter default below.
+inline constexpr uint32_t kFrameHardCap = 64u << 20;
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,   // wire.h EncodeRequest payload.
+  kResponse = 2,  // wire.h EncodeResponse payload (success).
+  kError = 3,     // wire.h EncodeResponse payload (typed error).
+};
+
+enum class FrameStatus : uint8_t {
+  kOk = 0,        // A complete frame was extracted.
+  kIncomplete,    // No error; more bytes are needed.
+  kBadMagic,      // Stream does not start with the frame magic.
+  kBadType,       // Unknown FrameType value.
+  kBadReserved,   // Reserved header bytes are non-zero.
+  kOversized,     // Declared payload exceeds the decoder's cap.
+};
+
+const char* FrameStatusName(FrameStatus status);
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+// Appends one complete frame (header + payload) to `*out`. The caller is
+// responsible for keeping payloads under the peer's frame cap.
+void AppendFrame(FrameType type, std::string_view payload, std::string* out);
+
+// Incremental frame decoder over a TCP byte stream. Feed() raw bytes in any
+// chunking; Next() yields complete frames until kIncomplete. Any framing
+// violation poisons the decoder permanently: further Next() calls return the
+// same error and further Feed() calls drop their bytes (the stream position
+// is undefined after a violation, and buffering unbounded garbage would be
+// its own denial-of-service vector).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  void Feed(const char* data, size_t size);
+  void Feed(std::string_view bytes) { Feed(bytes.data(), bytes.size()); }
+
+  // kOk fills `*frame`; kIncomplete means feed more bytes; anything else is
+  // the latched framing error.
+  FrameStatus Next(Frame* frame);
+
+  bool poisoned() const { return error_ != FrameStatus::kOk; }
+  size_t buffered() const { return buffer_.size() - consumed_; }
+  uint32_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  uint32_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Bytes of buffer_ already handed out as frames.
+  FrameStatus error_ = FrameStatus::kOk;
+};
+
+}  // namespace net
+}  // namespace zeppelin
+
+#endif  // SRC_NET_FRAME_H_

@@ -1,0 +1,282 @@
+#include "src/net/plan_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "src/core/plan_io.h"
+
+namespace zeppelin {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+bool SendAll(int fd, const char* data, size_t size, Clock::time_point deadline) {
+  size_t sent = 0;
+  while (sent < size) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, RemainingMs(deadline));
+    if (ready == 0) {
+      return false;  // Timed out.
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int RetryBackoffMs(int attempt, const PlanClientOptions& options) {
+  // Saturating shift: once initial << attempt would pass the cap, stop
+  // shifting instead of overflowing.
+  int64_t backoff = options.backoff_initial_ms > 0 ? options.backoff_initial_ms : 1;
+  for (int i = 0; i < attempt && backoff < options.backoff_max_ms; ++i) {
+    backoff <<= 1;
+  }
+  if (backoff > options.backoff_max_ms) backoff = options.backoff_max_ms;
+  return static_cast<int>(backoff);
+}
+
+PlanClient::PlanClient(std::string host, int port, PlanClientOptions options)
+    : host_(std::move(host)), port_(port), options_(std::move(options)) {
+  if (!options_.sleep_ms) {
+    options_.sleep_ms = [](int ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+}
+
+PlanClient::~PlanClient() { Close(); }
+
+void PlanClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool PlanClient::Connect(std::string* error) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // Non-blocking connect so the timeout is ours, not the kernel's.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad address: " + host_;
+    ::close(fd);
+    return false;
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, options_.connect_timeout_ms);
+    if (ready <= 0) {
+      if (error) *error = "connect timeout to " + host_;
+      ::close(fd);
+      return false;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    rc = so_error == 0 ? 0 : -1;
+    errno = so_error;
+  }
+  if (rc < 0) {
+    if (error) *error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;  // Left non-blocking; all I/O polls first.
+  return true;
+}
+
+PlanClientResult PlanClient::Attempt(const WireRequest& request) {
+  PlanClientResult result;
+  std::string error;
+  if (fd_ < 0 && !Connect(&error)) {
+    result.status = WireStatus::kTransport;
+    result.message = error;
+    return result;
+  }
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(options_.request_timeout_ms);
+
+  std::string out;
+  AppendRequestFrame(request, &out);
+  if (!SendAll(fd_, out.data(), out.size(), deadline)) {
+    Close();
+    result.status = WireStatus::kTransport;
+    result.message = "send failed or timed out";
+    return result;
+  }
+
+  FrameDecoder decoder(options_.max_frame_bytes);
+  Frame frame;
+  char buf[16384];
+  for (;;) {
+    const FrameStatus status = decoder.Next(&frame);
+    if (status == FrameStatus::kOk) {
+      break;
+    }
+    if (status != FrameStatus::kIncomplete) {
+      Close();
+      result.status = WireStatus::kTransport;
+      result.message = std::string("response framing: ") + FrameStatusName(status);
+      return result;
+    }
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, RemainingMs(deadline));
+    if (ready == 0) {
+      Close();
+      result.status = WireStatus::kTransport;
+      result.message = "request timed out awaiting response";
+      return result;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      result.status = WireStatus::kTransport;
+      result.message = std::string("poll: ") + std::strerror(errno);
+      return result;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      result.status = WireStatus::kTransport;
+      result.message = "connection closed by daemon";
+      return result;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      Close();
+      result.status = WireStatus::kTransport;
+      result.message = std::string("recv: ") + std::strerror(errno);
+      return result;
+    }
+    decoder.Feed(buf, static_cast<size_t>(n));
+  }
+
+  WireResponse response;
+  std::string parse_error;
+  const WireStatus parsed =
+      ParseResponse(frame.type, frame.payload, &response, &parse_error);
+  result.rtt_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - start)
+                      .count();
+  if (parsed != WireStatus::kOk) {
+    Close();
+    result.status = WireStatus::kTransport;
+    result.message = "response parse: " + parse_error;
+    return result;
+  }
+  // Error frames may carry id 0 when the daemon could not decode the request
+  // far enough to learn its id (framing violations); those are addressed to
+  // whatever was in flight — us. Anything else mismatched means the stream
+  // is out of sync, and the only safe recovery is a fresh connection.
+  const bool wildcard_error =
+      frame.type == FrameType::kError && response.request_id == 0;
+  if (response.request_id != request.request_id && !wildcard_error) {
+    Close();
+    result.status = WireStatus::kTransport;
+    result.message = "response id mismatch";
+    return result;
+  }
+  result.status = response.status;
+  result.message = std::move(response.message);
+  result.stats = response.stats;
+  result.queue_wait_us = response.queue_wait_us;
+  result.digest = response.digest;
+  result.plan_bytes = std::move(response.plan_bytes);
+  if (result.status == WireStatus::kOk && !result.plan_bytes.empty()) {
+    auto plan = std::make_shared<PartitionPlan>();
+    const PlanIoResult io =
+        ParsePlan(result.plan_bytes, plan.get(), options_.max_world);
+    if (!io.ok()) {
+      result.status = WireStatus::kPlanRejected;
+      result.message = "plan bytes rejected: " + io.message;
+      return result;
+    }
+    result.plan = std::move(plan);
+  }
+  return result;
+}
+
+PlanClientResult PlanClient::Roundtrip(WireRequest request) {
+  request.request_id = next_request_id_++;
+  // Idempotency rule: a session *plan* mutates daemon state exactly once, so
+  // it must never be blind-resent. Everything else is safe to retry.
+  const bool retryable =
+      request.kind != RequestKind::kPlan || request.stream_id.empty();
+  PlanClientResult result;
+  int attempts = 0;
+  for (int attempt = 0;; ++attempt) {
+    ++attempts;
+    result = Attempt(request);
+    result.attempts = attempts;
+    const bool transient = result.status == WireStatus::kTransport ||
+                           result.status == WireStatus::kOverloaded;
+    if (!transient || !retryable || attempt >= options_.max_retries) {
+      return result;
+    }
+    Close();
+    options_.sleep_ms(RetryBackoffMs(attempt, options_));
+  }
+}
+
+PlanClientResult PlanClient::Plan(WireRequest request) {
+  request.kind = RequestKind::kPlan;
+  return Roundtrip(std::move(request));
+}
+
+PlanClientResult PlanClient::Ping() {
+  WireRequest request;
+  request.kind = RequestKind::kPing;
+  return Roundtrip(std::move(request));
+}
+
+PlanClientResult PlanClient::CloseSession(const std::string& stream_id) {
+  WireRequest request;
+  request.kind = RequestKind::kCloseSession;
+  request.stream_id = stream_id;
+  return Roundtrip(std::move(request));
+}
+
+}  // namespace net
+}  // namespace zeppelin

@@ -1,0 +1,186 @@
+// PlannerDaemon: the hardened TCP front door of the PlannerService
+// (docs/DAEMON.md).
+//
+// One daemon owns one PlannerService for one (model, cluster, TP) and serves
+// it over the framed protocol in src/net/frame.h + src/net/wire.h. The
+// design goal is robustness against untrusted clients and overload, not just
+// reachability:
+//
+//   - *Typed rejection, never a crash.* The planner library ZCHECK-aborts on
+//     contract violations, so no byte a client sends may reach it
+//     unvalidated. The daemon keeps a per-session mirror of the state the
+//     service tracks (the batch, the rank topology) and fully validates
+//     every request — frame, structure, and semantics — before touching the
+//     service; failures return a typed WireStatus and leave both the mirror
+//     and the service exactly as they were (no partially-applied session
+//     mutation).
+//   - *Bounded admission.* At most `max_concurrent_plans` requests plan at
+//     once; at most `queue_limit` more may wait. Anything beyond is shed
+//     immediately with kOverloaded instead of queueing unboundedly, so
+//     admitted-request latency stays bounded under any offered load.
+//   - *Per-request deadlines.* A request carrying deadline_ms is dropped
+//     with kDeadlineExceeded if it is still waiting for admission when the
+//     deadline passes; planning never starts on an expired request.
+//   - *Session hygiene.* Session keys are namespaced per connection, so
+//     streams are private to the connection that opened them and can never
+//     collide or be hijacked across clients. When a connection closes — EOF,
+//     error, idle timeout, or daemon shutdown — every session it owns is
+//     CloseSession()ed, so PlanStats::session_count cannot leak across
+//     disconnects.
+//   - *Graceful drain.* BeginDrain() stops accepting connections and rejects
+//     new requests with kShuttingDown while letting in-flight (admitted or
+//     queued) requests finish; Stop() then joins everything. The
+//     zeppelin_served binary wires SIGTERM to exactly this sequence.
+//
+// Threading model: one acceptor thread, one reaper thread (idle-connection
+// timeouts + finished-thread joining), and one reader thread per connection
+// that decodes, validates, plans (gated by the admission permits), and
+// replies in order. Requests on one connection therefore execute in arrival
+// order — which is what makes per-connection session mirrors race-free —
+// while distinct connections plan concurrently up to the admission limit.
+#ifndef SRC_NET_PLANNER_DAEMON_H_
+#define SRC_NET_PLANNER_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/plan_service.h"
+#include "src/model/transformer.h"
+#include "src/net/wire.h"
+#include "src/topology/cluster.h"
+#include "src/topology/path.h"
+
+namespace zeppelin {
+namespace net {
+
+struct DaemonOptions {
+  // TCP port to listen on; 0 binds an ephemeral port (read it back with
+  // port() after Start — the test/bench pattern).
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+  // Tensor parallelism inside nodes (Trainer semantics: the served cluster
+  // is ApplyTensorParallelism(cluster, tp)).
+  int tensor_parallel = 1;
+  // PlanServiceOptions::num_planner_threads of the owned service.
+  int planner_threads = 1;
+  // Admission permits: requests planning at once across all connections.
+  int max_concurrent_plans = 2;
+  // Bounded waiting room behind the permits; a request arriving with the
+  // queue full is shed immediately (kOverloaded).
+  int queue_limit = 64;
+  // Frame payload cap (also the decoder cap); clamped to kFrameHardCap.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Connections idle longer than this are closed and their sessions reaped.
+  // 0 disables idle reaping.
+  int idle_timeout_ms = 0;
+  // Accept cap; connections beyond it are closed immediately.
+  int max_connections = 256;
+  // Test/bench hook: hold the admission permit this long before planning,
+  // simulating a slow plan so queue/deadline behavior is observable.
+  int debug_plan_delay_ms = 0;
+};
+
+// Monotonic counters over the daemon's lifetime (telemetry + test hooks).
+struct DaemonCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;
+  uint64_t requests_ok = 0;
+  uint64_t shed_overload = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t malformed_frames = 0;  // Framing violations (connection closed).
+  uint64_t malformed_requests = 0;
+  uint64_t bad_requests = 0;      // Semantic rejections (incl. kBadDelta).
+  uint64_t sessions_reaped = 0;   // Sessions closed on disconnect/idle/drain.
+};
+
+class PlannerDaemon {
+ public:
+  PlannerDaemon(const TransformerConfig& model, const ClusterSpec& cluster,
+                DaemonOptions options = {});
+  ~PlannerDaemon();
+
+  PlannerDaemon(const PlannerDaemon&) = delete;
+  PlannerDaemon& operator=(const PlannerDaemon&) = delete;
+
+  // Binds, listens, and spawns the acceptor/reaper. False (with `*error`
+  // filled) if the socket setup fails; the daemon is then inert.
+  bool Start(std::string* error = nullptr);
+
+  // Stops accepting connections and rejects new requests (kShuttingDown);
+  // in-flight and already-queued requests finish. Idempotent.
+  void BeginDrain();
+
+  // BeginDrain, then unblock every connection, join all threads, and close
+  // all sockets (reaping their sessions). Idempotent; called by ~.
+  void Stop();
+
+  // True once Stop() has completed (or Start() was never called).
+  bool stopped() const;
+
+  // The bound port (after Start with port 0, the ephemeral port).
+  int port() const { return port_; }
+
+  // Owned service telemetry: tests assert session_count returns to baseline
+  // after disconnects.
+  PlannerService& service() { return *service_; }
+  const ClusterSpec& cluster() const { return logical_cluster_; }
+
+  DaemonCounters counters() const;
+  size_t connection_count() const;
+
+ private:
+  struct AdmissionGate;
+  struct Connection;
+
+  void AcceptLoop();
+  void ReaperLoop();
+  void ServeConnection(const std::shared_ptr<Connection>& conn);
+  // Handles one decoded frame; false closes the connection.
+  bool HandleFrame(Connection& conn, const Frame& frame);
+  void HandlePlan(Connection& conn, WireRequest& request,
+                  std::chrono::steady_clock::time_point received);
+  // Closes every session the connection owns (service + mirror).
+  void ReapSessions(Connection& conn);
+  bool SendResponse(Connection& conn, const WireResponse& response);
+  void SendError(Connection& conn, uint64_t request_id, WireStatus status,
+                 std::string message);
+
+  TransformerConfig model_;
+  ClusterSpec logical_cluster_;
+  FabricResources fabric_;
+  CostModel cost_model_;
+  DaemonOptions options_;
+  std::unique_ptr<PlannerService> service_;
+  std::unique_ptr<AdmissionGate> gate_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{true};
+
+  std::thread acceptor_;
+  std::thread reaper_;
+  mutable std::mutex conns_mu_;
+  std::condition_variable reaper_cv_;
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  mutable std::mutex counters_mu_;
+  DaemonCounters counters_;
+};
+
+}  // namespace net
+}  // namespace zeppelin
+
+#endif  // SRC_NET_PLANNER_DAEMON_H_

@@ -1,0 +1,463 @@
+#include "src/net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace zeppelin {
+namespace net {
+namespace {
+
+// Little-endian fixed-width writers (the plan_io.cc idiom: the format is
+// defined byte-wise and never relies on host layout).
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) { PutU64(out, std::bit_cast<uint64_t>(v)); }
+
+// Cursor-based reader; every Get* checks remaining length first, so a
+// truncated or lying payload can never read past the end.
+struct Reader {
+  const unsigned char* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Have(size_t n) const { return size - pos >= n; }
+  uint8_t GetU8() { return data[pos++]; }
+  uint32_t GetU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  uint64_t GetU64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  double GetF64() { return std::bit_cast<double>(GetU64()); }
+};
+
+// Largest value accepted for any token count crossing the wire; keeps every
+// downstream int64 sum far from overflow (kMaxWireSeqs * this < 2^63).
+constexpr uint64_t kMaxWireTokens = uint64_t{1} << 56;
+constexpr uint32_t kMaxMessageBytes = 4096;
+
+constexpr uint8_t kOptHierarchical = 1u << 0;
+constexpr uint8_t kOptZoneAware = 1u << 1;
+constexpr uint8_t kOptFastPath = 1u << 2;
+constexpr uint8_t kOptSharedPool = 1u << 3;
+constexpr uint8_t kOptKnownMask =
+    kOptHierarchical | kOptZoneAware | kOptFastPath | kOptSharedPool;
+
+WireStatus Malformed(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = what;
+  }
+  return WireStatus::kMalformedRequest;
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kMalformedFrame:
+      return "malformed-frame";
+    case WireStatus::kOversizedFrame:
+      return "oversized-frame";
+    case WireStatus::kMalformedRequest:
+      return "malformed-request";
+    case WireStatus::kBadRequest:
+      return "bad-request";
+    case WireStatus::kBadDelta:
+      return "bad-delta";
+    case WireStatus::kOverloaded:
+      return "overloaded";
+    case WireStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case WireStatus::kShuttingDown:
+      return "shutting-down";
+    case WireStatus::kPlanRejected:
+      return "plan-rejected";
+    case WireStatus::kTransport:
+      return "transport";
+    case WireStatus::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string out;
+  out.reserve(64 + request.stream_id.size() + 8 * request.batch.seq_lens.size());
+  PutU32(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(request.kind));
+  PutU64(&out, request.request_id);
+  PutU32(&out, request.deadline_ms);
+  PutU32(&out, static_cast<uint32_t>(request.stream_id.size()));
+  out.append(request.stream_id);
+
+  uint8_t flags = 0;
+  if (request.options.hierarchical_partitioning) flags |= kOptHierarchical;
+  if (request.options.zone_aware_thresholds) flags |= kOptZoneAware;
+  if (request.options.planner_fast_path) flags |= kOptFastPath;
+  if (request.options.use_shared_pool) flags |= kOptSharedPool;
+  PutU8(&out, flags);
+  PutU64(&out, static_cast<uint64_t>(request.options.token_capacity));
+  PutF64(&out, request.options.delta_replan_threshold);
+
+  PutU32(&out, static_cast<uint32_t>(request.batch.seq_lens.size()));
+  for (int64_t len : request.batch.seq_lens) {
+    PutU64(&out, static_cast<uint64_t>(len));
+  }
+
+  PutU8(&out, request.delta.has_value() ? 1 : 0);
+  if (request.delta.has_value()) {
+    const BatchDelta& d = *request.delta;
+    PutU32(&out, static_cast<uint32_t>(d.removed.size()));
+    for (int slot : d.removed) {
+      PutU32(&out, static_cast<uint32_t>(slot));
+    }
+    PutU32(&out, static_cast<uint32_t>(d.resized.size()));
+    for (const auto& [slot, len] : d.resized) {
+      PutU32(&out, static_cast<uint32_t>(slot));
+      PutU64(&out, static_cast<uint64_t>(len));
+    }
+    PutU32(&out, static_cast<uint32_t>(d.added.size()));
+    for (int64_t len : d.added) {
+      PutU64(&out, static_cast<uint64_t>(len));
+    }
+  }
+
+  PutU8(&out, request.topology.has_value() ? 1 : 0);
+  if (request.topology.has_value()) {
+    const TopologyDelta& t = *request.topology;
+    PutU32(&out, static_cast<uint32_t>(t.removed_ranks.size()));
+    for (int rank : t.removed_ranks) {
+      PutU32(&out, static_cast<uint32_t>(rank));
+    }
+    PutU32(&out, static_cast<uint32_t>(t.added_ranks.size()));
+    for (int rank : t.added_ranks) {
+      PutU32(&out, static_cast<uint32_t>(rank));
+    }
+    PutU32(&out, static_cast<uint32_t>(t.speed_factors.size()));
+    for (const auto& [rank, factor] : t.speed_factors) {
+      PutU32(&out, static_cast<uint32_t>(rank));
+      PutF64(&out, factor);
+    }
+  }
+  return out;
+}
+
+WireStatus ParseRequest(std::string_view payload, WireRequest* request,
+                        std::string* error) {
+  *request = WireRequest{};
+  Reader in{reinterpret_cast<const unsigned char*>(payload.data()), payload.size()};
+
+  if (!in.Have(4 + 1 + 8 + 4 + 4)) {
+    return Malformed(error, "request truncated before the fixed header");
+  }
+  const uint32_t version = in.GetU32();
+  if (version != kWireVersion) {
+    return Malformed(error, "unknown request version");
+  }
+  const uint8_t kind = in.GetU8();
+  if (kind != static_cast<uint8_t>(RequestKind::kPlan) &&
+      kind != static_cast<uint8_t>(RequestKind::kCloseSession) &&
+      kind != static_cast<uint8_t>(RequestKind::kPing)) {
+    return Malformed(error, "unknown request kind");
+  }
+  request->kind = static_cast<RequestKind>(kind);
+  request->request_id = in.GetU64();
+  request->deadline_ms = in.GetU32();
+
+  const uint32_t id_len = in.GetU32();
+  if (id_len > kMaxStreamIdBytes) {
+    return Malformed(error, "stream id too long");
+  }
+  if (!in.Have(id_len)) {
+    return Malformed(error, "request truncated inside the stream id");
+  }
+  request->stream_id.assign(reinterpret_cast<const char*>(in.data) + in.pos, id_len);
+  in.pos += id_len;
+
+  if (!in.Have(1 + 8 + 8)) {
+    return Malformed(error, "request truncated before the options");
+  }
+  const uint8_t flags = in.GetU8();
+  if ((flags & ~kOptKnownMask) != 0) {
+    return Malformed(error, "unknown option flag bits");
+  }
+  request->options.hierarchical_partitioning = (flags & kOptHierarchical) != 0;
+  request->options.zone_aware_thresholds = (flags & kOptZoneAware) != 0;
+  request->options.planner_fast_path = (flags & kOptFastPath) != 0;
+  request->options.use_shared_pool = (flags & kOptSharedPool) != 0;
+  const uint64_t capacity = in.GetU64();
+  // Tighter than the response-side cap: a *requested* per-device capacity
+  // above the max sequence length is meaningless and would let capacity
+  // products overflow downstream.
+  if (capacity > static_cast<uint64_t>(kMaxWireSeqLen)) {
+    return Malformed(error, "token capacity out of range");
+  }
+  request->options.token_capacity = static_cast<int64_t>(capacity);
+  request->options.delta_replan_threshold = in.GetF64();
+
+  if (!in.Have(4)) {
+    return Malformed(error, "request truncated before the batch");
+  }
+  const uint32_t num_seqs = in.GetU32();
+  if (num_seqs > kMaxWireSeqs) {
+    return Malformed(error, "batch sequence count out of range");
+  }
+  if (!in.Have(size_t{num_seqs} * 8)) {
+    return Malformed(error, "request truncated inside the batch");
+  }
+  request->batch.seq_lens.reserve(num_seqs);
+  for (uint32_t i = 0; i < num_seqs; ++i) {
+    const uint64_t len = in.GetU64();
+    if (len > static_cast<uint64_t>(kMaxWireSeqLen)) {
+      return Malformed(error, "sequence length out of range");
+    }
+    request->batch.seq_lens.push_back(static_cast<int64_t>(len));
+  }
+
+  if (!in.Have(1)) {
+    return Malformed(error, "request truncated before the delta marker");
+  }
+  const uint8_t has_delta = in.GetU8();
+  if (has_delta > 1) {
+    return Malformed(error, "bad delta marker");
+  }
+  if (has_delta == 1) {
+    BatchDelta delta;
+    if (!in.Have(4)) {
+      return Malformed(error, "request truncated inside the delta");
+    }
+    const uint32_t removed_n = in.GetU32();
+    if (removed_n > kMaxWireDeltaEntries || !in.Have(size_t{removed_n} * 4)) {
+      return Malformed(error, "delta removed section out of range");
+    }
+    delta.removed.reserve(removed_n);
+    for (uint32_t i = 0; i < removed_n; ++i) {
+      const uint32_t slot = in.GetU32();
+      if (slot > static_cast<uint32_t>(INT32_MAX)) {
+        return Malformed(error, "delta slot out of range");
+      }
+      delta.removed.push_back(static_cast<int>(slot));
+    }
+    if (!in.Have(4)) {
+      return Malformed(error, "request truncated inside the delta");
+    }
+    const uint32_t resized_n = in.GetU32();
+    if (resized_n > kMaxWireDeltaEntries || !in.Have(size_t{resized_n} * 12)) {
+      return Malformed(error, "delta resized section out of range");
+    }
+    delta.resized.reserve(resized_n);
+    for (uint32_t i = 0; i < resized_n; ++i) {
+      const uint32_t slot = in.GetU32();
+      const uint64_t len = in.GetU64();
+      if (slot > static_cast<uint32_t>(INT32_MAX) ||
+          len > static_cast<uint64_t>(kMaxWireSeqLen)) {
+        return Malformed(error, "delta resize entry out of range");
+      }
+      delta.resized.emplace_back(static_cast<int>(slot), static_cast<int64_t>(len));
+    }
+    if (!in.Have(4)) {
+      return Malformed(error, "request truncated inside the delta");
+    }
+    const uint32_t added_n = in.GetU32();
+    if (added_n > kMaxWireDeltaEntries || !in.Have(size_t{added_n} * 8)) {
+      return Malformed(error, "delta added section out of range");
+    }
+    delta.added.reserve(added_n);
+    for (uint32_t i = 0; i < added_n; ++i) {
+      const uint64_t len = in.GetU64();
+      if (len > static_cast<uint64_t>(kMaxWireSeqLen)) {
+        return Malformed(error, "delta added length out of range");
+      }
+      delta.added.push_back(static_cast<int64_t>(len));
+    }
+    request->delta = std::move(delta);
+  }
+
+  if (!in.Have(1)) {
+    return Malformed(error, "request truncated before the topology marker");
+  }
+  const uint8_t has_topology = in.GetU8();
+  if (has_topology > 1) {
+    return Malformed(error, "bad topology marker");
+  }
+  if (has_topology == 1) {
+    TopologyDelta topo;
+    auto read_ranks = [&](std::vector<int>* out) {
+      if (!in.Have(4)) {
+        return false;
+      }
+      const uint32_t n = in.GetU32();
+      if (n > kMaxWireTopoEntries || !in.Have(size_t{n} * 4)) {
+        return false;
+      }
+      out->reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t rank = in.GetU32();
+        if (rank > static_cast<uint32_t>(INT32_MAX)) {
+          return false;
+        }
+        out->push_back(static_cast<int>(rank));
+      }
+      return true;
+    };
+    if (!read_ranks(&topo.removed_ranks) || !read_ranks(&topo.added_ranks)) {
+      return Malformed(error, "topology rank section out of range");
+    }
+    if (!in.Have(4)) {
+      return Malformed(error, "request truncated inside the topology");
+    }
+    const uint32_t speeds_n = in.GetU32();
+    if (speeds_n > kMaxWireTopoEntries || !in.Have(size_t{speeds_n} * 12)) {
+      return Malformed(error, "topology speed section out of range");
+    }
+    topo.speed_factors.reserve(speeds_n);
+    for (uint32_t i = 0; i < speeds_n; ++i) {
+      const uint32_t rank = in.GetU32();
+      if (rank > static_cast<uint32_t>(INT32_MAX)) {
+        return Malformed(error, "topology speed rank out of range");
+      }
+      topo.speed_factors.emplace_back(static_cast<int>(rank), in.GetF64());
+    }
+    request->topology = std::move(topo);
+  }
+
+  if (in.pos != in.size) {
+    return Malformed(error, "trailing bytes after the request");
+  }
+  return WireStatus::kOk;
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  std::string out;
+  out.reserve(96 + response.message.size() + response.plan_bytes.size());
+  PutU32(&out, kWireVersion);
+  PutU64(&out, response.request_id);
+  PutU8(&out, static_cast<uint8_t>(response.status));
+  const uint32_t msg_len = static_cast<uint32_t>(
+      std::min<size_t>(response.message.size(), kMaxMessageBytes));
+  PutU32(&out, msg_len);
+  out.append(response.message.data(), msg_len);
+  if (response.status != WireStatus::kOk) {
+    return out;
+  }
+  PutU8(&out, static_cast<uint8_t>(response.stats.engine));
+  PutF64(&out, response.stats.partition_time_us);
+  PutF64(&out, response.stats.materialize_time_us);
+  PutU8(&out, static_cast<uint8_t>(response.stats.delta_outcome));
+  PutU64(&out, static_cast<uint64_t>(response.stats.token_capacity));
+  PutU64(&out, response.stats.session_count);
+  PutF64(&out, response.queue_wait_us);
+  PutU64(&out, response.digest);
+  PutU64(&out, response.plan_bytes.size());
+  out.append(response.plan_bytes);
+  return out;
+}
+
+void AppendRequestFrame(const WireRequest& request, std::string* out) {
+  AppendFrame(FrameType::kRequest, EncodeRequest(request), out);
+}
+
+void AppendResponseFrame(const WireResponse& response, std::string* out) {
+  AppendFrame(response.status == WireStatus::kOk ? FrameType::kResponse : FrameType::kError,
+              EncodeResponse(response), out);
+}
+
+WireStatus ParseResponse(FrameType type, std::string_view payload,
+                         WireResponse* response, std::string* error) {
+  *response = WireResponse{};
+  Reader in{reinterpret_cast<const unsigned char*>(payload.data()), payload.size()};
+  if (!in.Have(4 + 8 + 1 + 4)) {
+    return Malformed(error, "response truncated before the fixed header");
+  }
+  const uint32_t version = in.GetU32();
+  if (version != kWireVersion) {
+    return Malformed(error, "unknown response version");
+  }
+  response->request_id = in.GetU64();
+  const uint8_t status = in.GetU8();
+  if (status > static_cast<uint8_t>(WireStatus::kInternal)) {
+    return Malformed(error, "unknown response status");
+  }
+  response->status = static_cast<WireStatus>(status);
+  const uint32_t msg_len = in.GetU32();
+  if (msg_len > kMaxMessageBytes || !in.Have(msg_len)) {
+    return Malformed(error, "response truncated inside the message");
+  }
+  response->message.assign(reinterpret_cast<const char*>(in.data) + in.pos, msg_len);
+  in.pos += msg_len;
+
+  // Error responses carry a success marker mismatch: kOk on the frame type
+  // kError (or vice versa) is a protocol violation the caller detects.
+  const bool is_error_frame = type == FrameType::kError;
+  if (is_error_frame != (response->status != WireStatus::kOk)) {
+    return Malformed(error, "frame type disagrees with the response status");
+  }
+  if (response->status != WireStatus::kOk) {
+    if (in.pos != in.size) {
+      return Malformed(error, "trailing bytes after the error response");
+    }
+    return WireStatus::kOk;
+  }
+
+  if (!in.Have(1 + 8 + 8 + 1 + 8 + 8 + 8 + 8 + 8)) {
+    return Malformed(error, "response truncated inside the stats");
+  }
+  const uint8_t engine = in.GetU8();
+  if (engine > static_cast<uint8_t>(PlanEngine::kGlobalRing)) {
+    return Malformed(error, "unknown plan engine");
+  }
+  response->stats.engine = static_cast<PlanEngine>(engine);
+  response->stats.partition_time_us = in.GetF64();
+  response->stats.materialize_time_us = in.GetF64();
+  const uint8_t outcome = in.GetU8();
+  if (outcome > static_cast<uint8_t>(DeltaOutcome::kRebasedMigration)) {
+    return Malformed(error, "unknown delta outcome");
+  }
+  response->stats.delta_outcome = static_cast<DeltaOutcome>(outcome);
+  const uint64_t capacity = in.GetU64();
+  if (capacity > kMaxWireTokens) {
+    return Malformed(error, "token capacity out of range");
+  }
+  response->stats.token_capacity = static_cast<int64_t>(capacity);
+  response->stats.session_count = in.GetU64();
+  response->queue_wait_us = in.GetF64();
+  response->digest = in.GetU64();
+  const uint64_t plan_len = in.GetU64();
+  if (!in.Have(plan_len)) {
+    return Malformed(error, "response truncated inside the plan bytes");
+  }
+  response->plan_bytes.assign(reinterpret_cast<const char*>(in.data) + in.pos,
+                              static_cast<size_t>(plan_len));
+  in.pos += static_cast<size_t>(plan_len);
+  if (in.pos != in.size) {
+    return Malformed(error, "trailing bytes after the response");
+  }
+  return WireStatus::kOk;
+}
+
+}  // namespace net
+}  // namespace zeppelin

@@ -1,0 +1,133 @@
+// Request/response payload encoding for the planner daemon protocol.
+//
+// A WireRequest is everything a remote client may say to the daemon: a plan
+// request (batch + planning options + optional session delta/topology), an
+// explicit session close, or a ping. A WireResponse is either a success
+// (PlanStats + digest + the plan_io bytes) or a typed error. Payloads ride
+// inside frames (src/net/frame.h); the daemon's cost model and fabric are
+// fixed at startup, so neither crosses the wire.
+//
+// Parsing follows the plan_io.h defensive discipline: little-endian
+// fixed-width fields, every count bounds-checked against the remaining
+// payload before any allocation, explicit caps on element values, trailing
+// bytes rejected. ParseRequest establishes *structural* validity only; the
+// daemon separately validates request *semantics* (capacity feasibility,
+// delta consistency against the session's tracked batch, topology liveness
+// preconditions) before any planner state is touched — see
+// docs/DAEMON.md, "Request validation".
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/core/plan_service.h"
+#include "src/data/sampler.h"
+#include "src/data/stream.h"
+#include "src/net/frame.h"
+
+namespace zeppelin {
+namespace net {
+
+// Wire payload encoding version; endpoints reject others rather than guess.
+inline constexpr uint32_t kWireVersion = 1;
+
+// Structural caps enforced by ParseRequest (beyond the frame-size cap):
+// stream ids are short tokens, sequence lengths and counts are bounded so
+// totals can never overflow int64 arithmetic anywhere in the planner.
+inline constexpr uint32_t kMaxStreamIdBytes = 256;
+inline constexpr uint32_t kMaxWireSeqs = 1u << 24;
+inline constexpr int64_t kMaxWireSeqLen = int64_t{1} << 40;
+// A whole batch may not exceed this many tokens (checked by the daemon's
+// semantic validation): keeps every downstream product — speed-quantized
+// effective loads (x kSpeedScale), node-capacity sums — inside int64.
+inline constexpr int64_t kMaxWireTotalTokens = int64_t{1} << 47;
+inline constexpr uint32_t kMaxWireDeltaEntries = kMaxWireSeqs;
+inline constexpr uint32_t kMaxWireTopoEntries = 1u << 20;
+
+// Every way a request can fail, plus the client-side transport failures —
+// the daemon's equivalent of PlanIoStatus. Values are wire-stable.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kMalformedFrame = 1,    // Framing violation; the connection closes.
+  kOversizedFrame = 2,    // Frame over the size cap; the connection closes.
+  kMalformedRequest = 3,  // Request payload failed structural parsing.
+  kBadRequest = 4,        // Semantic validation failed (empty batch,
+                          //   infeasible capacity, bad options, ...).
+  kBadDelta = 5,          // Delta/topology disagrees with the session's
+                          //   tracked state; nothing was applied.
+  kOverloaded = 6,        // Admission queue full; request shed unprocessed.
+  kDeadlineExceeded = 7,  // Deadline expired before planning started.
+  kShuttingDown = 8,      // Daemon is draining; request rejected.
+  kPlanRejected = 9,      // Client side: response plan bytes failed ParsePlan.
+  kTransport = 10,        // Client side: connect/send/recv failure.
+  kInternal = 11,         // Daemon-side invariant failure (should not happen).
+};
+
+const char* WireStatusName(WireStatus status);
+
+enum class RequestKind : uint8_t {
+  kPlan = 1,
+  kCloseSession = 2,  // Ends `stream_id`'s session; idempotent.
+  kPing = 3,          // Liveness probe; returns an empty success.
+};
+
+struct WireRequest {
+  RequestKind kind = RequestKind::kPlan;
+  // Echoed verbatim in the response so clients can match replies.
+  uint64_t request_id = 0;
+  // Per-request deadline in milliseconds from daemon receipt; 0 = none. The
+  // daemon sheds the request (kDeadlineExceeded) if it is still waiting for
+  // admission when the deadline passes — see docs/DAEMON.md, "Deadlines".
+  uint32_t deadline_ms = 0;
+  // Empty = stateless one-shot plan. Non-empty = delta session, private to
+  // this connection (the daemon namespaces session keys per connection).
+  std::string stream_id;
+  PlanningOptions options;
+  // kPlan only: the *new* batch (post-delta, PlanRequest semantics).
+  Batch batch;
+  // kPlan sessions only: the delta from the session's previous batch.
+  std::optional<BatchDelta> delta;
+  // kPlan sessions only: fabric churn since the previous request.
+  std::optional<TopologyDelta> topology;
+};
+
+struct WireResponse {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string message;  // Human-readable error detail; empty on success.
+  PlanStats stats;      // Success only.
+  // Microseconds the request waited for admission (daemon-side telemetry).
+  double queue_wait_us = 0;
+  uint64_t digest = 0;      // plan->StateDigest(); authenticates plan_bytes.
+  std::string plan_bytes;   // SerializePlan() image; empty for close/ping.
+};
+
+// --- Encoding ---------------------------------------------------------------
+
+std::string EncodeRequest(const WireRequest& request);
+std::string EncodeResponse(const WireResponse& response);
+
+// Frames in one step: request -> kRequest frame; response -> kResponse frame
+// when status == kOk, kError frame otherwise.
+void AppendRequestFrame(const WireRequest& request, std::string* out);
+void AppendResponseFrame(const WireResponse& response, std::string* out);
+
+// --- Parsing ----------------------------------------------------------------
+
+// Structural parse of a kRequest frame payload. Returns kOk or
+// kMalformedRequest; on failure `*request` still carries any request id that
+// was decodable, so the daemon can address its error reply.
+WireStatus ParseRequest(std::string_view payload, WireRequest* request,
+                        std::string* error);
+
+// Structural parse of a kResponse/kError frame payload (client side).
+WireStatus ParseResponse(FrameType type, std::string_view payload,
+                         WireResponse* response, std::string* error);
+
+}  // namespace net
+}  // namespace zeppelin
+
+#endif  // SRC_NET_WIRE_H_

@@ -1,0 +1,464 @@
+// PlannerDaemon (src/net/planner_daemon.h) + PlanClient end to end over real
+// sockets: byte-identity of remotely-planned plans vs the in-process
+// PlannerService across engines and across a delta-stream session, session
+// reaping on abrupt disconnect and idle timeout (PlanStats::session_count
+// back to baseline — the leak regression), typed rejection of oversized
+// frames / malformed requests / bad semantics with the connection surviving
+// where the framing allows it, bounded admission (kOverloaded), per-request
+// deadlines (kDeadlineExceeded), graceful drain (kShuttingDown), and
+// session privacy across connections.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/plan_io.h"
+#include "src/core/plan_service.h"
+#include "src/data/datasets.h"
+#include "src/data/stream.h"
+#include "src/model/transformer.h"
+#include "src/net/plan_client.h"
+#include "src/net/planner_daemon.h"
+#include "src/topology/cluster.h"
+#include "src/topology/path.h"
+
+namespace zeppelin {
+namespace net {
+namespace {
+
+Batch SampleBatch(int num_seqs, uint64_t seed) {
+  const LengthDistribution dist = DatasetByName("github");
+  Rng rng(seed);
+  Batch batch;
+  batch.seq_lens.reserve(num_seqs);
+  for (int i = 0; i < num_seqs; ++i) {
+    batch.seq_lens.push_back(dist.Sample(rng));
+  }
+  return batch;
+}
+
+// A daemon plus the identically-configured in-process surface it must be
+// byte-equivalent to.
+struct DaemonRig {
+  TransformerConfig model = MakeLlama3B();
+  ClusterSpec cluster = MakeClusterA(2);
+  FabricResources fabric{cluster};
+  CostModel cost_model{model, cluster};
+  PlannerService local;
+  PlannerDaemon daemon;
+
+  explicit DaemonRig(DaemonOptions options = {})
+      : local(PlanServiceOptions{.num_planner_threads = options.planner_threads}),
+        daemon(model, cluster, options) {
+    std::string error;
+    if (!daemon.Start(&error)) {
+      ADD_FAILURE() << "daemon start failed: " << error;
+    }
+  }
+
+  PlanClient Client(PlanClientOptions options = {}) {
+    return PlanClient("127.0.0.1", daemon.port(), options);
+  }
+
+  PlanResponse LocalPlan(const Batch& batch, const PlanningOptions& options,
+                         const std::string& stream_id = "",
+                         const BatchDelta* delta = nullptr) {
+    PlanRequest request;
+    request.batch = &batch;
+    request.cost_model = &cost_model;
+    request.fabric = &fabric;
+    request.options = options;
+    request.stream_id = stream_id;
+    request.delta = delta;
+    return local.Plan(request);
+  }
+};
+
+bool WaitFor(const std::function<bool()>& cond, int timeout_ms = 3000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+TEST(PlannerDaemonTest, StatelessByteIdentityAcrossEngines) {
+  DaemonRig rig(DaemonOptions{.planner_threads = 4, .max_concurrent_plans = 4});
+  PlanClient client = rig.Client();
+  const Batch batch = SampleBatch(512, 7);
+
+  struct EngineCase {
+    const char* name;
+    PlanningOptions options;
+  };
+  const EngineCase cases[] = {
+      {"naive", {.planner_fast_path = false}},
+      {"serial", {.use_shared_pool = false}},
+      {"pooled", {}},
+      {"global-ring", {.hierarchical_partitioning = false}},
+  };
+  for (const EngineCase& c : cases) {
+    WireRequest request;
+    request.options = c.options;
+    request.batch = batch;
+    const PlanClientResult remote = client.Plan(std::move(request));
+    ASSERT_TRUE(remote.ok()) << c.name << ": " << remote.message;
+    EXPECT_EQ(remote.attempts, 1) << c.name;
+    ASSERT_NE(remote.plan, nullptr) << c.name;
+
+    const PlanResponse local = rig.LocalPlan(batch, c.options);
+    EXPECT_EQ(remote.digest, local.digest) << c.name;
+    EXPECT_EQ(remote.stats.engine, local.stats.engine) << c.name;
+    EXPECT_EQ(remote.stats.token_capacity, local.stats.token_capacity) << c.name;
+    // The acceptance currency: the bytes that crossed the wire are the bytes
+    // the in-process service serializes.
+    EXPECT_EQ(remote.plan_bytes, SerializePlan(*local.plan)) << c.name;
+  }
+}
+
+TEST(PlannerDaemonTest, DeltaSessionMatchesInProcess) {
+  DaemonRig rig;
+  PlanClient client = rig.Client();
+  const LengthDistribution dist = DatasetByName("github");
+  WorkloadStream stream(dist, SampleBatch(1024, 11),
+                        StreamOptions{.churn_fraction = 0.01}, 99);
+  PlanningOptions options;
+
+  int patched = 0;
+  for (int it = 0; it <= 20; ++it) {
+    BatchDelta delta;
+    if (it > 0) {
+      delta = stream.Next();
+    }
+    WireRequest request;
+    request.stream_id = "twin";
+    request.options = options;
+    request.batch = stream.batch();
+    if (it > 0) {
+      request.delta = delta;
+    }
+    const PlanClientResult remote = client.Plan(std::move(request));
+    ASSERT_TRUE(remote.ok()) << "iteration " << it << ": " << remote.message;
+
+    const PlanResponse local = rig.LocalPlan(stream.batch(), options, "twin",
+                                             it > 0 ? &delta : nullptr);
+    ASSERT_EQ(remote.digest, local.digest) << "iteration " << it;
+    EXPECT_EQ(remote.stats.delta_outcome, local.stats.delta_outcome)
+        << "iteration " << it;
+    EXPECT_EQ(remote.plan_bytes, SerializePlan(*local.plan)) << "iteration " << it;
+    if (remote.stats.delta_outcome == DeltaOutcome::kApplied) {
+      ++patched;
+    }
+  }
+  // The stream must actually exercise the patch path, not rebase throughout.
+  EXPECT_GT(patched, 10);
+
+  const PlanClientResult closed = client.CloseSession("twin");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(rig.daemon.service().session_count(), 0u);
+}
+
+TEST(PlannerDaemonTest, AbruptDisconnectReapsSessions) {
+  DaemonRig rig;
+  const Batch batch = SampleBatch(256, 3);
+  const size_t baseline = rig.daemon.service().session_count();
+  {
+    PlanClient client = rig.Client();
+    for (const char* stream : {"a", "b"}) {
+      WireRequest request;
+      request.stream_id = stream;
+      request.batch = batch;
+      ASSERT_TRUE(client.Plan(std::move(request)).ok());
+    }
+    EXPECT_EQ(rig.daemon.service().session_count(), baseline + 2);
+    // Destructor closes the socket abruptly — no CloseSession requests.
+  }
+  EXPECT_TRUE(WaitFor([&] {
+    return rig.daemon.service().session_count() == baseline;
+  })) << "sessions leaked after abrupt disconnect: "
+      << rig.daemon.service().session_count();
+  EXPECT_TRUE(WaitFor([&] { return rig.daemon.counters().sessions_reaped >= 2; }));
+}
+
+TEST(PlannerDaemonTest, IdleConnectionsAreReaped) {
+  DaemonRig rig(DaemonOptions{.idle_timeout_ms = 100});
+  PlanClient client = rig.Client();
+  WireRequest request;
+  request.stream_id = "idle";
+  request.batch = SampleBatch(128, 5);
+  ASSERT_TRUE(client.Plan(std::move(request)).ok());
+  EXPECT_EQ(rig.daemon.service().session_count(), 1u);
+  // No further traffic: the reaper must close the connection and its session.
+  EXPECT_TRUE(WaitFor([&] { return rig.daemon.service().session_count() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return rig.daemon.connection_count() == 0; }));
+}
+
+TEST(PlannerDaemonTest, OversizedFrameTypedRejection) {
+  DaemonRig rig(DaemonOptions{.max_frame_bytes = 4096});
+  PlanClient client = rig.Client();
+  // ~64k seqs encode far past the 4 KiB daemon cap (the client's own cap is
+  // the default, so the frame goes out).
+  WireRequest request;
+  request.batch.seq_lens.assign(65536, 100);
+  const PlanClientResult rejected = client.Plan(std::move(request));
+  EXPECT_EQ(rejected.status, WireStatus::kOversizedFrame) << rejected.message;
+  EXPECT_EQ(rig.daemon.counters().malformed_frames, 1u);
+
+  // The daemon closed that connection; a fresh (stateless, hence retryable)
+  // request transparently reconnects and succeeds.
+  WireRequest good;
+  good.batch = SampleBatch(64, 1);
+  const PlanClientResult ok = client.Plan(std::move(good));
+  ASSERT_TRUE(ok.ok()) << ok.message;
+}
+
+TEST(PlannerDaemonTest, MalformedRequestKeepsConnection) {
+  DaemonRig rig;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(rig.daemon.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // A well-framed kRequest whose payload is garbage: typed kMalformedRequest,
+  // connection stays up (framing is still in sync).
+  std::string out;
+  AppendFrame(FrameType::kRequest, "not a request", &out);
+  // Followed on the same connection by a valid request, which must succeed.
+  WireRequest good;
+  good.request_id = 42;
+  good.batch = SampleBatch(64, 2);
+  AppendRequestFrame(good, &out);
+  ASSERT_EQ(::send(fd, out.data(), out.size(), 0), static_cast<ssize_t>(out.size()));
+
+  FrameDecoder decoder(kDefaultMaxFrameBytes);
+  std::vector<WireResponse> responses;
+  char buf[16384];
+  while (responses.size() < 2) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "daemon closed the connection after a malformed request";
+    decoder.Feed(buf, static_cast<size_t>(n));
+    Frame frame;
+    while (decoder.Next(&frame) == FrameStatus::kOk) {
+      WireResponse response;
+      std::string error;
+      ASSERT_EQ(ParseResponse(frame.type, frame.payload, &response, &error),
+                WireStatus::kOk)
+          << error;
+      responses.push_back(std::move(response));
+    }
+  }
+  EXPECT_EQ(responses[0].status, WireStatus::kMalformedRequest);
+  EXPECT_EQ(responses[1].status, WireStatus::kOk);
+  EXPECT_EQ(responses[1].request_id, 42u);
+  ::close(fd);
+}
+
+TEST(PlannerDaemonTest, BadSemanticsTypedAndNoPartialMutation) {
+  DaemonRig rig;
+  PlanClient client = rig.Client();
+  const Batch batch = SampleBatch(256, 13);
+
+  {  // Empty batch.
+    WireRequest request;
+    EXPECT_EQ(client.Plan(std::move(request)).status, WireStatus::kBadRequest);
+  }
+  {  // Infeasible explicit capacity.
+    WireRequest request;
+    request.batch = batch;
+    request.options.token_capacity = 1;
+    EXPECT_EQ(client.Plan(std::move(request)).status, WireStatus::kBadRequest);
+  }
+  {  // Stateless requests may not carry deltas.
+    WireRequest request;
+    request.batch = batch;
+    request.delta.emplace();
+    EXPECT_EQ(client.Plan(std::move(request)).status, WireStatus::kBadRequest);
+  }
+  {  // Sessions require the hierarchical fast path.
+    WireRequest request;
+    request.stream_id = "s";
+    request.batch = batch;
+    request.options.planner_fast_path = false;
+    EXPECT_EQ(client.Plan(std::move(request)).status, WireStatus::kBadRequest);
+  }
+
+  // Establish a session, then attack its delta path: every malformed delta is
+  // rejected with kBadDelta and must leave the session state untouched.
+  WireRequest base;
+  base.stream_id = "s";
+  base.batch = batch;
+  ASSERT_TRUE(client.Plan(std::move(base)).ok());
+
+  WorkloadStream stream(DatasetByName("github"), batch,
+                        StreamOptions{.churn_fraction = 0.05}, 7);
+  const BatchDelta delta = stream.Next();
+  ASSERT_FALSE(delta.removed.empty() && delta.resized.empty() &&
+               delta.added.empty());
+
+  {  // Slot out of range.
+    WireRequest request;
+    request.stream_id = "s";
+    request.batch = stream.batch();
+    request.delta.emplace();
+    request.delta->removed.push_back(batch.size() + 100);
+    EXPECT_EQ(client.Plan(std::move(request)).status, WireStatus::kBadDelta);
+  }
+  {  // Delta that does not reproduce the request batch.
+    WireRequest request;
+    request.stream_id = "s";
+    request.batch = stream.batch();
+    request.delta.emplace();  // Empty delta != the churn the batch carries.
+    EXPECT_EQ(client.Plan(std::move(request)).status, WireStatus::kBadDelta);
+  }
+  {  // Topology removing an out-of-range rank.
+    WireRequest request;
+    request.stream_id = "s";
+    request.batch = batch;
+    request.topology.emplace();
+    request.topology->removed_ranks.push_back(10000);
+    EXPECT_EQ(client.Plan(std::move(request)).status, WireStatus::kBadDelta);
+  }
+
+  // The true delta still applies cleanly afterwards: the rejected requests
+  // mutated nothing (in-process twin session proves byte equivalence).
+  WireRequest good;
+  good.stream_id = "s";
+  good.batch = stream.batch();
+  good.delta = delta;
+  const PlanClientResult remote = client.Plan(std::move(good));
+  ASSERT_TRUE(remote.ok()) << remote.message;
+
+  PlanningOptions options;
+  rig.LocalPlan(batch, options, "twin");
+  const PlanResponse local = rig.LocalPlan(stream.batch(), options, "twin", &delta);
+  EXPECT_EQ(remote.digest, local.digest);
+  EXPECT_EQ(remote.plan_bytes, SerializePlan(*local.plan));
+  EXPECT_GE(rig.daemon.counters().bad_requests, 7u);
+}
+
+TEST(PlannerDaemonTest, OverloadShedsBeyondBoundedQueue) {
+  DaemonRig rig(DaemonOptions{.max_concurrent_plans = 1,
+                              .queue_limit = 0,
+                              .debug_plan_delay_ms = 300});
+  const Batch batch = SampleBatch(128, 17);
+  PlanClient slow = rig.Client();
+  std::thread holder([&] {
+    WireRequest request;
+    request.batch = batch;
+    EXPECT_TRUE(slow.Plan(std::move(request)).ok());
+  });
+  // Wait until the slow request holds the single permit.
+  ASSERT_TRUE(WaitFor([&] { return rig.daemon.connection_count() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  PlanClient shed_client = rig.Client(PlanClientOptions{.max_retries = 0});
+  WireRequest request;
+  request.batch = batch;
+  const PlanClientResult shed = shed_client.Plan(std::move(request));
+  EXPECT_EQ(shed.status, WireStatus::kOverloaded) << shed.message;
+  EXPECT_EQ(shed.attempts, 1);
+  holder.join();
+  EXPECT_GE(rig.daemon.counters().shed_overload, 1u);
+}
+
+TEST(PlannerDaemonTest, DeadlineExpiresWhileQueued) {
+  DaemonRig rig(DaemonOptions{.max_concurrent_plans = 1,
+                              .queue_limit = 8,
+                              .debug_plan_delay_ms = 400});
+  const Batch batch = SampleBatch(128, 19);
+  PlanClient slow = rig.Client();
+  std::thread holder([&] {
+    WireRequest request;
+    request.batch = batch;
+    EXPECT_TRUE(slow.Plan(std::move(request)).ok());
+  });
+  ASSERT_TRUE(WaitFor([&] { return rig.daemon.connection_count() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  PlanClient hurried = rig.Client();
+  WireRequest request;
+  request.batch = batch;
+  request.deadline_ms = 50;  // Expires long before the 400 ms plan finishes.
+  const PlanClientResult dropped = hurried.Plan(std::move(request));
+  EXPECT_EQ(dropped.status, WireStatus::kDeadlineExceeded) << dropped.message;
+  // Deadline failures are terminal, never retried.
+  EXPECT_EQ(dropped.attempts, 1);
+  holder.join();
+  EXPECT_GE(rig.daemon.counters().shed_deadline, 1u);
+}
+
+TEST(PlannerDaemonTest, DrainRejectsNewWorkThenStops) {
+  DaemonRig rig;
+  PlanClient client = rig.Client(PlanClientOptions{.max_retries = 0});
+  WireRequest warm;
+  warm.batch = SampleBatch(64, 23);
+  ASSERT_TRUE(client.Plan(std::move(warm)).ok());
+
+  rig.daemon.BeginDrain();
+  WireRequest request;
+  request.batch = SampleBatch(64, 23);
+  const PlanClientResult rejected = client.Plan(std::move(request));
+  EXPECT_EQ(rejected.status, WireStatus::kShuttingDown) << rejected.message;
+
+  // New connections are refused while draining.
+  PlanClient late = rig.Client(PlanClientOptions{.max_retries = 0});
+  EXPECT_FALSE(late.Ping().ok());
+
+  rig.daemon.Stop();
+  EXPECT_TRUE(rig.daemon.stopped());
+  EXPECT_EQ(rig.daemon.service().session_count(), 0u);
+}
+
+TEST(PlannerDaemonTest, SessionsArePrivatePerConnection) {
+  DaemonRig rig;
+  PlanClient first = rig.Client();
+  PlanClient second = rig.Client();
+  const Batch small = SampleBatch(128, 29);
+  const Batch large = SampleBatch(512, 31);
+
+  // Same client-side stream id, different batches: if the daemon shared the
+  // session, the second base (different batch size) would clash with the
+  // first session's tracked batch.
+  WireRequest a;
+  a.stream_id = "s";
+  a.batch = small;
+  ASSERT_TRUE(first.Plan(std::move(a)).ok());
+  WireRequest b;
+  b.stream_id = "s";
+  b.batch = large;
+  ASSERT_TRUE(second.Plan(std::move(b)).ok());
+  EXPECT_EQ(rig.daemon.service().session_count(), 2u);
+
+  // Each connection can still advance its own stream with a consistent delta.
+  WorkloadStream stream(DatasetByName("github"), small,
+                        StreamOptions{.churn_fraction = 0.01}, 5);
+  const BatchDelta delta = stream.Next();
+  WireRequest advance;
+  advance.stream_id = "s";
+  advance.batch = stream.batch();
+  advance.delta = delta;
+  const PlanClientResult advanced = first.Plan(std::move(advance));
+  ASSERT_TRUE(advanced.ok()) << advanced.message;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace zeppelin
