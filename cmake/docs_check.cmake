@@ -14,7 +14,8 @@ set(required_docs
     docs/DELTA_PLANS.md
     docs/SERVICE_API.md
     docs/ELASTIC.md
-    docs/DAEMON.md)
+    docs/DAEMON.md
+    docs/PLAN_CACHE.md)
 
 foreach(doc ${required_docs})
   if(NOT EXISTS "${REPO_ROOT}/${doc}")

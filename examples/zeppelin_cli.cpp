@@ -36,6 +36,7 @@
 
 #include "src/common/flags.h"
 #include "src/core/plan_io.h"
+#include "src/core/plan_verify.h"
 #include "src/net/plan_client.h"
 #include "src/sim/engine.h"
 #include "src/common/stats.h"
@@ -291,7 +292,23 @@ int main(int argc, char** argv) {
                    plan_in.c_str(), loaded.tokens_per_rank.size(), logical_world);
       return 1;
     }
+    // The digest trailer authenticates the bytes; VerifyPlan certifies the
+    // *content* (coverage, arena disjointness, conservation) in structural
+    // mode — a plan file is untrusted input with no batch context attached.
+    PlanVerifyOptions verify_options;
+    verify_options.world = logical_world;
+    verify_options.eps = -1;
+    const PlanVerifyResult verdict =
+        VerifyPlan(loaded, nullptr, nullptr, verify_options);
+    if (!verdict.ok()) {
+      std::fprintf(stderr, "plan in %s failed certification: %s (%s)\n",
+                   plan_in.c_str(), verdict.message.c_str(),
+                   PlanVerifyStatusName(verdict.status));
+      return 1;
+    }
     auto plan = std::make_shared<const PartitionPlan>(std::move(loaded));
+    std::printf("certified %s: every clause of the plan contract holds\n",
+                plan_in.c_str());
     std::printf("loaded %s: %zu inter + %zu intra rings, %zu locals, %ld tokens, digest %016" PRIx64
                 "\n",
                 plan_in.c_str(), plan->inter_node.size(), plan->intra_node.size(),

@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
   std::printf(
       "zeppelin_served: stopped | ok %llu, shed %llu overload + %llu deadline, "
       "rejected %llu draining, malformed %llu frames + %llu requests, "
-      "bad %llu, sessions reaped %llu\n",
+      "bad %llu, sessions reaped %llu, cache %llu hit + %llu near / %llu miss, "
+      "%llu evicted, verify failures %llu\n",
       static_cast<unsigned long long>(counters.requests_ok),
       static_cast<unsigned long long>(counters.shed_overload),
       static_cast<unsigned long long>(counters.shed_deadline),
@@ -115,6 +116,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(counters.malformed_frames),
       static_cast<unsigned long long>(counters.malformed_requests),
       static_cast<unsigned long long>(counters.bad_requests),
-      static_cast<unsigned long long>(counters.sessions_reaped));
+      static_cast<unsigned long long>(counters.sessions_reaped),
+      static_cast<unsigned long long>(counters.cache_hits),
+      static_cast<unsigned long long>(counters.cache_near_matches),
+      static_cast<unsigned long long>(counters.cache_misses),
+      static_cast<unsigned long long>(counters.cache_evictions),
+      static_cast<unsigned long long>(counters.verify_failures));
   return 0;
 }

@@ -1,0 +1,568 @@
+#include "src/core/plan_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/model/cost_model.h"
+#include "src/topology/path.h"
+
+namespace zeppelin {
+
+namespace {
+
+// The repo's FNV-1a idiom (partitioner.cc StateDigest): mix fixed-width
+// values into a running hash; strings are mixed byte-wise.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvMix(uint64_t h, uint64_t v) {
+  h ^= v;
+  return h * kFnvPrime;
+}
+
+inline uint64_t FnvMixDouble(uint64_t h, double v) {
+  return FnvMix(h, std::bit_cast<uint64_t>(v));
+}
+
+inline uint64_t FnvMixString(uint64_t h, const std::string& s) {
+  h = FnvMix(h, s.size());
+  for (unsigned char c : s) {
+    h = FnvMix(h, c);
+  }
+  return h;
+}
+
+// Full-avalanche 64-bit finalizer (splitmix64). The commutative batch
+// signature sums per-element hashes, and a single FNV step is not enough
+// there: (offset ^ len) * prime distributes over the sum, and for lengths
+// whose set bits miss the offset's (e.g. multiples of 64) the xor degrades
+// to addition — making the sum a function of (count, total tokens) alone.
+// Batches are sized to a fixed token budget, so equal totals are the common
+// case, not a corner: distinct batches collided constantly. Avalanching
+// each length first makes the sum depend on the actual multiset.
+inline uint64_t AvalancheMix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t DigestCostModel(const CostModel& cost_model) {
+  const TransformerConfig& m = cost_model.model();
+  uint64_t h = kFnvOffset;
+  h = FnvMixString(h, m.name);
+  h = FnvMix(h, static_cast<uint64_t>(m.num_layers));
+  h = FnvMix(h, static_cast<uint64_t>(m.hidden_size));
+  h = FnvMix(h, static_cast<uint64_t>(m.num_heads));
+  h = FnvMix(h, static_cast<uint64_t>(m.num_kv_heads));
+  h = FnvMix(h, static_cast<uint64_t>(m.ffn_hidden));
+  h = FnvMix(h, static_cast<uint64_t>(m.vocab_size));
+  h = FnvMix(h, static_cast<uint64_t>(m.dtype_bytes));
+  h = FnvMix(h, static_cast<uint64_t>(m.num_experts));
+  h = FnvMix(h, static_cast<uint64_t>(m.experts_per_token));
+  h = FnvMix(h, static_cast<uint64_t>(cost_model.tensor_parallel()));
+  return h;
+}
+
+uint64_t DigestFabric(const FabricResources& fabric) {
+  const ClusterSpec& c = fabric.cluster();
+  uint64_t h = kFnvOffset;
+  h = FnvMixString(h, c.name);
+  h = FnvMix(h, static_cast<uint64_t>(c.num_nodes));
+  h = FnvMix(h, static_cast<uint64_t>(c.gpus_per_node));
+  h = FnvMix(h, static_cast<uint64_t>(c.nics_per_node));
+  h = FnvMixDouble(h, c.nic_bandwidth);
+  h = FnvMixDouble(h, c.nvswitch_bandwidth);
+  h = FnvMixDouble(h, c.intra_latency_us);
+  h = FnvMixDouble(h, c.inter_latency_us);
+  h = FnvMixDouble(h, c.gpu_effective_tflops);
+  h = FnvMixDouble(h, c.kernel_launch_us);
+  h = FnvMixDouble(h, c.gpu_memory_bytes);
+  h = FnvMixDouble(h, c.hbm_bandwidth);
+  h = FnvMix(h, c.gpu_to_nic.size());
+  for (int nic : c.gpu_to_nic) {
+    h = FnvMix(h, static_cast<uint64_t>(nic));
+  }
+  // Per-rank speed factors: a straggler or restored rank changes the fabric
+  // identity even when the cluster spec is unchanged.
+  for (int rank = 0; rank < c.world_size(); ++rank) {
+    h = FnvMixDouble(h, fabric.rank_speed(rank));
+  }
+  return h;
+}
+
+uint64_t CanonicalBatchSignature(const Batch& batch) {
+  // A commutative digest of the length multiset: each length is avalanched
+  // independently and the hashes are summed, so permuting sequence order or
+  // renaming slot ids cannot change the signature — no sort needed on the
+  // serve hot path — while any length change almost surely must (the
+  // per-element mixing avalanches every bit, so compensating edits like
+  // {a+1, b-1} or equal-total rearrangements do not cancel; see
+  // AvalancheMix for why one FNV step was not enough). A colliding batch is
+  // still caught downstream: the exact tier compares the full length vector
+  // and the remap tier re-checks multiset equality slot by slot.
+  uint64_t sum = 0;
+  for (int64_t len : batch.seq_lens) {
+    sum += AvalancheMix(static_cast<uint64_t>(len));
+  }
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, batch.seq_lens.size());
+  h = FnvMix(h, sum);
+  return h;
+}
+
+uint64_t BatchBucketSignature(const Batch& batch) {
+  // Sequence count + log2 length histogram: batches in one family have the
+  // same slot count (so a pure-resize BatchDelta always exists between them)
+  // and a similar length mix (so the patch stays below the churn fallback).
+  uint64_t buckets[64] = {};
+  for (int64_t len : batch.seq_lens) {
+    const int b = len <= 0 ? 0 : std::bit_width(static_cast<uint64_t>(len));
+    ++buckets[std::min(b, 63)];
+  }
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, batch.seq_lens.size());
+  for (uint64_t count : buckets) {
+    h = FnvMix(h, count);
+  }
+  return h;
+}
+
+namespace {
+
+uint64_t OptionsSignature(const PlanningOptions& options) {
+  // Only the options that change the *plan bytes* participate in the key:
+  // the engine-selection knobs (fast_path, use_shared_pool) are excluded by
+  // the byte-identity contract, and delta_replan_threshold only shapes
+  // session fallback policy, not the plan a given batch gets.
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<uint64_t>(options.token_capacity));
+  h = FnvMix(h, options.hierarchical_partitioning ? 1 : 0);
+  h = FnvMix(h, options.zone_aware_thresholds ? 1 : 0);
+  return h;
+}
+
+}  // namespace
+
+PlanCacheKey ComputePlanCacheKey(const PlanRequest& request) {
+  ZCHECK(request.batch != nullptr && request.cost_model != nullptr &&
+         request.fabric != nullptr)
+      << "ComputePlanCacheKey on an incomplete request";
+  PlanCacheKey key;
+  key.cost_digest = DigestCostModel(*request.cost_model);
+  key.fabric_digest = DigestFabric(*request.fabric);
+  key.batch_sig = CanonicalBatchSignature(*request.batch);
+  key.options_sig = OptionsSignature(request.options);
+  return key;
+}
+
+size_t PlanCache::KeyHash::operator()(const PlanCacheKey& key) const {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, key.cost_digest);
+  h = FnvMix(h, key.fabric_digest);
+  h = FnvMix(h, key.batch_sig);
+  h = FnvMix(h, key.options_sig);
+  return static_cast<size_t>(h);
+}
+
+size_t PlanCache::FamilyKeyHash::operator()(const FamilyKey& key) const {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, key.cost_digest);
+  h = FnvMix(h, key.fabric_digest);
+  h = FnvMix(h, key.bucket_sig);
+  h = FnvMix(h, key.options_sig);
+  return static_cast<size_t>(h);
+}
+
+PlanCache::PlanCache(PlannerService* service, PlanCacheOptions options)
+    : service_(service), options_(options) {
+  ZCHECK(service_ != nullptr) << "PlanCache without a service";
+  options_.capacity = std::max<size_t>(options_.capacity, 1);
+  options_.family_capacity = std::max<size_t>(options_.family_capacity, 1);
+}
+
+PlanCache::~PlanCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, family] : family_lru_) {
+    service_->CloseSession(family->stream_id);
+  }
+}
+
+bool PlanCache::Cacheable(const PlanRequest& request) const {
+  return request.stream_id.empty() && request.delta == nullptr &&
+         request.topology == nullptr;
+}
+
+PlanResponse PlanCache::Plan(const PlanRequest& request) {
+  if (!Cacheable(request)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.bypasses;
+    }
+    PlanResponse response = service_->Plan(request);
+    response.stats.cache_outcome = CacheOutcome::kBypass;
+    FillCounters(&response.stats);
+    return response;
+  }
+  if (std::optional<PlanResponse> served = TryServe(request)) {
+    return *std::move(served);
+  }
+  return PlanAndInsert(request);
+}
+
+std::shared_ptr<const PartitionPlan> PlanCache::RemapPlan(
+    const std::vector<int64_t>& cached_lens, const PartitionPlan& cached,
+    const Batch& batch) const {
+  // Same length multiset, different slot order: pair the cached slots with
+  // the request's by (length, slot) — a stable bijection because the
+  // multisets are equal — and rewrite every entry's seq id. O(S log S + plan).
+  const size_t n = cached_lens.size();
+  if (n != batch.seq_lens.size()) {
+    return nullptr;  // Signature collision; treat as a miss.
+  }
+  std::vector<int> cached_order(n), request_order(n);
+  std::iota(cached_order.begin(), cached_order.end(), 0);
+  std::iota(request_order.begin(), request_order.end(), 0);
+  std::sort(cached_order.begin(), cached_order.end(), [&](int a, int b) {
+    return std::tie(cached_lens[a], a) < std::tie(cached_lens[b], b);
+  });
+  std::sort(request_order.begin(), request_order.end(), [&](int a, int b) {
+    return std::tie(batch.seq_lens[a], a) < std::tie(batch.seq_lens[b], b);
+  });
+  std::vector<int> remap(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (cached_lens[cached_order[i]] != batch.seq_lens[request_order[i]]) {
+      return nullptr;  // Signature collision; treat as a miss.
+    }
+    remap[cached_order[i]] = request_order[i];
+  }
+  auto plan = std::make_shared<PartitionPlan>(cached);
+  for (RingRef& ring : plan->inter_node) {
+    ring.seq_id = remap[ring.seq_id];
+  }
+  for (RingRef& ring : plan->intra_node) {
+    ring.seq_id = remap[ring.seq_id];
+  }
+  for (LocalSequence& seq : plan->local) {
+    seq.seq_id = remap[seq.seq_id];
+  }
+  return plan;
+}
+
+std::optional<PlanResponse> PlanCache::TryServe(const PlanRequest& request) {
+  if (!Cacheable(request)) {
+    return std::nullopt;
+  }
+  const PlanCacheKey key = ComputePlanCacheKey(request);
+  std::shared_ptr<const PartitionPlan> stored;
+  PlanStats stored_stats;
+  uint64_t stored_digest = 0;
+  bool stored_verified = false;
+  bool exact = false;
+  std::vector<int64_t> cached_lens;  // Filled only for the remap tier.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    const Entry& entry = lru_.front();
+    stored = entry.plan;
+    stored_stats = entry.stats;
+    stored_digest = entry.digest;
+    stored_verified = entry.verified;
+    // The exact-order compare happens under the lock so the hot path never
+    // copies the cached length vector; the remap tier (rare) copies it.
+    exact = entry.seq_lens == request.batch->seq_lens;
+    if (exact) {
+      lru_.front().remap_streak = 0;
+    } else {
+      cached_lens = entry.seq_lens;
+    }
+  }
+  std::shared_ptr<const PartitionPlan> plan;
+  uint64_t served_digest = 0;
+  bool verified = false;
+  if (exact) {
+    // Exact-tier serve of the same immutable handle that was certified at
+    // insert: re-running the full certifier would re-prove a theorem already
+    // on file. A digest check against the digest recorded at certification
+    // time detects any content drift (a poisoned entry) at a fraction of
+    // VerifyPlan's cost — and a digest match
+    // means the served bytes are the certified bytes, so the plan still
+    // passes VerifyPlan by referential transparency.
+    if (stored->StateDigest() == stored_digest) {
+      plan = stored;
+      served_digest = stored_digest;
+      verified = stored_verified;
+    }
+  } else {
+    plan = RemapPlan(cached_lens, *stored, *request.batch);
+    if (plan == nullptr) {
+      // A different length multiset behind the same key: a signature
+      // collision, not a poisoned entry. Report an ordinary miss —
+      // PlanAndInsert replaces the entry under this key — and leave
+      // verify_failures for genuine certification faults.
+      return std::nullopt;
+    }
+    if (options_.verify) {
+      // A remapped twin is a freshly built object — certify it in full.
+      PlanVerifyOptions vopts;
+      // The derived capacity is planner guidance, not a per-rank guarantee
+      // (engines promise the eps certificate; a long local may sit above the
+      // memory-capped derivation) — so clause 6 stays off and clause 7 judges.
+      vopts.token_capacity = 0;
+      vopts.eps = options_.verify_eps;
+      vopts.world = request.fabric->cluster().world_size();
+      const PlanVerifyResult verdict = VerifyPlan(*plan, request.batch, nullptr, vopts);
+      if (!verdict.ok()) {
+        plan = nullptr;  // Poisoned entry: never serve, drop and replan.
+      } else {
+        verified = true;
+      }
+    }
+    if (plan != nullptr) {
+      served_digest = plan->StateDigest();
+      if (verified || !options_.verify) {
+        // A shape first planted by a permuted request would otherwise pay the
+        // remap on every subsequent serve — but re-anchoring eagerly thrashes
+        // when two orders alternate. Re-anchor to the order just served only
+        // after two consecutive remap serves (an exact serve resets the
+        // streak), so the entry converges to the dominant request order. The
+        // remapped plan was certified above, keeping the entry's
+        // digest/verified markers truthful.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = index_.find(key);
+        if (it != index_.end() && it->second->plan == stored) {
+          Entry& entry = *it->second;
+          if (++entry.remap_streak >= 2) {
+            entry.seq_lens = request.batch->seq_lens;
+            entry.plan = plan;
+            entry.digest = served_digest;
+            entry.verified = verified;
+            entry.remap_streak = 0;
+          }
+        }
+      }
+    }
+  }
+  if (plan == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.verify_failures;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    return std::nullopt;
+  }
+
+  PlanResponse response;
+  response.plan = plan;
+  // Hits report the producing call's engine/capacity with zeroed wall times:
+  // no planning happened, and identical repeats must serve byte-identical
+  // responses (the daemon test contract).
+  response.stats = stored_stats;
+  response.stats.partition_time_us = 0;
+  response.stats.materialize_time_us = 0;
+  response.stats.cache_outcome = CacheOutcome::kHit;
+  response.stats.verified = verified;
+  response.digest = served_digest;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.hits;
+    response.stats.cache_hits = counters_.hits;
+    response.stats.cache_misses = counters_.misses;
+    response.stats.cache_evictions = counters_.evictions;
+  }
+  return response;
+}
+
+std::shared_ptr<PlanCache::Family> PlanCache::FindOrCreateFamily(const FamilyKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = family_index_.find(key);
+  if (it != family_index_.end()) {
+    family_lru_.splice(family_lru_.begin(), family_lru_, it->second);
+    return family_lru_.front().second;
+  }
+  if (family_lru_.size() >= options_.family_capacity) {
+    const auto& [old_key, old_family] = family_lru_.back();
+    service_->CloseSession(old_family->stream_id);
+    family_index_.erase(old_key);
+    family_lru_.pop_back();
+    ++counters_.evictions;
+  }
+  auto family = std::make_shared<Family>();
+  family->stream_id = "~cache/" + std::to_string(next_family_id_++);
+  family_lru_.emplace_front(key, family);
+  family_index_[key] = family_lru_.begin();
+  return family;
+}
+
+PlanResponse PlanCache::PlanAndInsert(const PlanRequest& request) {
+  if (!Cacheable(request)) {
+    return Plan(request);
+  }
+  const PlanCacheKey key = ComputePlanCacheKey(request);
+  const bool family_eligible = options_.near_match &&
+                               request.options.hierarchical_partitioning &&
+                               request.options.planner_fast_path;
+  PlanResponse response;
+  bool near_match = false;
+  if (family_eligible) {
+    const FamilyKey fkey{key.cost_digest, key.fabric_digest,
+                         BatchBucketSignature(*request.batch), key.options_sig};
+    const std::shared_ptr<Family> family = FindOrCreateFamily(fkey);
+    // Serialize [delta derivation -> session call -> mirror advance]: the
+    // mirror must equal the session's tracked batch when the delta is built.
+    std::lock_guard<std::mutex> family_lock(family->mu);
+    PlanRequest session_request = request;
+    session_request.stream_id = family->stream_id;
+    BatchDelta delta;
+    bool patched_path = false;
+    if (family->based && family->last_batch.size() == request.batch->size() &&
+        service_->HasSession(family->stream_id)) {
+      for (int slot = 0; slot < request.batch->size(); ++slot) {
+        if (family->last_batch.seq_lens[slot] != request.batch->seq_lens[slot]) {
+          delta.resized.emplace_back(slot, request.batch->seq_lens[slot]);
+        }
+      }
+      session_request.delta = &delta;
+      patched_path = true;
+    }
+    response = service_->Plan(session_request);
+    family->last_batch = *request.batch;
+    family->based = true;
+    near_match = patched_path &&
+                 (response.stats.delta_outcome == DeltaOutcome::kApplied ||
+                  response.stats.delta_outcome == DeltaOutcome::kAppliedTopology);
+  } else {
+    response = service_->Plan(request);
+  }
+
+  response.stats.cache_outcome = near_match ? CacheOutcome::kNearMatch : CacheOutcome::kMiss;
+  response.stats.verified = false;
+  if (options_.verify) {
+    PlanVerifyOptions vopts;
+    vopts.token_capacity = 0;  // Same reasoning as the hit path: clause 7 judges.
+    vopts.eps = options_.verify_eps;
+    vopts.world = request.fabric->cluster().world_size();
+    const PlanVerifyResult verdict =
+        VerifyPlan(*response.plan, request.batch, nullptr, vopts);
+    response.stats.verified = verdict.ok();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (near_match) {
+      ++counters_.near_matches;
+    } else {
+      ++counters_.misses;
+    }
+    if (!options_.verify || response.stats.verified) {
+      Entry entry;
+      entry.key = key;
+      entry.seq_lens = request.batch->seq_lens;
+      entry.plan = response.plan;
+      entry.stats = response.stats;
+      entry.digest = response.digest;
+      entry.verified = response.stats.verified;
+      InsertLocked(std::move(entry));
+    } else {
+      ++counters_.verify_failures;
+    }
+  }
+  FillCounters(&response.stats);
+  return response;
+}
+
+void PlanCache::InsertLocked(Entry entry) {
+  auto it = index_.find(entry.key);
+  if (it != index_.end()) {
+    *it->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
+}
+
+PlanCacheCounters PlanCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t PlanCache::family_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return family_lru_.size();
+}
+
+void PlanCache::FillCounters(PlanStats* stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats->cache_hits = counters_.hits;
+  stats->cache_misses = counters_.misses;
+  stats->cache_evictions = counters_.evictions;
+}
+
+bool PlanCache::PoisonEntryForTest(const PlanRequest& request) {
+  const PlanCacheKey key = ComputePlanCacheKey(request);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  // Rebuild the entry's plan with one header dropped (or one declared load
+  // inflated when there is no ring to drop) — a single-fault corruption the
+  // certifier must catch on the next serve.
+  auto poisoned = std::make_shared<PartitionPlan>(*it->second->plan);
+  if (!poisoned->intra_node.empty()) {
+    poisoned->intra_node.pop_back();
+  } else if (!poisoned->inter_node.empty()) {
+    poisoned->inter_node.pop_back();
+  } else if (!poisoned->local.empty()) {
+    poisoned->local.pop_back();
+  } else {
+    poisoned->tokens_per_rank[0] += 1;
+  }
+  it->second->plan = std::move(poisoned);
+  return true;
+}
+
+bool PlanCache::RekeyEntryForTest(const PlanRequest& from, const PlanRequest& to) {
+  const PlanCacheKey from_key = ComputePlanCacheKey(from);
+  const PlanCacheKey to_key = ComputePlanCacheKey(to);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(from_key);
+  if (it == index_.end()) {
+    return false;
+  }
+  auto collided = index_.find(to_key);
+  if (collided != index_.end()) {
+    lru_.erase(collided->second);
+    index_.erase(collided);
+    it = index_.find(from_key);
+  }
+  it->second->key = to_key;
+  index_.emplace(to_key, it->second);
+  index_.erase(it);
+  return true;
+}
+
+}  // namespace zeppelin

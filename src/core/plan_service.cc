@@ -36,6 +36,20 @@ const char* PlanEngineName(PlanEngine engine) {
   return "unknown";
 }
 
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kBypass:
+      return "bypass";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kNearMatch:
+      return "near-match";
+  }
+  return "unknown";
+}
+
 PlannerService::PlannerService(PlanServiceOptions options)
     : options_(options), plan_pool_(std::make_shared<PlanPool>()) {
   plan_pool_->limit = std::max(0, options_.plan_pool_limit);

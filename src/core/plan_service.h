@@ -116,6 +116,17 @@ enum class PlanEngine : uint8_t {
 
 const char* PlanEngineName(PlanEngine engine);
 
+// How the plan-cache front end (src/core/plan_cache.h) handled the request.
+// kBypass also covers the no-cache path (direct PlannerService calls).
+enum class CacheOutcome : uint8_t {
+  kBypass = 0,  // Session/delta request, or no cache in front.
+  kMiss,        // Full plan computed and inserted.
+  kHit,         // Served from the exact tier (zero planning work).
+  kNearMatch,   // Served as cached family plan + DeltaPlanner patch.
+};
+
+const char* CacheOutcomeName(CacheOutcome outcome);
+
 struct PlanStats {
   PlanEngine engine = PlanEngine::kSerialFast;
   // Wall time of the partitioning step alone (Partition / Apply / Rebase) —
@@ -134,6 +145,16 @@ struct PlanStats {
   // long-running service watches to confirm CloseSession keeps up with
   // stream churn.
   size_t session_count = 0;
+  // Cache disposition of this response (kBypass when no cache is involved).
+  CacheOutcome cache_outcome = CacheOutcome::kBypass;
+  // True when this plan passed VerifyPlan before being served. False means
+  // the certifier did not run (cache off, bypass path) or failed (the cache
+  // then refuses to store the plan; the daemon refuses to serve it).
+  bool verified = false;
+  // Cumulative cache counters at response time (0 without a cache).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
 };
 
 struct PlanResponse {

@@ -1,0 +1,330 @@
+#include "src/core/plan_verify.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+namespace zeppelin {
+
+namespace {
+
+PlanVerifyResult Reject(PlanVerifyStatus status, const std::string& message) {
+  PlanVerifyResult result;
+  result.status = status;
+  result.message = message;
+  return result;
+}
+
+// The largest per-rank share a ring of `length` over `group` positions must
+// grant somewhere: position i holds chunks i and 2G-1-i, i.e. two chunks of
+// at most ceil(length / 2G) tokens each. Used as the indivisible-unit floor
+// of the balance certificate (never smaller than the engines' actual max
+// position share, so the certificate stays sound for every legal plan).
+int64_t RingUnit(int64_t length, uint32_t group) {
+  if (group == 0 || length <= 0) {
+    return 0;
+  }
+  const int64_t half = 2 * static_cast<int64_t>(group);
+  return 2 * ((length + half - 1) / half);
+}
+
+}  // namespace
+
+const char* PlanVerifyStatusName(PlanVerifyStatus status) {
+  switch (status) {
+    case PlanVerifyStatus::kOk:
+      return "ok";
+    case PlanVerifyStatus::kMalformed:
+      return "malformed";
+    case PlanVerifyStatus::kArenaBounds:
+      return "arena-bounds";
+    case PlanVerifyStatus::kArenaOverlap:
+      return "arena-overlap";
+    case PlanVerifyStatus::kRankRange:
+      return "rank-range";
+    case PlanVerifyStatus::kDeadRank:
+      return "dead-rank";
+    case PlanVerifyStatus::kCoverage:
+      return "coverage";
+    case PlanVerifyStatus::kLengthMismatch:
+      return "length-mismatch";
+    case PlanVerifyStatus::kTokenMismatch:
+      return "token-mismatch";
+    case PlanVerifyStatus::kCapacityOverflow:
+      return "capacity-overflow";
+    case PlanVerifyStatus::kEpsImbalance:
+      return "eps-imbalance";
+  }
+  return "unknown";
+}
+
+PlanVerifyResult VerifyPlan(const PartitionPlan& plan, const Batch* batch,
+                            const RankTopology* topology,
+                            const PlanVerifyOptions& options) {
+  // --- Clause 1: well-formedness -------------------------------------------
+  if (plan.tokens_per_rank.empty()) {
+    return Reject(PlanVerifyStatus::kMalformed, "plan declares an empty rank universe");
+  }
+  const int world = static_cast<int>(plan.tokens_per_rank.size());
+  if (options.world > 0 && world != options.world) {
+    std::ostringstream msg;
+    msg << "plan targets " << world << " ranks but the fabric has " << options.world;
+    return Reject(PlanVerifyStatus::kMalformed, msg.str());
+  }
+  if (topology != nullptr && topology->world() != world) {
+    std::ostringstream msg;
+    msg << "plan targets " << world << " ranks but the topology tracks "
+        << topology->world();
+    return Reject(PlanVerifyStatus::kMalformed, msg.str());
+  }
+  for (int64_t tokens : plan.tokens_per_rank) {
+    if (tokens < 0) {
+      return Reject(PlanVerifyStatus::kMalformed, "negative declared rank load");
+    }
+  }
+  auto headers_well_formed = [&](const std::vector<RingRef>& queue) {
+    for (const RingRef& ring : queue) {
+      if (ring.length < 0 || (ring.length > 0 && ring.rank_count == 0)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!headers_well_formed(plan.inter_node) || !headers_well_formed(plan.intra_node)) {
+    return Reject(PlanVerifyStatus::kMalformed,
+                  "ring with a negative length or an empty rank group");
+  }
+  for (const LocalSequence& seq : plan.local) {
+    if (seq.length < 0) {
+      return Reject(PlanVerifyStatus::kMalformed, "local with a negative length");
+    }
+  }
+
+  // --- Clause 2: arena bounds + disjointness -------------------------------
+  // (Tightness is not required — delta-patched plans legally carry slack.)
+  std::vector<uint8_t> used(plan.rank_arena.size(), 0);
+  PlanVerifyStatus arena_status = PlanVerifyStatus::kOk;
+  auto check_arena = [&](const std::vector<RingRef>& queue) {
+    for (const RingRef& ring : queue) {
+      if (static_cast<size_t>(ring.rank_offset) + ring.rank_count > plan.rank_arena.size()) {
+        arena_status = PlanVerifyStatus::kArenaBounds;
+        return false;
+      }
+      for (uint32_t f = 0; f < ring.rank_count; ++f) {
+        if (used[ring.rank_offset + f]++) {
+          arena_status = PlanVerifyStatus::kArenaOverlap;
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  if (!check_arena(plan.inter_node) || !check_arena(plan.intra_node)) {
+    return Reject(arena_status, arena_status == PlanVerifyStatus::kArenaBounds
+                                    ? "ring span outside the rank arena"
+                                    : "overlapping live ring spans in the arena");
+  }
+
+  // --- Clause 3: rank validity + liveness ----------------------------------
+  std::vector<uint8_t> touched(world, 0);
+  auto check_rank = [&](int rank) {
+    if (rank < 0 || rank >= world) {
+      return PlanVerifyStatus::kRankRange;
+    }
+    if (topology != nullptr && !topology->alive[rank]) {
+      return PlanVerifyStatus::kDeadRank;
+    }
+    touched[rank] = 1;
+    return PlanVerifyStatus::kOk;
+  };
+  for (const std::vector<RingRef>* queue : {&plan.inter_node, &plan.intra_node}) {
+    for (const RingRef& ring : *queue) {
+      for (int rank : plan.ranks(ring)) {
+        const PlanVerifyStatus s = check_rank(rank);
+        if (s != PlanVerifyStatus::kOk) {
+          std::ostringstream msg;
+          msg << "ring for sequence " << ring.seq_id << " references rank " << rank;
+          return Reject(s, msg.str());
+        }
+      }
+    }
+  }
+  for (const LocalSequence& seq : plan.local) {
+    if (seq.length == 0) {
+      continue;  // Tombstone slot: carries no work, rank is vestigial.
+    }
+    const PlanVerifyStatus s = check_rank(seq.rank);
+    if (s != PlanVerifyStatus::kOk) {
+      std::ostringstream msg;
+      msg << "local sequence " << seq.seq_id << " placed on rank " << seq.rank;
+      return Reject(s, msg.str());
+    }
+  }
+  if (topology != nullptr) {
+    for (int rank = 0; rank < world; ++rank) {
+      if (!topology->alive[rank] && plan.tokens_per_rank[rank] != 0) {
+        std::ostringstream msg;
+        msg << "dead rank " << rank << " declares " << plan.tokens_per_rank[rank]
+            << " tokens";
+        return Reject(PlanVerifyStatus::kDeadRank, msg.str());
+      }
+    }
+  }
+
+  // --- Clause 4: coverage + length agreement -------------------------------
+  // With a batch: exactly the batch universe, lengths matching. Without:
+  // exactly the implied universe [0, max_seq_id], each id once.
+  int universe = batch != nullptr ? batch->size() : 0;
+  if (batch == nullptr) {
+    auto fold_max = [&](int seq_id) { universe = std::max(universe, seq_id + 1); };
+    for (const RingRef& ring : plan.inter_node) fold_max(ring.seq_id);
+    for (const RingRef& ring : plan.intra_node) fold_max(ring.seq_id);
+    for (const LocalSequence& seq : plan.local) fold_max(seq.seq_id);
+  }
+  std::vector<uint8_t> seen(universe, 0);
+  int64_t entry_tokens = 0;
+  int64_t unit_max = 0;  // Largest indivisible per-rank share (clause 7).
+  PlanVerifyResult verdict;
+  auto tally = [&](int seq_id, int64_t length, int64_t unit) {
+    if (seq_id < 0 || seq_id >= universe) {
+      std::ostringstream msg;
+      msg << "sequence " << seq_id << " outside the batch universe [0, " << universe << ")";
+      verdict = Reject(PlanVerifyStatus::kCoverage, msg.str());
+      return false;
+    }
+    if (seen[seq_id]++) {
+      std::ostringstream msg;
+      msg << "sequence " << seq_id << " covered more than once";
+      verdict = Reject(PlanVerifyStatus::kCoverage, msg.str());
+      return false;
+    }
+    if (batch != nullptr && length != batch->seq_lens[seq_id]) {
+      std::ostringstream msg;
+      msg << "sequence " << seq_id << " planned at length " << length
+          << " but the batch has " << batch->seq_lens[seq_id];
+      verdict = Reject(PlanVerifyStatus::kLengthMismatch, msg.str());
+      return false;
+    }
+    entry_tokens += length;
+    unit_max = std::max(unit_max, unit);
+    return true;
+  };
+  for (const RingRef& ring : plan.inter_node) {
+    if (!tally(ring.seq_id, ring.length, RingUnit(ring.length, ring.rank_count))) {
+      return verdict;
+    }
+  }
+  for (const RingRef& ring : plan.intra_node) {
+    if (!tally(ring.seq_id, ring.length, RingUnit(ring.length, ring.rank_count))) {
+      return verdict;
+    }
+  }
+  for (const LocalSequence& seq : plan.local) {
+    if (!tally(seq.seq_id, seq.length, seq.length)) {
+      return verdict;
+    }
+  }
+  for (int seq_id = 0; seq_id < universe; ++seq_id) {
+    if (!seen[seq_id]) {
+      std::ostringstream msg;
+      msg << "sequence " << seq_id << " is not covered by any plan entry";
+      return Reject(PlanVerifyStatus::kCoverage, msg.str());
+    }
+  }
+
+  // --- Clause 5: token conservation ----------------------------------------
+  const int64_t expected = batch != nullptr ? batch->total_tokens() : entry_tokens;
+  const int64_t declared = plan.total_tokens();
+  if (declared != expected || entry_tokens != expected) {
+    std::ostringstream msg;
+    msg << "declared loads sum to " << declared << ", entries to " << entry_tokens
+        << ", batch holds " << expected;
+    return Reject(PlanVerifyStatus::kTokenMismatch, msg.str());
+  }
+  for (int rank = 0; rank < world; ++rank) {
+    if (plan.tokens_per_rank[rank] > 0 && !touched[rank]) {
+      std::ostringstream msg;
+      msg << "rank " << rank << " declares " << plan.tokens_per_rank[rank]
+          << " tokens but no entry touches it";
+      return Reject(PlanVerifyStatus::kTokenMismatch, msg.str());
+    }
+  }
+
+  // --- Clause 6: capacity ---------------------------------------------------
+  if (options.token_capacity > 0) {
+    for (int rank = 0; rank < world; ++rank) {
+      if (plan.tokens_per_rank[rank] > options.token_capacity) {
+        std::ostringstream msg;
+        msg << "rank " << rank << " carries " << plan.tokens_per_rank[rank]
+            << " tokens over the capacity " << options.token_capacity;
+        return Reject(PlanVerifyStatus::kCapacityOverflow, msg.str());
+      }
+    }
+  }
+
+  // --- Clause 7: eps max-load certificate ----------------------------------
+  if (options.eps >= 0 && expected > 0) {
+    int64_t speed_sum = 0;
+    int64_t max_eff = 0;
+    int64_t min_speed = kSpeedScale;
+    for (int rank = 0; rank < world; ++rank) {
+      if (topology != nullptr) {
+        if (!topology->alive[rank]) {
+          continue;
+        }
+        speed_sum += topology->speed_q[rank];
+        min_speed = std::min(min_speed, topology->speed_q[rank]);
+        max_eff = std::max(max_eff, topology->EffectiveLoad(rank, plan.tokens_per_rank[rank]));
+      } else {
+        speed_sum += kSpeedScale;
+        max_eff = std::max(max_eff, plan.tokens_per_rank[rank]);
+      }
+    }
+    // Perfectly balanced speed-weighted effective load (homogeneous: the
+    // plain per-rank average), plus the indivisible-unit floor valued at the
+    // slowest surviving rank — together the certificate every greedy engine
+    // meets by construction (max <= avg + max_item sits strictly inside).
+    const double ideal =
+        static_cast<double>(expected) * static_cast<double>(kSpeedScale) /
+        static_cast<double>(std::max<int64_t>(speed_sum, 1));
+    const double unit_eff = static_cast<double>(unit_max) *
+                            static_cast<double>(kSpeedScale) /
+                            static_cast<double>(std::max<int64_t>(min_speed, 1));
+    const double allowed = (1.0 + options.eps) * ideal + unit_eff;
+    verdict.max_load_ratio =
+        ideal > 0 ? static_cast<double>(max_eff) / ideal : 0;
+    if (static_cast<double>(max_eff) > allowed) {
+      std::ostringstream msg;
+      msg << "max effective rank load " << max_eff << " exceeds the (1+eps) bound "
+          << allowed << " (ideal " << ideal << ", unit " << unit_eff << ")";
+      PlanVerifyResult result = Reject(PlanVerifyStatus::kEpsImbalance, msg.str());
+      result.max_load_ratio = verdict.max_load_ratio;
+      return result;
+    }
+  }
+
+  verdict.status = PlanVerifyStatus::kOk;
+  verdict.message.clear();
+  return verdict;
+}
+
+PlanVerifyResult VerifyPlan(const PartitionPlan& plan, const Batch& batch,
+                            const FabricResources& fabric,
+                            const PlanVerifyOptions& options) {
+  PlanVerifyOptions opts = options;
+  if (opts.world == 0) {
+    opts.world = fabric.cluster().world_size();
+  }
+  if (!fabric.heterogeneous()) {
+    return VerifyPlan(plan, &batch, nullptr, opts);
+  }
+  RankTopology topo;
+  topo.Reset(fabric.cluster().world_size());
+  for (int rank = 0; rank < topo.world(); ++rank) {
+    topo.speed_q[rank] = QuantizeSpeed(fabric.rank_speed(rank));
+  }
+  return VerifyPlan(plan, &batch, &topo, opts);
+}
+
+}  // namespace zeppelin

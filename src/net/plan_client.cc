@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "src/core/plan_io.h"
+#include "src/core/plan_verify.h"
 
 namespace zeppelin {
 namespace net {
@@ -232,6 +233,21 @@ PlanClientResult PlanClient::Attempt(const WireRequest& request) {
       result.status = WireStatus::kPlanRejected;
       result.message = "plan bytes rejected: " + io.message;
       return result;
+    }
+    if (options_.verify_plans && request.kind == RequestKind::kPlan) {
+      PlanVerifyOptions vopts;
+      vopts.token_capacity = 0;
+      vopts.eps = -1;
+      vopts.world = options_.max_world;
+      const PlanVerifyResult verdict =
+          VerifyPlan(*plan, &request.batch, nullptr, vopts);
+      if (!verdict.ok()) {
+        result.status = WireStatus::kPlanRejected;
+        result.message = std::string("plan failed certification: ") +
+                         PlanVerifyStatusName(verdict.status) +
+                         (verdict.message.empty() ? "" : ": " + verdict.message);
+        return result;
+      }
     }
     result.plan = std::move(plan);
   }

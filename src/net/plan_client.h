@@ -46,6 +46,11 @@ struct PlanClientOptions {
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
   // ParsePlan rank-universe gate for received plans; 0 accepts any.
   int max_world = 0;
+  // Run VerifyPlan on every received plan against the request's batch
+  // (coverage, arena, conservation — the balance clause stays off; the
+  // client cannot see the daemon's topology state). Failures surface as
+  // kPlanRejected, exactly like corrupt plan bytes.
+  bool verify_plans = true;
   // Test seam: the backoff sleep. Defaults to a real sleep; tests install a
   // recorder to assert the schedule without waiting it out.
   std::function<void(int)> sleep_ms;

@@ -15,6 +15,7 @@
 
 #include "src/common/check.h"
 #include "src/core/plan_io.h"
+#include "src/core/plan_verify.h"
 
 namespace zeppelin {
 namespace net {
@@ -300,6 +301,13 @@ PlannerDaemon::PlannerDaemon(const TransformerConfig& model, const ClusterSpec& 
   options_.max_frame_bytes = std::min(options_.max_frame_bytes, kFrameHardCap);
   service_ = std::make_unique<PlannerService>(
       PlanServiceOptions{.num_planner_threads = options_.planner_threads});
+  if (options_.plan_cache) {
+    PlanCacheOptions cache_options;
+    cache_options.capacity = options_.plan_cache_capacity;
+    cache_options.near_match = options_.cache_near_match;
+    cache_options.verify = options_.verify_before_serve;
+    cache_ = std::make_unique<PlanCache>(service_.get(), cache_options);
+  }
   gate_ = std::make_unique<AdmissionGate>(options_.max_concurrent_plans,
                                           options_.queue_limit);
 }
@@ -393,8 +401,20 @@ void PlannerDaemon::Stop() {
 bool PlannerDaemon::stopped() const { return stopped_.load(); }
 
 DaemonCounters PlannerDaemon::counters() const {
-  std::lock_guard<std::mutex> lock(counters_mu_);
-  return counters_;
+  DaemonCounters out;
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    out = counters_;
+  }
+  if (cache_ != nullptr) {
+    const PlanCacheCounters cache = cache_->counters();
+    out.cache_hits = cache.hits;
+    out.cache_misses = cache.misses;
+    out.cache_near_matches = cache.near_matches;
+    out.cache_evictions = cache.evictions;
+    out.verify_failures += cache.verify_failures;
+  }
+  return out;
 }
 
 size_t PlannerDaemon::connection_count() const {
@@ -636,6 +656,33 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
     return;
   }
 
+  const bool is_session = !request.stream_id.empty();
+  // Exact-tier cache hits are served before (and without) an admission
+  // permit: no planning happens, so a hit costs no planner capacity — and a
+  // permit-free path keeps repeated responses byte-identical (zero queue
+  // wait) under any load. TryServe drops + replans poisoned entries itself.
+  if (!is_session && cache_ != nullptr) {
+    PlanRequest probe;
+    probe.batch = &request.batch;
+    probe.cost_model = &cost_model_;
+    probe.fabric = &fabric_;
+    probe.options = request.options;
+    if (std::optional<PlanResponse> served = cache_->TryServe(probe)) {
+      WireResponse response;
+      response.request_id = request.request_id;
+      response.stats = served->stats;
+      response.queue_wait_us = 0;
+      response.digest = served->digest;
+      response.plan_bytes = SerializePlan(*served->plan);
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.requests_ok;
+      }
+      SendResponse(conn, response);
+      return;
+    }
+  }
+
   const auto deadline = request.deadline_ms == 0
                             ? Clock::time_point::max()
                             : received + std::chrono::milliseconds(request.deadline_ms);
@@ -693,7 +740,6 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
   plan_request.cost_model = &cost_model_;
   plan_request.fabric = &fabric_;
   plan_request.options = request.options;
-  const bool is_session = !request.stream_id.empty();
   if (is_session) {
     plan_request.stream_id = SessionKey(conn.id, request.stream_id);
     // The service rebases from scratch when the session has no base; only
@@ -705,7 +751,9 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
       plan_request.topology = &*request.topology;
     }
   }
-  PlanResponse planned = service_->Plan(plan_request);
+  PlanResponse planned = !is_session && cache_ != nullptr
+                             ? cache_->PlanAndInsert(plan_request)
+                             : service_->Plan(plan_request);
   gate_->Release();
 
   if (is_session) {
@@ -720,6 +768,34 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
     }
     m.batch = std::move(request.batch);
     m.has_base = true;
+  }
+
+  if (options_.verify_before_serve && !planned.stats.verified) {
+    // Certify the paths the cache did not (sessions, cache off, or a fresh
+    // plan the cache refused to store). Sessions verify against the mirror's
+    // topology with the balance clause off: degraded/heterogeneous session
+    // plans balance *effective* load under state the certifier should not
+    // re-derive here, but coverage, conservation, arena and dead-rank
+    // placement are all still enforced.
+    const Connection::SessionMirror* m =
+        is_session ? &conn.sessions[request.stream_id] : nullptr;
+    PlanVerifyOptions vopts;
+    vopts.token_capacity = 0;
+    vopts.eps = -1;
+    vopts.world = logical_cluster_.world_size();
+    const PlanVerifyResult verdict =
+        VerifyPlan(*planned.plan, is_session ? &m->batch : &request.batch,
+                   is_session ? &m->topo : nullptr, vopts);
+    planned.stats.verified = verdict.ok();
+    if (!verdict.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.verify_failures;
+      }
+      SendError(conn, request.request_id, WireStatus::kInternal,
+                "plan failed certification: " + verdict.message);
+      return;
+    }
   }
 
   WireResponse response;

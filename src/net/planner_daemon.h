@@ -52,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/plan_cache.h"
 #include "src/core/plan_service.h"
 #include "src/model/transformer.h"
 #include "src/net/wire.h"
@@ -86,6 +87,18 @@ struct DaemonOptions {
   // Test/bench hook: hold the admission permit this long before planning,
   // simulating a slow plan so queue/deadline behavior is observable.
   int debug_plan_delay_ms = 0;
+  // Content-addressed plan cache in front of the service
+  // (src/core/plan_cache.h). Exact-tier hits serve without an admission
+  // permit (no planning happens) and repeat byte-identically.
+  bool plan_cache = true;
+  size_t plan_cache_capacity = 128;
+  // Near-match tier (cached family plan + delta patch). Off by default in
+  // the daemon: each family holds a service session open, which shifts the
+  // session_count telemetry operators watch for leaks.
+  bool cache_near_match = false;
+  // Refuse to serve any plan that fails VerifyPlan (kInternal instead of a
+  // corrupt plan). Covers cached, fresh, and session plans.
+  bool verify_before_serve = true;
 };
 
 // Monotonic counters over the daemon's lifetime (telemetry + test hooks).
@@ -100,6 +113,13 @@ struct DaemonCounters {
   uint64_t malformed_requests = 0;
   uint64_t bad_requests = 0;      // Semantic rejections (incl. kBadDelta).
   uint64_t sessions_reaped = 0;   // Sessions closed on disconnect/idle/drain.
+  // Plan-cache telemetry (merged from the owned PlanCache at read time).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_near_matches = 0;
+  uint64_t cache_evictions = 0;
+  // Plans refused by verify-before-serve (cache-detected + daemon-detected).
+  uint64_t verify_failures = 0;
 };
 
 class PlannerDaemon {
@@ -132,6 +152,9 @@ class PlannerDaemon {
   // Owned service telemetry: tests assert session_count returns to baseline
   // after disconnects.
   PlannerService& service() { return *service_; }
+  // The plan cache, or nullptr when options.plan_cache is false. Exposed for
+  // telemetry and the poisoned-entry test hook.
+  PlanCache* cache() { return cache_.get(); }
   const ClusterSpec& cluster() const { return logical_cluster_; }
 
   DaemonCounters counters() const;
@@ -160,6 +183,9 @@ class PlannerDaemon {
   CostModel cost_model_;
   DaemonOptions options_;
   std::unique_ptr<PlannerService> service_;
+  // Declared after service_ so the cache is destroyed first (it closes its
+  // near-match family sessions against the still-live service).
+  std::unique_ptr<PlanCache> cache_;
   std::unique_ptr<AdmissionGate> gate_;
 
   int listen_fd_ = -1;

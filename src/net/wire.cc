@@ -370,6 +370,11 @@ std::string EncodeResponse(const WireResponse& response) {
   PutU8(&out, static_cast<uint8_t>(response.stats.delta_outcome));
   PutU64(&out, static_cast<uint64_t>(response.stats.token_capacity));
   PutU64(&out, response.stats.session_count);
+  // v2: cache disposition + certification marker. The cumulative cache
+  // counters deliberately stay off the wire — repeated identical requests
+  // must yield byte-identical responses (the cache-hit contract).
+  PutU8(&out, static_cast<uint8_t>(response.stats.cache_outcome));
+  PutU8(&out, response.stats.verified ? 1 : 0);
   PutF64(&out, response.queue_wait_us);
   PutU64(&out, response.digest);
   PutU64(&out, response.plan_bytes.size());
@@ -423,7 +428,7 @@ WireStatus ParseResponse(FrameType type, std::string_view payload,
     return WireStatus::kOk;
   }
 
-  if (!in.Have(1 + 8 + 8 + 1 + 8 + 8 + 8 + 8 + 8)) {
+  if (!in.Have(1 + 8 + 8 + 1 + 8 + 8 + 1 + 1 + 8 + 8 + 8)) {
     return Malformed(error, "response truncated inside the stats");
   }
   const uint8_t engine = in.GetU8();
@@ -444,6 +449,16 @@ WireStatus ParseResponse(FrameType type, std::string_view payload,
   }
   response->stats.token_capacity = static_cast<int64_t>(capacity);
   response->stats.session_count = in.GetU64();
+  const uint8_t cache_outcome = in.GetU8();
+  if (cache_outcome > static_cast<uint8_t>(CacheOutcome::kNearMatch)) {
+    return Malformed(error, "unknown cache outcome");
+  }
+  response->stats.cache_outcome = static_cast<CacheOutcome>(cache_outcome);
+  const uint8_t verified = in.GetU8();
+  if (verified > 1) {
+    return Malformed(error, "bad verified marker");
+  }
+  response->stats.verified = verified == 1;
   response->queue_wait_us = in.GetF64();
   response->digest = in.GetU64();
   const uint64_t plan_len = in.GetU64();

@@ -32,7 +32,8 @@ namespace zeppelin {
 namespace net {
 
 // Wire payload encoding version; endpoints reject others rather than guess.
-inline constexpr uint32_t kWireVersion = 1;
+// v2 added the cache_outcome and verified stats bytes to kOk responses.
+inline constexpr uint32_t kWireVersion = 2;
 
 // Structural caps enforced by ParseRequest (beyond the frame-size cap):
 // stream ids are short tokens, sequence lengths and counts are bounded so

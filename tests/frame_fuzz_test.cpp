@@ -94,6 +94,16 @@ struct Corpus {
     error.status = WireStatus::kBadDelta;
     error.message = "synthetic";
     AppendResponseFrame(error, &frames.emplace_back());
+
+    // A cache-hit-shaped response: nonzero v2 stats fields (cache_outcome,
+    // verified) so the mutation sweep reaches their bound checks.
+    WireResponse hit = ok;
+    hit.request_id = 10;
+    hit.stats.cache_outcome = CacheOutcome::kHit;
+    hit.stats.verified = true;
+    hit.stats.partition_time_us = 0;
+    hit.stats.materialize_time_us = 0;
+    AppendResponseFrame(hit, &frames.emplace_back());
   }
 };
 
@@ -269,6 +279,58 @@ TEST(FrameFuzzTest, TruncationsOfEveryPrefixAreTyped) {
     EXPECT_EQ(ParseRequest(std::string_view(payload).substr(0, cut), &request, &error),
               WireStatus::kMalformedRequest)
         << "cut at " << cut;
+  }
+}
+
+TEST(FrameFuzzTest, CacheStatsBytesAreBoundChecked) {
+  // The v2 stats bytes (cache_outcome, verified) are single untrusted octets
+  // with small valid ranges. Every in-range value must round-trip; every
+  // out-of-range value must be a typed kMalformedRequest — never a crash,
+  // never a silently-clamped parse.
+  WireResponse ok;
+  ok.request_id = 11;
+  ok.status = WireStatus::kOk;
+  ok.digest = 0xabcdef;
+  ok.plan_bytes = "plan";
+  const std::string payload = EncodeResponse(ok);
+  // Empty message: fixed header is 4+8+1+4 = 17 bytes, the stats block's
+  // engine/partition/materialize/delta/capacity/sessions span 1+8+8+1+8+8 =
+  // 34 more, putting cache_outcome at 51 and verified at 52.
+  const size_t cache_outcome_at = 17 + 34;
+  const size_t verified_at = cache_outcome_at + 1;
+  ASSERT_GT(payload.size(), verified_at);
+
+  for (int value = 0; value < 256; ++value) {
+    std::string patched = payload;
+    patched[cache_outcome_at] = static_cast<char>(value);
+    WireResponse parsed;
+    std::string error;
+    const WireStatus status =
+        ParseResponse(FrameType::kResponse, patched, &parsed, &error);
+    if (value <= static_cast<int>(CacheOutcome::kNearMatch)) {
+      ASSERT_EQ(status, WireStatus::kOk) << "cache_outcome " << value;
+      EXPECT_EQ(parsed.stats.cache_outcome, static_cast<CacheOutcome>(value));
+    } else {
+      ASSERT_EQ(status, WireStatus::kMalformedRequest)
+          << "cache_outcome " << value;
+      EXPECT_NE(error.find("cache outcome"), std::string::npos) << error;
+    }
+  }
+
+  for (int value = 0; value < 256; ++value) {
+    std::string patched = payload;
+    patched[verified_at] = static_cast<char>(value);
+    WireResponse parsed;
+    std::string error;
+    const WireStatus status =
+        ParseResponse(FrameType::kResponse, patched, &parsed, &error);
+    if (value <= 1) {
+      ASSERT_EQ(status, WireStatus::kOk) << "verified " << value;
+      EXPECT_EQ(parsed.stats.verified, value == 1);
+    } else {
+      ASSERT_EQ(status, WireStatus::kMalformedRequest) << "verified " << value;
+      EXPECT_NE(error.find("verified"), std::string::npos) << error;
+    }
   }
 }
 

@@ -98,7 +98,11 @@ bool WaitFor(const std::function<bool()>& cond, int timeout_ms = 3000) {
 }
 
 TEST(PlannerDaemonTest, StatelessByteIdentityAcrossEngines) {
-  DaemonRig rig(DaemonOptions{.planner_threads = 4, .max_concurrent_plans = 4});
+  // Cache off: the engine cases below deliberately share one cache key
+  // (their plans are byte-identical, which is exactly why the key ignores
+  // engine-selection knobs), and this test wants every engine to *run*.
+  DaemonRig rig(DaemonOptions{
+      .planner_threads = 4, .max_concurrent_plans = 4, .plan_cache = false});
   PlanClient client = rig.Client();
   const Batch batch = SampleBatch(512, 7);
 
@@ -457,6 +461,108 @@ TEST(PlannerDaemonTest, SessionsArePrivatePerConnection) {
   advance.delta = delta;
   const PlanClientResult advanced = first.Plan(std::move(advance));
   ASSERT_TRUE(advanced.ok()) << advanced.message;
+}
+
+TEST(PlannerDaemonTest, RepeatedRequestsHitTheCacheByteIdentically) {
+  DaemonRig rig;
+  PlanClient client = rig.Client();
+  const Batch batch = SampleBatch(256, 0xcafe);
+
+  auto plan_once = [&] {
+    WireRequest request;
+    request.batch = batch;
+    return client.Plan(std::move(request));
+  };
+  const PlanClientResult first = plan_once();
+  ASSERT_TRUE(first.ok()) << first.message;
+  EXPECT_EQ(first.stats.cache_outcome, CacheOutcome::kMiss);
+  EXPECT_TRUE(first.stats.verified);
+
+  const PlanClientResult second = plan_once();
+  const PlanClientResult third = plan_once();
+  for (const PlanClientResult* hit : {&second, &third}) {
+    ASSERT_TRUE(hit->ok()) << hit->message;
+    EXPECT_EQ(hit->stats.cache_outcome, CacheOutcome::kHit);
+    EXPECT_TRUE(hit->stats.verified);
+    // Byte-identical plan image and digest, zeroed planning times: the
+    // repeat contract a hit must honor.
+    EXPECT_EQ(hit->plan_bytes, first.plan_bytes);
+    EXPECT_EQ(hit->digest, first.digest);
+    EXPECT_EQ(hit->stats.partition_time_us, 0);
+    EXPECT_EQ(hit->stats.materialize_time_us, 0);
+    EXPECT_EQ(hit->queue_wait_us, 0);
+  }
+  EXPECT_EQ(second.stats.engine, third.stats.engine);
+  EXPECT_EQ(second.stats.token_capacity, third.stats.token_capacity);
+
+  const DaemonCounters counters = rig.daemon.counters();
+  EXPECT_EQ(counters.cache_misses, 1u);
+  EXPECT_EQ(counters.cache_hits, 2u);
+  EXPECT_EQ(counters.verify_failures, 0u);
+  EXPECT_EQ(counters.requests_ok, 3u);
+}
+
+TEST(PlannerDaemonTest, PoisonedCacheEntryIsCaughtNotServed) {
+  DaemonRig rig;
+  PlanClient client = rig.Client();
+  const Batch batch = SampleBatch(256, 0xdead);
+
+  WireRequest request;
+  request.batch = batch;
+  const PlanClientResult first = client.Plan(std::move(request));
+  ASSERT_TRUE(first.ok()) << first.message;
+
+  // Corrupt the stored entry through the test hook. The daemon shares the
+  // rig's (model, cluster) identity, so the rig-side request addresses the
+  // same cache slot.
+  PlanRequest key_request;
+  key_request.batch = &batch;
+  key_request.cost_model = &rig.cost_model;
+  key_request.fabric = &rig.fabric;
+  ASSERT_NE(rig.daemon.cache(), nullptr);
+  ASSERT_TRUE(rig.daemon.cache()->PoisonEntryForTest(key_request));
+
+  // Verify-before-serve must catch the corruption, drop the entry, and serve
+  // a freshly planned (and certified) plan instead of the poisoned bytes.
+  WireRequest repeat;
+  repeat.batch = batch;
+  const PlanClientResult replanned = client.Plan(std::move(repeat));
+  ASSERT_TRUE(replanned.ok()) << replanned.message;
+  EXPECT_NE(replanned.stats.cache_outcome, CacheOutcome::kHit);
+  EXPECT_TRUE(replanned.stats.verified);
+  EXPECT_EQ(replanned.plan_bytes, first.plan_bytes);
+  EXPECT_EQ(replanned.digest, first.digest);
+
+  const DaemonCounters counters = rig.daemon.counters();
+  EXPECT_EQ(counters.verify_failures, 1u);
+  EXPECT_EQ(counters.cache_misses, 2u);
+
+  // The replacement entry is healthy: the next repeat is a hit again.
+  WireRequest again;
+  again.batch = batch;
+  const PlanClientResult hit = client.Plan(std::move(again));
+  ASSERT_TRUE(hit.ok()) << hit.message;
+  EXPECT_EQ(hit.stats.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(rig.daemon.counters().cache_hits, 1u);
+}
+
+TEST(PlannerDaemonTest, CacheOffPlansEveryRequest) {
+  DaemonRig rig(DaemonOptions{.plan_cache = false});
+  PlanClient client = rig.Client();
+  const Batch batch = SampleBatch(128, 0x0ff);
+  EXPECT_EQ(rig.daemon.cache(), nullptr);
+  for (int i = 0; i < 2; ++i) {
+    WireRequest request;
+    request.batch = batch;
+    const PlanClientResult result = client.Plan(std::move(request));
+    ASSERT_TRUE(result.ok()) << result.message;
+    EXPECT_EQ(result.stats.cache_outcome, CacheOutcome::kBypass);
+    // verify-before-serve certified it daemon-side even without a cache.
+    EXPECT_TRUE(result.stats.verified);
+  }
+  const DaemonCounters counters = rig.daemon.counters();
+  EXPECT_EQ(counters.cache_hits, 0u);
+  EXPECT_EQ(counters.cache_misses, 0u);
 }
 
 }  // namespace
