@@ -1,0 +1,212 @@
+// Observability-overhead bench: what does the telemetry in src/obs/ cost on
+// the planning hot path? (docs/OBSERVABILITY.md, "Overhead".)
+//
+// Three arms plan the same stateless workload through one PlannerService:
+//
+//   tracing_off   The instrumentation is compiled in but nothing is bound:
+//                 every TraceScope inside the service is one thread-local
+//                 load, and no instrument is touched. This is the cost a
+//                 direct library caller pays — the baseline.
+//   metrics_only  Per request, the daemon's metric writes are replayed: one
+//                 counter increment plus histogram Records for the request
+//                 total and the plan stage (relaxed atomics, no locks).
+//   full          metrics_only plus a bound TraceContext (so every
+//                 TraceScope in the service takes real timestamps) and a
+//                 TraceSink::Drain of the spans, exactly as the daemon runs
+//                 a request under --trace_out.
+//
+// Each arm is timed over the same pre-sampled batch set at the acceptance
+// point S=64k sequences / P=512 GPUs (quick mode shrinks both), and the
+// overhead percentages of arms 2 and 3 versus arm 1 are emitted. The
+// contract is full instrumentation <= ~5% of tracing-off plans/s; the bench
+// prints and records the numbers rather than hard-failing, because a loaded
+// single-core CI box can distort a sub-5% wall-clock comparison.
+//
+// Output: a table plus machine-readable BENCH_obs.json:
+//   { "bench": "obs_overhead", "model", "cluster", "quick", "iters",
+//     "num_seqs", "gpus",
+//     "points": [ { "mode", "total_plans", "wall_ms", "plans_per_sec",
+//                   "mean_plan_us" } ],
+//     "overhead_metrics_pct", "overhead_full_pct", "trace_events",
+//     "overhead_budget_pct": 5 }
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/core/plan_service.h"
+#include "src/data/datasets.h"
+#include "src/data/sampler.h"
+#include "src/model/transformer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/topology/cluster.h"
+
+int main(int argc, char** argv) {
+  using namespace zeppelin;
+  using clock = std::chrono::steady_clock;
+  const bool quick = bench::QuickMode(argc, argv);
+
+  const int num_seqs = quick ? 4096 : 65536;
+  const int gpus = quick ? 64 : 512;
+  const int iters = quick ? 8 : 64;
+  const int distinct_batches = 4;  // Round-robin: no single-plan cache effects.
+
+  const ClusterSpec cluster = MakeClusterA(gpus / 8);
+  const FabricResources fabric(cluster);
+  const TransformerConfig model = MakeLlama3B();
+  const CostModel cost_model(model, cluster);
+  const LengthDistribution dist = DatasetByName("github");
+
+  std::vector<Batch> batches(distinct_batches);
+  Rng rng(0x0b5e7ead5eedull);
+  for (Batch& batch : batches) {
+    batch.seq_lens.reserve(num_seqs);
+    for (int i = 0; i < num_seqs; ++i) {
+      batch.seq_lens.push_back(dist.Sample(rng));
+    }
+  }
+
+  bench::PrintHeader("Observability overhead — tracing off / metrics / full spans (3B, Cluster A)");
+  std::printf("S=%d, GPUs=%d, %d plans per arm\n", num_seqs, gpus, iters);
+
+  PlannerService service(PlanServiceOptions{.num_planner_threads = 0});
+  obs::MetricsRegistry metrics;
+  obs::Counter* c_ok = metrics.GetCounter("daemon.requests_ok");
+  obs::Histogram* h_total = metrics.GetHistogram("request.total_us");
+  obs::Histogram* h_plan = metrics.GetHistogram("stage_us.plan");
+  obs::TraceSink sink("BENCH_obs_trace.json");  // Drained, never flushed.
+
+  // Global warm-up over every distinct batch, twice, before any timed arm:
+  // the first plans pay allocator growth, cost-model caches, and workspace
+  // checkout, and whichever arm ran first would otherwise absorb all of it
+  // (which read as a *negative* instrumentation overhead).
+  for (int round = 0; round < 2; ++round) {
+    for (Batch& batch : batches) {
+      PlanRequest warm;
+      warm.batch = &batch;
+      warm.cost_model = &cost_model;
+      warm.fabric = &fabric;
+      service.Plan(warm);
+    }
+  }
+
+  auto run_arm = [&](const std::string& mode) {
+    const bool record_metrics = mode != "tracing_off";
+    const bool bind_trace = mode == "full";
+    const auto t0 = clock::now();
+    for (int it = 0; it < iters; ++it) {
+      obs::TraceContext ctx;
+      ctx.request_id = static_cast<uint64_t>(it);
+      const double start_us = obs::NowUs();
+      PlanRequest request;
+      request.batch = &batches[it % distinct_batches];
+      request.cost_model = &cost_model;
+      request.fabric = &fabric;
+      if (bind_trace) {
+        obs::TraceBinding binding(&ctx);
+        service.Plan(request);
+      } else {
+        service.Plan(request);
+      }
+      if (record_metrics) {
+        c_ok->Inc();
+        const double total_us = obs::NowUs() - start_us;
+        h_total->Record(static_cast<uint64_t>(total_us));
+        h_plan->Record(static_cast<uint64_t>(
+            bind_trace ? ctx.stage_us[static_cast<int>(obs::Stage::kPlan)]
+                       : total_us));
+      }
+      if (bind_trace) {
+        sink.Drain(ctx);
+      }
+    }
+    return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  };
+
+  const std::vector<std::string> modes = {"tracing_off", "metrics_only", "full"};
+  Table table({"mode", "plans", "wall ms", "plans/s", "mean us"});
+
+  bench::JsonEmitter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.Value("obs_overhead");
+  json.Key("model");
+  json.Value("llama3b");
+  json.Key("cluster");
+  json.Value("A");
+  json.Key("quick");
+  json.Value(quick);
+  json.Key("iters");
+  json.Value(iters);
+  json.Key("num_seqs");
+  json.Value(num_seqs);
+  json.Key("gpus");
+  json.Value(gpus);
+  json.Key("points");
+  json.BeginArray();
+
+  std::vector<double> plans_per_sec;
+  for (const std::string& mode : modes) {
+    const double wall_ms = run_arm(mode);
+    const double pps = iters / (wall_ms / 1e3);
+    const double mean_us = wall_ms * 1e3 / iters;
+    plans_per_sec.push_back(pps);
+    table.AddRow({mode, Table::Cell(static_cast<int64_t>(iters)), Table::Cell(wall_ms, 1),
+                  Table::Cell(pps, 0), Table::Cell(mean_us, 1)});
+    json.BeginObject();
+    json.Key("mode");
+    json.Value(mode);
+    json.Key("total_plans");
+    json.Value(iters);
+    json.Key("wall_ms");
+    json.Value(wall_ms);
+    json.Key("plans_per_sec");
+    json.Value(pps);
+    json.Key("mean_plan_us");
+    json.Value(mean_us);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  // Overhead = throughput lost versus the tracing-off arm.
+  const double overhead_metrics_pct =
+      100.0 * (plans_per_sec[0] / plans_per_sec[1] - 1.0);
+  const double overhead_full_pct =
+      100.0 * (plans_per_sec[0] / plans_per_sec[2] - 1.0);
+  json.Key("overhead_metrics_pct");
+  json.Value(overhead_metrics_pct);
+  json.Key("overhead_full_pct");
+  json.Value(overhead_full_pct);
+  json.Key("trace_events");
+  json.Value(static_cast<int64_t>(sink.event_count()));
+  json.Key("overhead_budget_pct");
+  json.Value(5);
+  json.EndObject();
+
+  table.Print();
+  std::printf("\nmetrics-only overhead: %+.2f%%   full-span overhead: %+.2f%% "
+              "(budget 5%%)   trace events: %zu\n",
+              overhead_metrics_pct, overhead_full_pct, sink.event_count());
+  const std::string out_path = "BENCH_obs.json";
+  if (json.WriteFile(out_path)) {
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("ERROR: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (overhead_full_pct > 5.0) {
+    std::printf("WARNING: full instrumentation cost %.2f%% > 5%% budget "
+                "(noisy host? re-run before trusting)\n",
+                overhead_full_pct);
+  }
+  std::printf(
+      "Expected shape: all three arms within noise of each other — the\n"
+      "instruments are relaxed atomics and the spans are two clock reads, so\n"
+      "plan time (milliseconds at this size) dominates by orders of\n"
+      "magnitude. The off arm's only cost is one thread-local load per\n"
+      "TraceScope.\n");
+  return 0;
+}

@@ -15,7 +15,8 @@ set(required_docs
     docs/SERVICE_API.md
     docs/ELASTIC.md
     docs/DAEMON.md
-    docs/PLAN_CACHE.md)
+    docs/PLAN_CACHE.md
+    docs/OBSERVABILITY.md)
 
 foreach(doc ${required_docs})
   if(NOT EXISTS "${REPO_ROOT}/${doc}")

@@ -87,6 +87,8 @@ void PrintUsage() {
       "  --plan_in=path        load a serialized plan and emit/simulate one\n"
       "                        layer from it without re-planning\n"
       "  --connect=host:port   plan remotely against a zeppelin_served daemon\n"
+      "  --stats               with --connect: print the daemon's live metrics\n"
+      "                        snapshot (zeppelin.metrics.v1) and exit\n"
       "                        instead of in-process (docs/DAEMON.md); with\n"
       "                        --stream, runs a remote delta session\n"
       "  --deadline_ms=0       per-request deadline for --connect (0 = none)\n");
@@ -163,6 +165,7 @@ int main(int argc, char** argv) {
   const std::string plan_in = flags.GetString("plan_in", "");
   const std::string connect = flags.GetString("connect", "");
   const uint32_t deadline_ms = static_cast<uint32_t>(flags.GetInt("deadline_ms", 0));
+  const bool stats_mode = flags.GetBool("stats");
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s (see --help)\n", unused.c_str());
   }
@@ -181,6 +184,20 @@ int main(int argc, char** argv) {
                    ping.message.c_str(), net::WireStatusName(ping.status));
       return 1;
     }
+    if (stats_mode) {
+      // Live introspection: the daemon's zeppelin.metrics.v1 snapshot,
+      // answered without an admission permit even while every planning
+      // permit is busy (docs/OBSERVABILITY.md).
+      const net::PlanClientResult r = client.Stats();
+      if (!r.ok()) {
+        std::fprintf(stderr, "stats request failed: %s (%s)\n", r.message.c_str(),
+                     net::WireStatusName(r.status));
+        return 1;
+      }
+      std::printf("%s\n", r.stats_json.c_str());
+      return 0;
+    }
+
     PlanningOptions options;
     options.delta_replan_threshold = flags.GetDouble("delta_threshold", 0.05);
 

@@ -41,7 +41,13 @@ void PrintUsage() {
       "  --max_frame_bytes=N   frame payload cap (default 16 MiB)\n"
       "  --idle_timeout_ms=0   close idle connections (0 = never)\n"
       "  --max_connections=256 accept cap\n"
-      "  --drain_grace_ms=2000 SIGTERM: wait this long for in-flight requests\n");
+      "  --drain_grace_ms=2000 SIGTERM: wait this long for in-flight requests\n"
+      "  --trace_out=PATH      write a Chrome-trace JSON of request stages on exit\n"
+      "  --slow_request_ms=0   log requests slower than this (0 = off)\n"
+      "\n"
+      "Live introspection while serving: zeppelin_cli --connect=host:port --stats\n"
+      "returns the same zeppelin.metrics.v1 snapshot printed at exit\n"
+      "(docs/OBSERVABILITY.md).\n");
 }
 
 }  // namespace
@@ -69,6 +75,8 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetInt("max_frame_bytes", net::kDefaultMaxFrameBytes));
   options.idle_timeout_ms = static_cast<int>(flags.GetInt("idle_timeout_ms", 0));
   options.max_connections = static_cast<int>(flags.GetInt("max_connections", 256));
+  options.trace_out = flags.GetString("trace_out", "");
+  options.slow_request_us = flags.GetDouble("slow_request_ms", 0) * 1000.0;
   const int drain_grace_ms = static_cast<int>(flags.GetInt("drain_grace_ms", 2000));
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s (see --help)\n", unused.c_str());
@@ -101,26 +109,12 @@ int main(int argc, char** argv) {
   while (daemon.connection_count() > 0 && std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+  // The exit report is the same zeppelin.metrics.v1 snapshot that kStats
+  // serves live, taken before Stop() tears the connections down so the
+  // connection gauge reflects the drain.
+  const std::string stats = daemon.StatsJson();
   daemon.Stop();
 
-  const net::DaemonCounters counters = daemon.counters();
-  std::printf(
-      "zeppelin_served: stopped | ok %llu, shed %llu overload + %llu deadline, "
-      "rejected %llu draining, malformed %llu frames + %llu requests, "
-      "bad %llu, sessions reaped %llu, cache %llu hit + %llu near / %llu miss, "
-      "%llu evicted, verify failures %llu\n",
-      static_cast<unsigned long long>(counters.requests_ok),
-      static_cast<unsigned long long>(counters.shed_overload),
-      static_cast<unsigned long long>(counters.shed_deadline),
-      static_cast<unsigned long long>(counters.rejected_shutdown),
-      static_cast<unsigned long long>(counters.malformed_frames),
-      static_cast<unsigned long long>(counters.malformed_requests),
-      static_cast<unsigned long long>(counters.bad_requests),
-      static_cast<unsigned long long>(counters.sessions_reaped),
-      static_cast<unsigned long long>(counters.cache_hits),
-      static_cast<unsigned long long>(counters.cache_near_matches),
-      static_cast<unsigned long long>(counters.cache_misses),
-      static_cast<unsigned long long>(counters.cache_evictions),
-      static_cast<unsigned long long>(counters.verify_failures));
+  std::printf("zeppelin_served: stopped\n%s\n", stats.c_str());
   return 0;
 }

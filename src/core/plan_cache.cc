@@ -259,6 +259,9 @@ std::optional<PlanResponse> PlanCache::TryServe(const PlanRequest& request) {
   if (!Cacheable(request)) {
     return std::nullopt;
   }
+  // Covers the whole probe: key derivation, the LRU lookup, the digest
+  // check, and (rarely) the remap tier + its certification.
+  obs::TraceScope lookup_span(obs::Stage::kCacheLookup);
   const PlanCacheKey key = ComputePlanCacheKey(request);
   std::shared_ptr<const PartitionPlan> stored;
   PlanStats stored_stats;
@@ -366,12 +369,18 @@ std::optional<PlanResponse> PlanCache::TryServe(const PlanRequest& request) {
 
   PlanResponse response;
   response.plan = plan;
-  // Hits report the producing call's engine/capacity with zeroed wall times:
-  // no planning happened, and identical repeats must serve byte-identical
-  // responses (the daemon test contract).
+  // Hits report the producing call's engine/capacity with zeroed wall times
+  // and zeroed stage breakdown: no planning happened, and identical repeats
+  // must serve byte-identical responses (the daemon test contract). The
+  // lookup's own latency still reaches the daemon's stage histograms and
+  // --trace_out through the bound TraceContext.
   response.stats = stored_stats;
   response.stats.partition_time_us = 0;
   response.stats.materialize_time_us = 0;
+  response.stats.stage_us = {};
+  // Live (not insert-time) session count: the fill is uniform across serve
+  // paths, and the daemon test only compares hit responses field-wise.
+  response.stats.session_count = service_->session_count();
   response.stats.cache_outcome = CacheOutcome::kHit;
   response.stats.verified = verified;
   response.digest = served_digest;

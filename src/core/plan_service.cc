@@ -32,6 +32,8 @@ const char* PlanEngineName(PlanEngine engine) {
       return "delta-patch";
     case PlanEngine::kGlobalRing:
       return "global-ring";
+    case PlanEngine::kAdopted:
+      return "adopted";
   }
   return "unknown";
 }
@@ -145,20 +147,25 @@ PlanResponse PlannerService::PlanStateless(const PlanRequest& request) {
     // (the TE CP pattern), so the only Zeppelin component in play downstream
     // is routing.
     const auto start = Clock::now();
-    *plan = PartitionPlan{};
-    plan->tokens_per_rank.assign(world, 0);
-    plan->threshold_s0.assign(spec.num_nodes, 0);
-    std::vector<int> all_ranks(world);
-    std::iota(all_ranks.begin(), all_ranks.end(), 0);
-    for (int id = 0; id < batch.size(); ++id) {
-      const int64_t len = batch.seq_lens[id];
-      plan->AddRing(plan->inter_node, id, len, Zone::kInterNode, all_ranks);
-      for (int r = 0; r < world; ++r) {
-        plan->tokens_per_rank[r] += len * (r + 1) / world - len * r / world;
+    {
+      obs::TraceScope plan_span(obs::Stage::kPlan);
+      *plan = PartitionPlan{};
+      plan->tokens_per_rank.assign(world, 0);
+      plan->threshold_s0.assign(spec.num_nodes, 0);
+      std::vector<int> all_ranks(world);
+      std::iota(all_ranks.begin(), all_ranks.end(), 0);
+      for (int id = 0; id < batch.size(); ++id) {
+        const int64_t len = batch.seq_lens[id];
+        plan->AddRing(plan->inter_node, id, len, Zone::kInterNode, all_ranks);
+        for (int r = 0; r < world; ++r) {
+          plan->tokens_per_rank[r] += len * (r + 1) / world - len * r / world;
+        }
       }
     }
     response.stats.engine = PlanEngine::kGlobalRing;
     response.stats.partition_time_us = ElapsedUs(start);
+    response.stats.stage_us[static_cast<int>(obs::Stage::kPlan)] =
+        response.stats.partition_time_us;
     response.stats.session_count = session_count();
     response.plan = std::move(plan);
     response.digest = response.plan->StateDigest();
@@ -200,6 +207,7 @@ PlanResponse PlannerService::PlanStateless(const PlanRequest& request) {
 
   const auto start = Clock::now();
   {
+    obs::TraceScope plan_span(obs::Stage::kPlan);
     // ThreadPool batches admit one caller at a time; every pooled plan in
     // the service serializes here (delta patches never do).
     std::unique_lock<std::mutex> pool_lock;
@@ -209,6 +217,8 @@ PlanResponse PlannerService::PlanStateless(const PlanRequest& request) {
     ctx->partitioner->Partition(batch, &ctx->scratch, plan.get());
   }
   response.stats.partition_time_us = ElapsedUs(start);
+  response.stats.stage_us[static_cast<int>(obs::Stage::kPlan)] =
+      response.stats.partition_time_us;
   response.stats.engine = !request.options.planner_fast_path ? PlanEngine::kNaive
                           : pooled ? PlanEngine::kParallelSharded
                                    : PlanEngine::kSerialFast;
@@ -256,6 +266,8 @@ PlanResponse PlannerService::PlanSession(const PlanRequest& request) {
   std::lock_guard<std::mutex> session_lock(session->mu);
 
   const auto start = Clock::now();
+  obs::TraceContext* tctx = obs::CurrentTrace();
+  const double plan_start_us = tctx != nullptr ? obs::NowUs() : 0;
   const bool needs_base = !session->planner || !(session->planner->cluster() == spec) ||
                           !session->planner->has_base() || request.delta == nullptr;
   bool pooled_rebase = false;
@@ -317,6 +329,11 @@ PlanResponse PlannerService::PlanSession(const PlanRequest& request) {
         << ": request batch does not match the session's tracked batch";
   }
   response.stats.partition_time_us = ElapsedUs(start);
+  response.stats.stage_us[static_cast<int>(obs::Stage::kPlan)] =
+      response.stats.partition_time_us;
+  if (tctx != nullptr) {
+    tctx->AddSpan(obs::Stage::kPlan, plan_start_us, response.stats.partition_time_us);
+  }
   response.stats.delta_outcome = session->last_outcome;
   const bool patched = session->last_outcome == DeltaOutcome::kApplied ||
                        session->last_outcome == DeltaOutcome::kAppliedTopology;
@@ -332,9 +349,16 @@ PlanResponse PlannerService::PlanSession(const PlanRequest& request) {
   // every request, so the response gets its own copy (a few bulk array
   // copies regardless of ring count — the flat-plan dividend).
   const auto copy_start = Clock::now();
+  const double copy_start_us = tctx != nullptr ? obs::NowUs() : 0;
   std::shared_ptr<PartitionPlan> plan = AcquirePlan();
   *plan = session->planner->plan();
   response.stats.materialize_time_us = ElapsedUs(copy_start);
+  response.stats.stage_us[static_cast<int>(obs::Stage::kMaterialize)] =
+      response.stats.materialize_time_us;
+  if (tctx != nullptr) {
+    tctx->AddSpan(obs::Stage::kMaterialize, copy_start_us,
+                  response.stats.materialize_time_us);
+  }
   response.plan = std::move(plan);
   response.digest = response.plan->StateDigest();
   return response;

@@ -42,6 +42,7 @@
 #ifndef SRC_CORE_PLAN_SERVICE_H_
 #define SRC_CORE_PLAN_SERVICE_H_
 
+#include <array>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -50,6 +51,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 #include "src/core/delta_planner.h"
 #include "src/core/partitioner.h"
 #include "src/core/zones.h"
@@ -112,6 +114,8 @@ enum class PlanEngine : uint8_t {
   kParallelSharded,  // Pool-sharded engine (byte-identical at any threads).
   kDeltaPatch,       // Session request patched incrementally.
   kGlobalRing,       // hierarchical_partitioning = false ablation layout.
+  kAdopted,          // Externally produced plan adopted without planning
+                     //   (ZeppelinStrategy::AdoptPlan, zeppelin_cli --plan_in).
 };
 
 const char* PlanEngineName(PlanEngine engine);
@@ -155,6 +159,14 @@ struct PlanStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  // Per-request stage latency breakdown (µs), indexed by obs::Stage. The
+  // service fills kPlan/kMaterialize; the daemon overlays its own measured
+  // stages (queue wait, decode, validate, cache lookup, verify, encode) on
+  // the planned path. Cache-hit repeats carry all-zero stage_us — the
+  // byte-identity contract — and kWrite is never in its own response (the
+  // socket write happens after encoding); both reach the daemon's histograms
+  // and --trace_out instead. See docs/OBSERVABILITY.md, "Span taxonomy".
+  std::array<double, obs::kNumStages> stage_us{};
 };
 
 struct PlanResponse {

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "src/obs/trace.h"
+
 namespace zeppelin {
 
 namespace {
@@ -62,6 +64,9 @@ const char* PlanVerifyStatusName(PlanVerifyStatus status) {
 PlanVerifyResult VerifyPlan(const PartitionPlan& plan, const Batch* batch,
                             const RankTopology* topology,
                             const PlanVerifyOptions& options) {
+  // Every certification site (cache insert/serve, daemon verify-before-serve,
+  // client-side verify, --plan_in) shares this one span.
+  obs::TraceScope verify_span(obs::Stage::kVerify);
   // --- Clause 1: well-formedness -------------------------------------------
   if (plan.tokens_per_rank.empty()) {
     return Reject(PlanVerifyStatus::kMalformed, "plan declares an empty rank universe");

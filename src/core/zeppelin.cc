@@ -1,5 +1,6 @@
 #include "src/core/zeppelin.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -112,8 +113,19 @@ void ZeppelinStrategy::AdoptPlan(std::shared_ptr<const PartitionPlan> plan,
   fabric_ = &fabric;
   service().InvalidateSession(options_.stream_id);
   current_plan_ = std::move(plan);
+  // Uniform PlanStats fill (docs/SERVICE_API.md, "PlanStats validity"):
+  // adopted plans report a real engine tag, the capacity actually implied by
+  // the adopted layout when none was configured, and the live session count,
+  // instead of the all-zero struct this path used to leave behind.
   last_stats_ = PlanStats{};
+  last_stats_.engine = PlanEngine::kAdopted;
   last_stats_.token_capacity = options_.token_capacity;
+  if (last_stats_.token_capacity == 0) {
+    for (int64_t tokens : current_plan_->tokens_per_rank) {
+      last_stats_.token_capacity = std::max(last_stats_.token_capacity, tokens);
+    }
+  }
+  last_stats_.session_count = service().session_count();
   FinishPlanning(cost_model, fabric);
 }
 

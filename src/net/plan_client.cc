@@ -225,6 +225,7 @@ PlanClientResult PlanClient::Attempt(const WireRequest& request) {
   result.queue_wait_us = response.queue_wait_us;
   result.digest = response.digest;
   result.plan_bytes = std::move(response.plan_bytes);
+  result.stats_json = std::move(response.stats_json);
   if (result.status == WireStatus::kOk && !result.plan_bytes.empty()) {
     auto plan = std::make_shared<PartitionPlan>();
     const PlanIoResult io =
@@ -284,6 +285,12 @@ PlanClientResult PlanClient::Plan(WireRequest request) {
 PlanClientResult PlanClient::Ping() {
   WireRequest request;
   request.kind = RequestKind::kPing;
+  return Roundtrip(std::move(request));
+}
+
+PlanClientResult PlanClient::Stats() {
+  WireRequest request;
+  request.kind = RequestKind::kStats;
   return Roundtrip(std::move(request));
 }
 

@@ -72,6 +72,8 @@ struct PlanClientResult {
   std::string plan_bytes;
   // ParsePlan-validated decode of plan_bytes (null for ping/close).
   std::shared_ptr<const PartitionPlan> plan;
+  // Stats() only: the daemon's "zeppelin.metrics.v1" snapshot JSON.
+  std::string stats_json;
   int attempts = 0;         // Total attempts made (1 = no retry).
   double rtt_us = 0;        // Last attempt's round-trip time.
 
@@ -98,6 +100,10 @@ class PlanClient {
 
   // Liveness probe; idempotent, retried.
   PlanClientResult Ping();
+
+  // Live introspection (wire v3): the daemon's full metrics snapshot in
+  // PlanClientResult::stats_json. Idempotent, retried.
+  PlanClientResult Stats();
 
   // Ends `stream_id`'s session on the daemon; idempotent, retried.
   PlanClientResult CloseSession(const std::string& stream_id);

@@ -63,8 +63,28 @@ bool SendAll(int fd, const std::string& bytes) {
 struct PlannerDaemon::AdmissionGate {
   enum class Result { kAdmitted, kOverloaded, kDeadline, kShutdown };
 
-  AdmissionGate(int permits_in, int queue_limit_in)
-      : permits(std::max(1, permits_in)), queue_limit(std::max(0, queue_limit_in)) {}
+  // The two gauges mirror `active`/`waiting` so the admission state is
+  // visible in every metrics snapshot; they are updated under `mu` at each
+  // transition, so the mirrored levels can never drift from the truth.
+  AdmissionGate(int permits_in, int queue_limit_in, obs::Gauge* active_gauge,
+                obs::Gauge* waiting_gauge)
+      : permits(std::max(1, permits_in)),
+        queue_limit(std::max(0, queue_limit_in)),
+        g_active(active_gauge),
+        g_waiting(waiting_gauge) {}
+
+  void Admit() {
+    ++active;
+    g_active->Add(1);
+  }
+  void StartWaiting() {
+    ++waiting;
+    g_waiting->Add(1);
+  }
+  void StopWaiting() {
+    --waiting;
+    g_waiting->Sub(1);
+  }
 
   Result Acquire(Clock::time_point deadline) {
     std::unique_lock<std::mutex> lock(mu);
@@ -72,33 +92,33 @@ struct PlannerDaemon::AdmissionGate {
       return Result::kShutdown;
     }
     if (active < permits) {
-      ++active;
+      Admit();
       return Result::kAdmitted;
     }
     if (waiting >= queue_limit) {
       return Result::kOverloaded;
     }
-    ++waiting;
+    StartWaiting();
     while (true) {
       if (deadline == Clock::time_point::max()) {
         cv.wait(lock);
       } else if (cv.wait_until(lock, deadline) == std::cv_status::timeout) {
         // One last chance: a permit freed in the same instant still wins.
         if (!shutdown && active < permits) {
-          --waiting;
-          ++active;
+          StopWaiting();
+          Admit();
           return Result::kAdmitted;
         }
-        --waiting;
+        StopWaiting();
         return shutdown ? Result::kShutdown : Result::kDeadline;
       }
       if (shutdown) {
-        --waiting;
+        StopWaiting();
         return Result::kShutdown;
       }
       if (active < permits) {
-        --waiting;
-        ++active;
+        StopWaiting();
+        Admit();
         return Result::kAdmitted;
       }
     }
@@ -108,6 +128,7 @@ struct PlannerDaemon::AdmissionGate {
     {
       std::lock_guard<std::mutex> lock(mu);
       --active;
+      g_active->Sub(1);
     }
     cv.notify_one();
   }
@@ -126,6 +147,8 @@ struct PlannerDaemon::AdmissionGate {
   int waiting = 0;
   const int permits;
   const int queue_limit;
+  obs::Gauge* const g_active;
+  obs::Gauge* const g_waiting;
   bool shutdown = false;
 };
 
@@ -308,8 +331,45 @@ PlannerDaemon::PlannerDaemon(const TransformerConfig& model, const ClusterSpec& 
     cache_options.verify = options_.verify_before_serve;
     cache_ = std::make_unique<PlanCache>(service_.get(), cache_options);
   }
+  // Instrument registration is a construction-time event: the request path
+  // only ever touches the returned pointers (relaxed atomics, no registry
+  // lock). The names are the "zeppelin.metrics.v1" catalog
+  // (docs/OBSERVABILITY.md).
+  c_connections_accepted_ = metrics_.GetCounter("daemon.connections_accepted");
+  c_connections_refused_ = metrics_.GetCounter("daemon.connections_refused");
+  c_requests_ok_ = metrics_.GetCounter("daemon.requests_ok");
+  c_shed_overload_ = metrics_.GetCounter("daemon.shed_overload");
+  c_shed_deadline_ = metrics_.GetCounter("daemon.shed_deadline");
+  c_rejected_shutdown_ = metrics_.GetCounter("daemon.rejected_shutdown");
+  c_malformed_frames_ = metrics_.GetCounter("daemon.malformed_frames");
+  c_malformed_requests_ = metrics_.GetCounter("daemon.malformed_requests");
+  c_bad_requests_ = metrics_.GetCounter("daemon.bad_requests");
+  c_sessions_reaped_ = metrics_.GetCounter("daemon.sessions_reaped");
+  c_verify_failures_ = metrics_.GetCounter("daemon.verify_failures");
+  c_stats_requests_ = metrics_.GetCounter("daemon.stats_requests");
+  g_queue_depth_ = metrics_.GetGauge("daemon.queue_depth");
+  g_active_plans_ = metrics_.GetGauge("daemon.active_plans");
+  g_connections_ = metrics_.GetGauge("daemon.connections");
+  g_sessions_ = metrics_.GetGauge("daemon.sessions");
+  g_cache_hits_ = metrics_.GetGauge("cache.hits");
+  g_cache_misses_ = metrics_.GetGauge("cache.misses");
+  g_cache_near_matches_ = metrics_.GetGauge("cache.near_matches");
+  g_cache_evictions_ = metrics_.GetGauge("cache.evictions");
+  g_cache_verify_failures_ = metrics_.GetGauge("cache.verify_failures");
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    h_stage_[i] = metrics_.GetHistogram(
+        std::string("stage_us.") + obs::StageName(static_cast<obs::Stage>(i)));
+  }
+  h_request_us_ = metrics_.GetHistogram("request.total_us");
   gate_ = std::make_unique<AdmissionGate>(options_.max_concurrent_plans,
-                                          options_.queue_limit);
+                                          options_.queue_limit, g_active_plans_,
+                                          g_queue_depth_);
+  if (!options_.trace_out.empty()) {
+    trace_ = std::make_unique<obs::TraceSink>(options_.trace_out);
+  }
+  if (options_.slow_request_us > 0) {
+    slow_log_ = std::make_unique<obs::SlowRequestLog>(options_.slow_request_us);
+  }
 }
 
 PlannerDaemon::~PlannerDaemon() { Stop(); }
@@ -395,6 +455,11 @@ void PlannerDaemon::Stop() {
     }
     ::close(conn->fd);
   }
+  // All readers are joined: no request is still writing spans, so the trace
+  // file this writes is complete.
+  if (trace_ != nullptr) {
+    trace_->Flush();
+  }
   stopped_ = true;
 }
 
@@ -402,10 +467,17 @@ bool PlannerDaemon::stopped() const { return stopped_.load(); }
 
 DaemonCounters PlannerDaemon::counters() const {
   DaemonCounters out;
-  {
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    out = counters_;
-  }
+  out.connections_accepted = c_connections_accepted_->value();
+  out.connections_refused = c_connections_refused_->value();
+  out.requests_ok = c_requests_ok_->value();
+  out.shed_overload = c_shed_overload_->value();
+  out.shed_deadline = c_shed_deadline_->value();
+  out.rejected_shutdown = c_rejected_shutdown_->value();
+  out.malformed_frames = c_malformed_frames_->value();
+  out.malformed_requests = c_malformed_requests_->value();
+  out.bad_requests = c_bad_requests_->value();
+  out.sessions_reaped = c_sessions_reaped_->value();
+  out.verify_failures = c_verify_failures_->value();
   if (cache_ != nullptr) {
     const PlanCacheCounters cache = cache_->counters();
     out.cache_hits = cache.hits;
@@ -415,6 +487,23 @@ DaemonCounters PlannerDaemon::counters() const {
     out.verify_failures += cache.verify_failures;
   }
   return out;
+}
+
+std::string PlannerDaemon::StatsJson() {
+  // Refresh the snapshot-time mirrors first: connection/session levels and
+  // the cache's lock-guarded counters. Everything else is already live in
+  // the instruments themselves.
+  g_connections_->Set(static_cast<int64_t>(connection_count()));
+  g_sessions_->Set(static_cast<int64_t>(service_->session_count()));
+  if (cache_ != nullptr) {
+    const PlanCacheCounters cache = cache_->counters();
+    g_cache_hits_->Set(static_cast<int64_t>(cache.hits));
+    g_cache_misses_->Set(static_cast<int64_t>(cache.misses));
+    g_cache_near_matches_->Set(static_cast<int64_t>(cache.near_matches));
+    g_cache_evictions_->Set(static_cast<int64_t>(cache.evictions));
+    g_cache_verify_failures_->Set(static_cast<int64_t>(cache.verify_failures));
+  }
+  return obs::MetricsToJson(metrics_.Snapshot());
 }
 
 size_t PlannerDaemon::connection_count() const {
@@ -443,8 +532,7 @@ void PlannerDaemon::AcceptLoop() {
     }
     if (refuse) {
       ::close(fd);
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.connections_refused;
+      c_connections_refused_->Inc();
       continue;
     }
     const int one = 1;
@@ -457,10 +545,7 @@ void PlannerDaemon::AcceptLoop() {
       conn->id = next_conn_id_++;
       conns_[conn->id] = conn;
     }
-    {
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.connections_accepted;
-    }
+    c_connections_accepted_->Inc();
     conn->thread = std::thread([this, conn] { ServeConnection(conn); });
   }
 }
@@ -532,10 +617,7 @@ void PlannerDaemon::ServeConnection(const std::shared_ptr<Connection>& conn) {
     if (!close_conn && status != FrameStatus::kIncomplete) {
       // Framing violation: the stream position is gone. One typed error
       // frame, then close.
-      {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.malformed_frames;
-      }
+      c_malformed_frames_->Inc();
       SendError(*conn, 0,
                 status == FrameStatus::kOversized ? WireStatus::kOversizedFrame
                                                   : WireStatus::kMalformedFrame,
@@ -560,11 +642,14 @@ void PlannerDaemon::ReapSessions(Connection& conn) {
     }
   }
   conn.sessions.clear();
-  std::lock_guard<std::mutex> lock(counters_mu_);
-  counters_.sessions_reaped += reaped;
+  c_sessions_reaped_->Inc(reaped);
 }
 
 bool PlannerDaemon::SendResponse(Connection& conn, const WireResponse& response) {
+  // kWrite covers response framing + the socket write. It necessarily lands
+  // *after* the response's own stats were encoded, so it reaches the stage
+  // histograms and --trace_out but never its own response's stage_us.
+  obs::TraceScope write_span(obs::Stage::kWrite);
   std::string out;
   AppendResponseFrame(response, &out);
   std::lock_guard<std::mutex> lock(conn.write_mu);
@@ -587,27 +672,35 @@ void PlannerDaemon::SendError(Connection& conn, uint64_t request_id, WireStatus 
 bool PlannerDaemon::HandleFrame(Connection& conn, const Frame& frame) {
   const auto received = Clock::now();
   if (frame.type != FrameType::kRequest) {
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    ++counters_.malformed_frames;
+    c_malformed_frames_->Inc();
     return false;  // Clients never send response frames; desynced peer.
   }
+  // One stack-allocated trace per request, bound to this reader thread for
+  // the request's whole lifetime: every TraceScope below — including the
+  // ones inside PlanCache / PlannerService / VerifyPlan, which never see a
+  // context parameter — accumulates here.
+  obs::TraceContext tctx;
+  tctx.lane = static_cast<int>(conn.id);
+  obs::TraceBinding binding(&tctx);
+  const double start_us = obs::NowUs();
+
   WireRequest request;
   std::string parse_error;
-  if (ParseRequest(frame.payload, &request, &parse_error) != WireStatus::kOk) {
-    {
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.malformed_requests;
-    }
+  WireStatus parsed;
+  {
+    obs::TraceScope decode_span(obs::Stage::kDecode);
+    parsed = ParseRequest(frame.payload, &request, &parse_error);
+  }
+  tctx.request_id = request.request_id;
+  if (parsed != WireStatus::kOk) {
+    c_malformed_requests_->Inc();
     // The framing layer is still in sync — reject the request, keep the
     // connection. Session state was never touched.
     SendError(conn, request.request_id, WireStatus::kMalformedRequest, parse_error);
     return true;
   }
   if (draining_.load() || stopping_.load()) {
-    {
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.rejected_shutdown;
-    }
+    c_rejected_shutdown_->Inc();
     SendError(conn, request.request_id, WireStatus::kShuttingDown,
               "daemon is draining");
     return true;
@@ -626,11 +719,41 @@ bool PlannerDaemon::HandleFrame(Connection& conn, const Frame& frame) {
       response.stats.session_count = service_->session_count();
       return SendResponse(conn, response);
     }
-    case RequestKind::kPlan:
+    case RequestKind::kStats: {
+      // Live introspection: no admission permit (the snapshot only reads
+      // atomics + the cache counter mutex), so stats stay answerable while
+      // every planning permit is busy.
+      c_stats_requests_->Inc();
+      WireResponse response;
+      response.request_id = request.request_id;
+      response.stats.session_count = service_->session_count();
+      response.stats_json = StatsJson();
+      return SendResponse(conn, response);
+    }
+    case RequestKind::kPlan: {
       HandlePlan(conn, request, received);
+      // End-of-request telemetry covers every outcome (served, shed,
+      // rejected): the histograms describe offered load, not just successes.
+      ObserveRequest(tctx, obs::NowUs() - start_us);
       return true;
+    }
   }
   return false;
+}
+
+void PlannerDaemon::ObserveRequest(const obs::TraceContext& ctx, double total_us) {
+  h_request_us_->Record(static_cast<uint64_t>(std::max(0.0, total_us)));
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    if (ctx.stage_us[i] > 0) {
+      h_stage_[i]->Record(static_cast<uint64_t>(ctx.stage_us[i]));
+    }
+  }
+  if (slow_log_ != nullptr) {
+    slow_log_->Observe(ctx, total_us);
+  }
+  if (trace_ != nullptr) {
+    trace_->Drain(ctx);
+  }
 }
 
 void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
@@ -644,14 +767,15 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
   }
   const bool mirror_based = mirror != nullptr && mirror->has_base;
   std::string why;
-  const WireStatus valid =
-      ValidatePlan(request, mirror_based ? &mirror->batch : nullptr,
-                   mirror != nullptr ? &mirror->topo : nullptr, logical_cluster_, &why);
+  WireStatus valid;
+  {
+    obs::TraceScope validate_span(obs::Stage::kValidate);
+    valid = ValidatePlan(request, mirror_based ? &mirror->batch : nullptr,
+                         mirror != nullptr ? &mirror->topo : nullptr,
+                         logical_cluster_, &why);
+  }
   if (valid != WireStatus::kOk) {
-    {
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.bad_requests;
-    }
+    c_bad_requests_->Inc();
     SendError(conn, request.request_id, valid, why);
     return;
   }
@@ -673,11 +797,11 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
       response.stats = served->stats;
       response.queue_wait_us = 0;
       response.digest = served->digest;
-      response.plan_bytes = SerializePlan(*served->plan);
       {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.requests_ok;
+        obs::TraceScope encode_span(obs::Stage::kEncode);
+        response.plan_bytes = SerializePlan(*served->plan);
       }
+      c_requests_ok_->Inc();
       SendResponse(conn, response);
       return;
     }
@@ -688,28 +812,19 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
                             : received + std::chrono::milliseconds(request.deadline_ms);
   switch (gate_->Acquire(deadline)) {
     case AdmissionGate::Result::kOverloaded: {
-      {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.shed_overload;
-      }
+      c_shed_overload_->Inc();
       SendError(conn, request.request_id, WireStatus::kOverloaded,
                 "admission queue full");
       return;
     }
     case AdmissionGate::Result::kDeadline: {
-      {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.shed_deadline;
-      }
+      c_shed_deadline_->Inc();
       SendError(conn, request.request_id, WireStatus::kDeadlineExceeded,
                 "deadline expired while queued");
       return;
     }
     case AdmissionGate::Result::kShutdown: {
-      {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.rejected_shutdown;
-      }
+      c_rejected_shutdown_->Inc();
       SendError(conn, request.request_id, WireStatus::kShuttingDown,
                 "daemon is draining");
       return;
@@ -718,6 +833,12 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
       break;
   }
   const double queue_wait_us = ElapsedUs(received);
+  if (obs::TraceContext* tctx = obs::CurrentTrace()) {
+    // Admission wait measured from frame receipt; the span is backdated so
+    // it renders in its true position on the request's timeline.
+    tctx->AddSpan(obs::Stage::kQueueWait, obs::NowUs() - queue_wait_us,
+                  queue_wait_us);
+  }
   if (options_.debug_plan_delay_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(options_.debug_plan_delay_ms));
   }
@@ -726,10 +847,7 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
   // session mutation must never be half-reported).
   if (deadline != Clock::time_point::max() && Clock::now() > deadline) {
     gate_->Release();
-    {
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.shed_deadline;
-    }
+    c_shed_deadline_->Inc();
     SendError(conn, request.request_id, WireStatus::kDeadlineExceeded,
               "deadline expired before planning started");
     return;
@@ -788,10 +906,7 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
                    is_session ? &m->topo : nullptr, vopts);
     planned.stats.verified = verdict.ok();
     if (!verdict.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.verify_failures;
-      }
+      c_verify_failures_->Inc();
       SendError(conn, request.request_id, WireStatus::kInternal,
                 "plan failed certification: " + verdict.message);
       return;
@@ -803,11 +918,18 @@ void PlannerDaemon::HandlePlan(Connection& conn, WireRequest& request,
   response.stats = planned.stats;
   response.queue_wait_us = queue_wait_us;
   response.digest = planned.digest;
-  response.plan_bytes = SerializePlan(*planned.plan);
   {
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    ++counters_.requests_ok;
+    obs::TraceScope encode_span(obs::Stage::kEncode);
+    response.plan_bytes = SerializePlan(*planned.plan);
   }
+  // Overlay the daemon-side stages (queue wait, decode, validate, encode —
+  // plus plan/materialize/verify recorded by the layers below) onto the
+  // planned response. kWrite cannot appear in its own response: the write
+  // happens after these stats are encoded (histograms/--trace_out only).
+  if (const obs::TraceContext* tctx = obs::CurrentTrace()) {
+    response.stats.stage_us = tctx->stage_us;
+  }
+  c_requests_ok_->Inc();
   SendResponse(conn, response);
 }
 

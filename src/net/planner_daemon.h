@@ -56,6 +56,8 @@
 #include "src/core/plan_service.h"
 #include "src/model/transformer.h"
 #include "src/net/wire.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/topology/cluster.h"
 #include "src/topology/path.h"
 
@@ -99,9 +101,20 @@ struct DaemonOptions {
   // Refuse to serve any plan that fails VerifyPlan (kInternal instead of a
   // corrupt plan). Covers cached, fresh, and session plans.
   bool verify_before_serve = true;
+  // Non-empty: drain every request's stage spans into a Chrome-trace JSON
+  // file at this path (written on Stop; Perfetto-loadable). Empty disables
+  // the sink; the per-stage histograms stay on either way.
+  std::string trace_out;
+  // > 0: requests whose total handling latency crosses this threshold enter
+  // the typed, rate-limited slow-request log (obs::SlowRequestLog). 0
+  // disables it.
+  double slow_request_us = 0;
 };
 
-// Monotonic counters over the daemon's lifetime (telemetry + test hooks).
+// Point-in-time snapshot of the daemon's lifetime counters (telemetry + test
+// hooks). Backed by the lock-free obs::MetricsRegistry the daemon owns —
+// readable at any moment, not just at shutdown; counters() and StatsJson()
+// are two views of the same instruments.
 struct DaemonCounters {
   uint64_t connections_accepted = 0;
   uint64_t connections_refused = 0;
@@ -160,6 +173,16 @@ class PlannerDaemon {
   DaemonCounters counters() const;
   size_t connection_count() const;
 
+  // The full metrics snapshot as "zeppelin.metrics.v1" JSON: daemon
+  // counters, cache tiers, admission gauges, per-stage histograms. The same
+  // payload kStats requests return over the wire; safe to call while the
+  // daemon serves traffic.
+  std::string StatsJson();
+  // The slow-request log, or nullptr when options.slow_request_us is 0.
+  const obs::SlowRequestLog* slow_log() const { return slow_log_.get(); }
+  // The trace sink, or nullptr when options.trace_out is empty.
+  const obs::TraceSink* trace_sink() const { return trace_.get(); }
+
  private:
   struct AdmissionGate;
   struct Connection;
@@ -176,12 +199,17 @@ class PlannerDaemon {
   bool SendResponse(Connection& conn, const WireResponse& response);
   void SendError(Connection& conn, uint64_t request_id, WireStatus status,
                  std::string message);
+  // End-of-request telemetry: total + per-stage histograms, the slow-request
+  // log, and the --trace_out sink.
+  void ObserveRequest(const obs::TraceContext& ctx, double total_us);
 
   TransformerConfig model_;
   ClusterSpec logical_cluster_;
   FabricResources fabric_;
   CostModel cost_model_;
   DaemonOptions options_;
+  // Declared before everything that holds instrument pointers into it.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<PlannerService> service_;
   // Declared after service_ so the cache is destroyed first (it closes its
   // near-match family sessions against the still-live service).
@@ -202,8 +230,36 @@ class PlannerDaemon {
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
   uint64_t next_conn_id_ = 1;
 
-  mutable std::mutex counters_mu_;
-  DaemonCounters counters_;
+  // Lock-free instruments (registered once at construction; incremented
+  // without any lock — the shutdown-only counters_mu_ dump is gone).
+  obs::Counter* c_connections_accepted_ = nullptr;
+  obs::Counter* c_connections_refused_ = nullptr;
+  obs::Counter* c_requests_ok_ = nullptr;
+  obs::Counter* c_shed_overload_ = nullptr;
+  obs::Counter* c_shed_deadline_ = nullptr;
+  obs::Counter* c_rejected_shutdown_ = nullptr;
+  obs::Counter* c_malformed_frames_ = nullptr;
+  obs::Counter* c_malformed_requests_ = nullptr;
+  obs::Counter* c_bad_requests_ = nullptr;
+  obs::Counter* c_sessions_reaped_ = nullptr;
+  obs::Counter* c_verify_failures_ = nullptr;  // Daemon-detected only.
+  obs::Counter* c_stats_requests_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;   // Admission waiting room occupancy.
+  obs::Gauge* g_active_plans_ = nullptr;  // Admission permits in use.
+  obs::Gauge* g_connections_ = nullptr;
+  obs::Gauge* g_sessions_ = nullptr;
+  // Mirrors of the owned PlanCache's monotonic counters, refreshed at
+  // snapshot time (the cache keeps its own lock-guarded truth).
+  obs::Gauge* g_cache_hits_ = nullptr;
+  obs::Gauge* g_cache_misses_ = nullptr;
+  obs::Gauge* g_cache_near_matches_ = nullptr;
+  obs::Gauge* g_cache_evictions_ = nullptr;
+  obs::Gauge* g_cache_verify_failures_ = nullptr;
+  std::array<obs::Histogram*, obs::kNumStages> h_stage_{};
+  obs::Histogram* h_request_us_ = nullptr;
+
+  std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<obs::SlowRequestLog> slow_log_;
 };
 
 }  // namespace net

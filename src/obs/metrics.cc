@@ -1,0 +1,203 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace zeppelin {
+namespace obs {
+
+namespace {
+
+int BucketIndex(uint64_t v) {
+  // bit_width(0) == 0, bit_width(1) == 1, ... — bucket 0 = {0}, bucket
+  // i >= 1 = [2^(i-1), 2^i - 1]. 64-bit values cannot exceed index 64 - 1
+  // after the clamp (bit_width(UINT64_MAX) == 64).
+  return std::min(static_cast<int>(std::bit_width(v)), kHistogramBuckets - 1);
+}
+
+// Inclusive upper bound of bucket `i` (the quantile estimate the snapshot
+// reports for values landing there).
+uint64_t BucketUpperBound(int i) {
+  if (i <= 0) {
+    return 0;
+  }
+  if (i >= 64) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << i) - 1;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  // Bucket counts first: a racing Record has bumped its bucket before (or
+  // concurrently with) count_, so summing buckets read *before* count_ keeps
+  // cumulative-rank arithmetic internally consistent with the buckets field.
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += out.buckets[i];
+  }
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // The rank of the q-th value, 1-based: ceil(q * count), floored at 1.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.999999));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return std::min(BucketUpperBound(i), max == 0 ? BucketUpperBound(i) : max);
+    }
+  }
+  return max;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) {
+      return &c;
+    }
+  }
+  counters_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                         std::forward_as_tuple());
+  return &counters_.back().second;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, g] : gauges_) {
+    if (n == name) {
+      return &g;
+    }
+  }
+  gauges_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  return &gauges_.back().second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) {
+      return &h;
+    }
+  }
+  histograms_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                           std::forward_as_tuple());
+  return &histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      out.counters.emplace_back(name, counter.value());
+    }
+    out.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      out.gauges.emplace_back(name, gauge.value());
+    }
+    out.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      out.histograms.emplace_back(name, histogram.Snapshot());
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"schema\":\"zeppelin.metrics.v1\",\"counters\":{";
+  char buf[64];
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), "\":%llu", static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), "\":%lld", static_cast<long long>(value));
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf),
+                  "\":{\"count\":%llu,\"sum\":%llu,\"max\":%llu,\"mean\":%.6g",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.max), h.mean());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"p50\":%llu,\"p90\":%llu,\"p99\":%llu",
+                  static_cast<unsigned long long>(h.Quantile(0.50)),
+                  static_cast<unsigned long long>(h.Quantile(0.90)),
+                  static_cast<unsigned long long>(h.Quantile(0.99)));
+    out += buf;
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) {
+        continue;
+      }
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      std::snprintf(buf, sizeof(buf), "\"%d\":%llu", i,
+                    static_cast<unsigned long long>(h.buckets[i]));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace zeppelin

@@ -1,0 +1,130 @@
+// Lock-cheap metrics primitives + a named registry (docs/OBSERVABILITY.md).
+//
+// The request path must be observable without becoming slower: every
+// primitive here is a handful of relaxed atomics on the hot path, with no
+// allocation, no locking, and no sample storage. The registry hands out
+// stable pointers (get-or-create under a mutex — registration-time only, so
+// instruments are looked up once at construction and then incremented lock
+// free), and Snapshot() reads every instrument into one plain struct that
+// serializes to a stable JSON schema ("zeppelin.metrics.v1") — the payload
+// of the daemon's kStats wire request and the zeppelin_served exit report.
+//
+// Histograms are fixed-boundary log2 histograms: value v lands in bucket
+// bit_width(v), i.e. bucket 0 holds {0} and bucket i >= 1 holds
+// [2^(i-1), 2^i - 1]. p50/p99/max are derivable from the bucket counts alone
+// (no samples kept): Quantile() answers the *upper bound* of the bucket
+// holding the q-th value, so the estimate never under-reports and is within
+// a factor of 2 of the exact order statistic (pinned by
+// tests/obs_metrics_test.cpp against Percentile() from src/common/stats.h).
+//
+// Thread safety: Inc/Add/Set/Record are safe from any thread (relaxed
+// atomics — counts are exact, cross-instrument consistency is best-effort by
+// design). Snapshot() may run concurrently with writers.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zeppelin {
+namespace obs {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depth, open sessions, mirrored counters).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+inline constexpr int kHistogramBuckets = 64;
+
+// Point-in-time copy of one histogram's state.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  // Upper bound of the bucket holding the ceil(q * count)-th smallest value
+  // (q in [0, 1]); 0 when empty. At most 2x the exact order statistic and
+  // never below it, except that the answer is additionally clamped to the
+  // observed max.
+  uint64_t Quantile(double q) const;
+  double mean() const { return count == 0 ? 0 : static_cast<double>(sum) / count; }
+};
+
+// Fixed-boundary log2 histogram; see the header comment for the boundaries.
+class Histogram {
+ public:
+  void Record(uint64_t v);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// One whole registry, read at a single point in time. Entries are sorted by
+// name so the serialized form is stable across runs.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+// Serializes a snapshot to the stable "zeppelin.metrics.v1" JSON schema:
+//   {"schema":"zeppelin.metrics.v1",
+//    "counters":{name:value,...}, "gauges":{name:value,...},
+//    "histograms":{name:{"count":..,"sum":..,"max":..,"mean":..,
+//                        "p50":..,"p90":..,"p99":..,
+//                        "buckets":{"<index>":count,...}},...}}
+// Bucket keys are bucket indices; only non-empty buckets are emitted.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+// Named instrument registry. Get-or-create takes a mutex (registration is a
+// construction-time event); the returned pointers are stable for the
+// registry's lifetime and are incremented without any registry involvement.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // deques: stable element addresses across growth.
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace zeppelin
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,170 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace zeppelin {
+namespace obs {
+
+namespace {
+
+thread_local TraceContext* g_current = nullptr;
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kValidate:
+      return "validate";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kPlan:
+      return "plan";
+    case Stage::kMaterialize:
+      return "materialize";
+    case Stage::kVerify:
+      return "verify";
+    case Stage::kEncode:
+      return "encode";
+    case Stage::kWrite:
+      return "write";
+    case Stage::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TraceContext::AddSpan(Stage stage, double start_us, double duration_us) {
+  stage_us[static_cast<int>(stage)] += duration_us;
+  if (span_count < kMaxSpans) {
+    spans[span_count++] = Span{stage, start_us, duration_us};
+  } else {
+    ++dropped_spans;
+  }
+}
+
+TraceContext* CurrentTrace() { return g_current; }
+
+TraceBinding::TraceBinding(TraceContext* ctx) : prev_(g_current) { g_current = ctx; }
+
+TraceBinding::~TraceBinding() { g_current = prev_; }
+
+TraceScope::TraceScope(Stage stage) : ctx_(g_current), stage_(stage) {
+  if (ctx_ != nullptr) {
+    start_us_ = NowUs();
+  }
+}
+
+TraceScope::~TraceScope() {
+  if (ctx_ != nullptr) {
+    ctx_->AddSpan(stage_, start_us_, NowUs() - start_us_);
+  }
+}
+
+TraceSink::TraceSink(std::string path) : path_(std::move(path)) {}
+
+void TraceSink::Drain(const TraceContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < ctx.span_count; ++i) {
+    const TraceContext::Span& span = ctx.spans[i];
+    TraceEvent event;
+    event.name = StageName(span.stage);
+    event.category = "request";
+    event.start_us = span.start_us;
+    event.duration_us = span.duration_us;
+    event.pid = 0;
+    event.tid = ctx.lane;
+    writer_.Add(std::move(event));
+  }
+}
+
+bool TraceSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.WriteFile(path_);
+}
+
+size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.event_count();
+}
+
+SlowRequestLog::SlowRequestLog(double threshold_us, size_t capacity)
+    : threshold_us_(threshold_us), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlowRequestLog::Observe(const TraceContext& ctx, double total_us) {
+  if (total_us < threshold_us_) {
+    return;
+  }
+  Entry entry;
+  entry.request_id = ctx.request_id;
+  entry.total_us = total_us;
+  for (int i = 0; i < kNumStages; ++i) {
+    if (ctx.stage_us[i] > entry.slowest_stage_us) {
+      entry.slowest_stage_us = ctx.stage_us[i];
+      entry.slowest_stage = static_cast<Stage>(i);
+    }
+  }
+  bool log_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++observed_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(entry);
+    } else {
+      ring_[next_] = entry;
+    }
+    next_ = (next_ + 1) % capacity_;
+    const double now_us = NowUs();
+    if (now_us - last_log_us_ >= 1e6) {
+      last_log_us_ = now_us;
+      log_now = true;
+    } else {
+      ++suppressed_;
+    }
+  }
+  if (log_now) {
+    std::fprintf(stderr,
+                 "zeppelin: slow request id=%llu total=%.0fus slowest=%s (%.0fus) "
+                 "threshold=%.0fus\n",
+                 static_cast<unsigned long long>(entry.request_id), entry.total_us,
+                 StageName(entry.slowest_stage), entry.slowest_stage_us, threshold_us_);
+  }
+}
+
+std::vector<SlowRequestLog::Entry> SlowRequestLog::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t SlowRequestLog::observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+uint64_t SlowRequestLog::suppressed_logs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+}  // namespace obs
+}  // namespace zeppelin

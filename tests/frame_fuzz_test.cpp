@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "src/data/datasets.h"
 #include "src/model/transformer.h"
 #include "src/net/wire.h"
+#include "src/obs/trace.h"
 #include "src/topology/cluster.h"
 #include "src/topology/path.h"
 
@@ -104,6 +107,24 @@ struct Corpus {
     hit.stats.partition_time_us = 0;
     hit.stats.materialize_time_us = 0;
     AppendResponseFrame(hit, &frames.emplace_back());
+
+    // v3 surfaces: a kStats request, and a response whose stage block and
+    // stats-JSON section are both populated, so the mutation sweep reaches
+    // the stage_count / stage-latency / stats_len bound checks.
+    WireRequest stats_request;
+    stats_request.request_id = 12;
+    stats_request.kind = RequestKind::kStats;
+    AppendRequestFrame(stats_request, &frames.emplace_back());
+
+    WireResponse stats_response;
+    stats_response.request_id = 12;
+    for (int i = 0; i < obs::kNumStages; ++i) {
+      stats_response.stats.stage_us[i] = 10.0 * (i + 1);
+    }
+    stats_response.stats_json =
+        "{\"schema\":\"zeppelin.metrics.v1\",\"counters\":{},\"gauges\":{},"
+        "\"histograms\":{}}";
+    AppendResponseFrame(stats_response, &frames.emplace_back());
   }
 };
 
@@ -330,6 +351,175 @@ TEST(FrameFuzzTest, CacheStatsBytesAreBoundChecked) {
     } else {
       ASSERT_EQ(status, WireStatus::kMalformedRequest) << "verified " << value;
       EXPECT_NE(error.find("verified"), std::string::npos) << error;
+    }
+  }
+}
+
+// --- v3 tail: stage block + stats-JSON section -------------------------------
+//
+// Fixed offsets for a success response with an empty message and 4-byte plan:
+// header 17, stats block 34 (engine..sessions), cache_outcome@51, verified@52,
+// queue_wait f64@53, digest u64@61, plan_len u64@69, plan@77..80, then the v3
+// tail: stage_count u8@81, kNumStages f64s @82..153, stats_len u32@154.
+
+void PatchF64(std::string* payload, size_t at, double v) {
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    (*payload)[at + i] = static_cast<char>((bits >> (8 * i)) & 0xff);
+  }
+}
+
+void PatchU32(std::string* payload, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*payload)[at + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+WireResponse MakeV3Ok() {
+  WireResponse ok;
+  ok.request_id = 11;
+  ok.status = WireStatus::kOk;
+  ok.digest = 0xabcdef;
+  ok.plan_bytes = "plan";
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    ok.stats.stage_us[i] = 10.0 * (i + 1);
+  }
+  return ok;
+}
+
+constexpr size_t kStageCountAt = 81;
+constexpr size_t kStagesAt = kStageCountAt + 1;
+constexpr size_t kStatsLenAt = kStagesAt + 8 * obs::kNumStages;
+
+TEST(FrameFuzzTest, StageCountByteIsBoundChecked) {
+  const std::string payload = EncodeResponse(MakeV3Ok());
+  ASSERT_GT(payload.size(), kStatsLenAt);
+  ASSERT_EQ(static_cast<unsigned char>(payload[kStageCountAt]),
+            obs::kNumStages);
+
+  for (int value = 0; value < 256; ++value) {
+    std::string patched = payload;
+    patched[kStageCountAt] = static_cast<char>(value);
+    WireResponse parsed;
+    std::string error;
+    const WireStatus status =
+        ParseResponse(FrameType::kResponse, patched, &parsed, &error);
+    if (value == obs::kNumStages) {
+      ASSERT_EQ(status, WireStatus::kOk);
+      EXPECT_DOUBLE_EQ(parsed.stats.stage_us[0], 10.0);
+      EXPECT_DOUBLE_EQ(parsed.stats.stage_us[obs::kNumStages - 1], 90.0);
+    } else if (value > static_cast<int>(kMaxWireStages)) {
+      // A count over the hard cap is a typed error before any stage reads.
+      ASSERT_EQ(status, WireStatus::kMalformedRequest) << "count " << value;
+      EXPECT_NE(error.find("stage count"), std::string::npos) << error;
+    } else {
+      // A lying-but-capped count misaligns the rest of the tail: the parse
+      // must land on some typed error (truncation, latency, stats length,
+      // trailing bytes) — never a crash, never a silent success.
+      ASSERT_EQ(status, WireStatus::kMalformedRequest) << "count " << value;
+      EXPECT_FALSE(error.empty()) << "count " << value;
+    }
+  }
+}
+
+TEST(FrameFuzzTest, StageLatencyBytesAreBoundChecked) {
+  const std::string payload = EncodeResponse(MakeV3Ok());
+  const double bad[] = {-1.0, -1e-9, std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()};
+  for (int stage = 0; stage < obs::kNumStages; ++stage) {
+    for (double v : bad) {
+      std::string patched = payload;
+      PatchF64(&patched, kStagesAt + 8 * stage, v);
+      WireResponse parsed;
+      std::string error;
+      ASSERT_EQ(ParseResponse(FrameType::kResponse, patched, &parsed, &error),
+                WireStatus::kMalformedRequest)
+          << "stage " << stage << " value " << v;
+      EXPECT_NE(error.find("stage latency"), std::string::npos) << error;
+    }
+  }
+  // In-range extremes stay accepted: zero and a huge-but-finite latency.
+  for (double v : {0.0, 1e12}) {
+    std::string patched = payload;
+    PatchF64(&patched, kStagesAt, v);
+    WireResponse parsed;
+    std::string error;
+    ASSERT_EQ(ParseResponse(FrameType::kResponse, patched, &parsed, &error),
+              WireStatus::kOk)
+        << error;
+    EXPECT_DOUBLE_EQ(parsed.stats.stage_us[0], v);
+  }
+}
+
+TEST(FrameFuzzTest, StatsJsonLengthIsBoundChecked) {
+  WireResponse ok = MakeV3Ok();
+  ok.stats_json = "{\"schema\":\"zeppelin.metrics.v1\"}";
+  const std::string payload = EncodeResponse(ok);
+
+  WireResponse parsed;
+  std::string error;
+  ASSERT_EQ(ParseResponse(FrameType::kResponse, payload, &parsed, &error),
+            WireStatus::kOk)
+      << error;
+  EXPECT_EQ(parsed.stats_json, ok.stats_json);
+
+  // A length lying past the end, and one past the 1 MiB cap: typed errors.
+  for (uint32_t lie :
+       {static_cast<uint32_t>(ok.stats_json.size() + 1), 0xffffffffu,
+        kMaxWireStatsJsonBytes + 1}) {
+    std::string patched = payload;
+    PatchU32(&patched, kStatsLenAt, lie);
+    WireResponse out;
+    std::string err;
+    ASSERT_EQ(ParseResponse(FrameType::kResponse, patched, &out, &err),
+              WireStatus::kMalformedRequest)
+        << "stats_len " << lie;
+    EXPECT_NE(err.find("stats json"), std::string::npos) << err;
+  }
+  // A length lying short leaves trailing bytes — also typed, never ignored.
+  std::string patched = payload;
+  PatchU32(&patched, kStatsLenAt,
+           static_cast<uint32_t>(ok.stats_json.size() - 1));
+  WireResponse out;
+  std::string err;
+  EXPECT_EQ(ParseResponse(FrameType::kResponse, patched, &out, &err),
+            WireStatus::kMalformedRequest);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(FrameFuzzTest, V3TailTruncationAndByteSweepNeverCrash) {
+  WireResponse ok = MakeV3Ok();
+  ok.stats_json = "{\"schema\":\"zeppelin.metrics.v1\"}";
+  const std::string payload = EncodeResponse(ok);
+
+  // Every truncation point inside the v3 tail is a typed error (a v3 frame
+  // that stops mid-tail is corrupt; only a version<3 frame may omit it).
+  for (size_t cut = kStageCountAt; cut < payload.size(); ++cut) {
+    WireResponse out;
+    std::string err;
+    ASSERT_EQ(ParseResponse(FrameType::kResponse, payload.substr(0, cut), &out,
+                            &err),
+              WireStatus::kMalformedRequest)
+        << "cut " << cut;
+    EXPECT_FALSE(err.empty()) << "cut " << cut;
+  }
+
+  // Exhaustive single-byte sweep over the tail: every (offset, value) parses
+  // to a typed status with no crash and no missing error message.
+  for (size_t at = kStageCountAt; at < payload.size(); ++at) {
+    for (int value = 0; value < 256; ++value) {
+      std::string patched = payload;
+      patched[at] = static_cast<char>(value);
+      WireResponse out;
+      std::string err;
+      const WireStatus status =
+          ParseResponse(FrameType::kResponse, patched, &out, &err);
+      if (status != WireStatus::kOk) {
+        ASSERT_EQ(status, WireStatus::kMalformedRequest)
+            << "at " << at << " value " << value;
+        ASSERT_FALSE(err.empty()) << "at " << at << " value " << value;
+      }
     }
   }
 }

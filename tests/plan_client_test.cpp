@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "src/net/plan_client.h"
+#include "src/net/wire.h"
+#include "src/obs/trace.h"
 
 namespace zeppelin {
 namespace net {
@@ -178,6 +180,96 @@ TEST(PlanClientTest, RequestTimeoutSurfacesAsTransport) {
   EXPECT_EQ(result.status, WireStatus::kTransport);
   EXPECT_EQ(result.attempts, 2);
   EXPECT_EQ(sleeps, (std::vector<int>{10}));
+}
+
+TEST(PlanClientTest, StatsIsIdempotentAndRetried) {
+  // kStats carries no stream state, so like Ping it retries through
+  // transport failures instead of surfacing the first one.
+  EvilServer server(EvilServer::Mode::kCloseImmediately);
+  std::vector<int> sleeps;
+  PlanClient client("127.0.0.1", server.port(), RecordingOptions(&sleeps, 2));
+  const PlanClientResult result = client.Stats();
+  EXPECT_EQ(result.status, WireStatus::kTransport);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(sleeps, (std::vector<int>{10, 20}));
+}
+
+// --- wire v2 backward compatibility ------------------------------------------
+//
+// A v3 parser must still decode frames from a v2 peer: same layout up through
+// the plan bytes, no stage block, no stats-JSON section. Downgrade real v3
+// encodes by rewriting the little-endian version word and (for responses)
+// truncating the v3 tail, which for an empty message and 4-byte plan starts
+// at byte 81 = 17 (header) + 34 (engine..sessions) + 2 (cache_outcome,
+// verified) + 8 (queue_wait) + 8 (digest) + 8 (plan_len) + 4 (plan).
+
+void PatchVersion(std::string* payload, uint32_t version) {
+  for (int i = 0; i < 4; ++i) {
+    (*payload)[i] = static_cast<char>((version >> (8 * i)) & 0xff);
+  }
+}
+
+TEST(WireCompatTest, V2ResponseDecodesWithEmptyStageBlock) {
+  WireResponse ok;
+  ok.request_id = 21;
+  ok.status = WireStatus::kOk;
+  ok.digest = 0xfeed;
+  ok.plan_bytes = "plan";
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    ok.stats.stage_us[i] = 5.0 * (i + 1);
+  }
+  ok.stats_json = "{\"schema\":\"zeppelin.metrics.v1\"}";
+  std::string payload = EncodeResponse(ok);
+  const size_t v3_tail_at = 81;
+  ASSERT_GT(payload.size(), v3_tail_at);
+  PatchVersion(&payload, 2);
+  payload.resize(v3_tail_at);
+
+  WireResponse parsed;
+  std::string error;
+  ASSERT_EQ(ParseResponse(FrameType::kResponse, payload, &parsed, &error),
+            WireStatus::kOk)
+      << error;
+  EXPECT_EQ(parsed.request_id, 21u);
+  EXPECT_EQ(parsed.digest, 0xfeedu);
+  EXPECT_EQ(parsed.plan_bytes, "plan");
+  // v2 carries no stage block and no stats JSON: both decode as empty.
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    EXPECT_DOUBLE_EQ(parsed.stats.stage_us[i], 0.0) << i;
+  }
+  EXPECT_TRUE(parsed.stats_json.empty());
+
+  // The same truncated payload with a v3 version word is corrupt, not legacy.
+  std::string v3_truncated = payload;
+  PatchVersion(&v3_truncated, 3);
+  WireResponse rejected;
+  EXPECT_EQ(ParseResponse(FrameType::kResponse, v3_truncated, &rejected, &error),
+            WireStatus::kMalformedRequest);
+}
+
+TEST(WireCompatTest, V2RequestStillParsesAndV2StatsIsRejected) {
+  WireRequest plan;
+  plan.request_id = 22;
+  plan.batch.seq_lens = {128, 256, 512};
+  std::string payload = EncodeRequest(plan);
+  PatchVersion(&payload, 2);
+  WireRequest parsed;
+  std::string error;
+  ASSERT_EQ(ParseRequest(payload, &parsed, &error), WireStatus::kOk) << error;
+  EXPECT_EQ(parsed.request_id, 22u);
+  EXPECT_EQ(parsed.batch.seq_lens.size(), 3u);
+
+  // kStats did not exist before v3: a v2 frame claiming it is malformed.
+  WireRequest stats;
+  stats.request_id = 23;
+  stats.kind = RequestKind::kStats;
+  std::string stats_payload = EncodeRequest(stats);
+  PatchVersion(&stats_payload, 2);
+  WireRequest out;
+  EXPECT_EQ(ParseRequest(stats_payload, &out, &error),
+            WireStatus::kMalformedRequest);
+  EXPECT_NE(error.find("stats requests require wire v3"), std::string::npos)
+      << error;
 }
 
 }  // namespace

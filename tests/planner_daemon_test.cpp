@@ -14,10 +14,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +34,7 @@
 #include "src/model/transformer.h"
 #include "src/net/plan_client.h"
 #include "src/net/planner_daemon.h"
+#include "src/obs/trace.h"
 #include "src/topology/cluster.h"
 #include "src/topology/path.h"
 
@@ -563,6 +568,175 @@ TEST(PlannerDaemonTest, CacheOffPlansEveryRequest) {
   const DaemonCounters counters = rig.daemon.counters();
   EXPECT_EQ(counters.cache_hits, 0u);
   EXPECT_EQ(counters.cache_misses, 0u);
+}
+
+// --- observability (docs/OBSERVABILITY.md) -----------------------------------
+
+TEST(PlannerDaemonTest, StatsRequestUnderLoad) {
+  // kStats answers consistently while plan traffic is in flight: it takes no
+  // admission permit, so it cannot be shed behind the planners it observes.
+  DaemonRig rig(DaemonOptions{.planner_threads = 2,
+                              .max_concurrent_plans = 2,
+                              .plan_cache = false});
+  constexpr int kClients = 4;
+  constexpr int kPlansPerClient = 6;
+  std::atomic<int> planned{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&rig, &planned, t] {
+      PlanClient client = rig.Client();
+      for (int i = 0; i < kPlansPerClient; ++i) {
+        WireRequest request;
+        request.batch = SampleBatch(96, 0x51a75u + t * 100 + i);
+        const PlanClientResult result = client.Plan(std::move(request));
+        ASSERT_TRUE(result.ok()) << result.message;
+        planned.fetch_add(1);
+      }
+    });
+  }
+
+  // Poll the introspection endpoint mid-load: every snapshot must be a
+  // well-formed metrics.v1 document, never an error or a torn read.
+  PlanClient observer = rig.Client();
+  int mid_load_snapshots = 0;
+  while (planned.load() < kClients * kPlansPerClient) {
+    const PlanClientResult stats = observer.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.message;
+    ASSERT_FALSE(stats.stats_json.empty());
+    EXPECT_NE(stats.stats_json.find("\"schema\":\"zeppelin.metrics.v1\""),
+              std::string::npos);
+    EXPECT_NE(stats.stats_json.find("\"daemon.requests_ok\""),
+              std::string::npos);
+    ++mid_load_snapshots;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& c : clients) {
+    c.join();
+  }
+  EXPECT_GE(mid_load_snapshots, 1);
+
+  // Quiescent: the snapshot agrees with the typed counters and the request
+  // histogram counted exactly the offered kPlan load (kStats is not a plan).
+  constexpr int kTotal = kClients * kPlansPerClient;
+  const DaemonCounters counters = rig.daemon.counters();
+  EXPECT_EQ(counters.requests_ok, static_cast<uint64_t>(kTotal));
+  EXPECT_EQ(counters.shed_overload, 0u);
+  // The histograms are recorded after the response bytes go out; joining the
+  // clients does not mean the daemon finished observing the last request.
+  ASSERT_TRUE(WaitFor([&] {
+    return rig.daemon.StatsJson().find("\"request.total_us\":{\"count\":" +
+                                       std::to_string(kTotal)) !=
+           std::string::npos;
+  }));
+  const std::string json = rig.daemon.StatsJson();
+  EXPECT_NE(json.find("\"daemon.requests_ok\":" + std::to_string(kTotal)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"request.total_us\":{\"count\":" +
+                      std::to_string(kTotal)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"stage_us.plan\":{\"count\":" + std::to_string(kTotal)),
+            std::string::npos)
+      << json;
+  EXPECT_GE(rig.daemon.counters().requests_ok, counters.requests_ok);
+}
+
+TEST(PlannerDaemonTest, StageBreakdownOnWireAndZeroedOnCacheHit) {
+  DaemonRig rig;
+  PlanClient client = rig.Client();
+  const Batch batch = SampleBatch(256, 0x57a6e5u);
+
+  WireRequest first;
+  first.batch = batch;
+  const PlanClientResult miss = client.Plan(std::move(first));
+  ASSERT_TRUE(miss.ok()) << miss.message;
+  EXPECT_EQ(miss.stats.cache_outcome, CacheOutcome::kMiss);
+  // A planned response carries its own stage breakdown on the wire (v3).
+  EXPECT_GT(miss.stats.stage_us[static_cast<int>(obs::Stage::kPlan)], 0.0);
+  // The write span cannot appear in its own response: the response bytes are
+  // already encoded when the write happens. Histograms/trace file only.
+  EXPECT_EQ(miss.stats.stage_us[static_cast<int>(obs::Stage::kWrite)], 0.0);
+
+  // A cache hit must repeat byte-identically across requests, so its stage
+  // breakdown is zeroed rather than leaking the first request's timings.
+  WireRequest repeat;
+  repeat.batch = batch;
+  const PlanClientResult hit = client.Plan(std::move(repeat));
+  ASSERT_TRUE(hit.ok()) << hit.message;
+  EXPECT_EQ(hit.stats.cache_outcome, CacheOutcome::kHit);
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    EXPECT_EQ(hit.stats.stage_us[i], 0.0) << obs::StageName(
+        static_cast<obs::Stage>(i));
+  }
+  EXPECT_EQ(hit.plan_bytes, miss.plan_bytes);
+}
+
+TEST(PlannerDaemonTest, TraceOutCoversRequestStages) {
+  const std::string trace_path =
+      ::testing::TempDir() + "/planner_daemon_trace.json";
+  {
+    DaemonRig rig(DaemonOptions{.trace_out = trace_path});
+    PlanClient client = rig.Client();
+    const Batch batch = SampleBatch(256, 0x7eace0u);
+    WireRequest miss;
+    miss.batch = batch;
+    ASSERT_TRUE(client.Plan(std::move(miss)).ok());
+    WireRequest hit;
+    hit.batch = batch;
+    ASSERT_TRUE(client.Plan(std::move(hit)).ok());
+    ASSERT_NE(rig.daemon.trace_sink(), nullptr);
+    // Spans drain after the response is written; wait rather than assume.
+    ASSERT_TRUE(
+        WaitFor([&] { return rig.daemon.trace_sink()->event_count() > 0; }));
+    rig.daemon.Stop();  // Flushes the sink.
+  }
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+  // The acceptance bar is >= 6 named stages on a served request; a cache-miss
+  // plan emits all eight below (kMaterialize is session-path only).
+  const char* expected[] = {"\"queue_wait\"", "\"decode\"",  "\"validate\"",
+                            "\"cache_lookup\"", "\"plan\"",  "\"verify\"",
+                            "\"encode\"",       "\"write\""};
+  int found = 0;
+  for (const char* stage : expected) {
+    if (trace.find(stage) != std::string::npos) {
+      ++found;
+    } else {
+      ADD_FAILURE() << "stage missing from trace: " << stage;
+    }
+  }
+  EXPECT_GE(found, 6);
+  std::remove(trace_path.c_str());
+}
+
+TEST(PlannerDaemonTest, SlowRequestLogCapturesSlowPlans) {
+  // 25ms artificial plan delay against a 10ms threshold: every plan request
+  // is "slow", and the typed ring records it with its slowest stage.
+  DaemonRig rig(DaemonOptions{.debug_plan_delay_ms = 25,
+                              .slow_request_us = 10'000.0});
+  PlanClient client = rig.Client();
+  WireRequest request;
+  request.batch = SampleBatch(64, 0x510u);
+  ASSERT_TRUE(client.Plan(std::move(request)).ok());
+
+  ASSERT_NE(rig.daemon.slow_log(), nullptr);
+  // The daemon observes the request after writing the response bytes, so the
+  // client can get here first — wait for the observation, don't assume it.
+  ASSERT_TRUE(
+      WaitFor([&] { return rig.daemon.slow_log()->observed() >= 1; }));
+  const auto entries = rig.daemon.slow_log()->entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_GE(entries[0].total_us, 10'000.0);
+  EXPECT_EQ(rig.daemon.slow_log()->observed(), 1u);
+
+  // Pings are not plan requests: they never enter the latency pipeline.
+  ASSERT_TRUE(client.Ping().ok());
+  EXPECT_EQ(rig.daemon.slow_log()->observed(), 1u);
 }
 
 }  // namespace
